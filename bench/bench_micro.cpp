@@ -1,0 +1,149 @@
+// Wall-clock microbenchmarks (google-benchmark) of the hot primitives:
+// geometric sampling, fingerprint combine/encode/estimate, palette
+// queries, Feistel permutation. These dominate simulation runtime; they
+// are the "substrate" cost behind every experiment table.
+#include <benchmark/benchmark.h>
+
+#include "ccg/ccg.hpp"
+#include "color/clique_palette.hpp"
+#include "color/primitives.hpp"
+#include "gk/candidate_family.hpp"
+#include "gk/rounding.hpp"
+
+using namespace ccg;
+
+static void BM_GeometricHalf(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_geometric_half());
+  }
+}
+BENCHMARK(BM_GeometricHalf);
+
+static void BM_FingerprintCombine(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  Rng rng(2);
+  auto a = sketch::sample_fingerprint(t, rng);
+  const auto b = sketch::sample_fingerprint(t, rng);
+  for (auto _ : state) {
+    sketch::combine_into(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() * t);
+}
+BENCHMARK(BM_FingerprintCombine)->Arg(64)->Arg(256)->Arg(1024);
+
+static void BM_FingerprintEncode(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  Rng rng(3);
+  sketch::Fingerprint fp = sketch::empty_fingerprint(t);
+  for (int j = 0; j < 1000; ++j) {
+    sketch::combine_into(fp, sketch::sample_fingerprint(t, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch::encoded_bits(fp));
+  }
+}
+BENCHMARK(BM_FingerprintEncode)->Arg(64)->Arg(256)->Arg(1024);
+
+static void BM_FingerprintEstimate(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  Rng rng(4);
+  sketch::Fingerprint fp = sketch::empty_fingerprint(t);
+  for (int j = 0; j < 1000; ++j) {
+    sketch::combine_into(fp, sketch::sample_fingerprint(t, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch::estimate_count(fp));
+  }
+}
+BENCHMARK(BM_FingerprintEstimate)->Arg(64)->Arg(256)->Arg(1024);
+
+static void BM_PaletteSelectFree(benchmark::State& state) {
+  const int colors = static_cast<int>(state.range(0));
+  color::CliquePalette pal(colors);
+  Rng rng(5);
+  for (int c = 0; c < colors; ++c) {
+    if (rng.next_bool(0.7)) pal.add(c);
+  }
+  const int free = pal.free_count(0, colors - 1);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pal.select_free(0, colors - 1, i++ % std::max(1, free)));
+  }
+}
+BENCHMARK(BM_PaletteSelectFree)->Arg(256)->Arg(4096)->Arg(65536);
+
+static void BM_FeistelPermutation(benchmark::State& state) {
+  FeistelPermutation pi(100000, 99);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pi(x));
+    x = (x + 1) % 100000;
+  }
+}
+BENCHMARK(BM_FeistelPermutation);
+
+static void BM_TryColorRoundPerVertex(benchmark::State& state) {
+  Rng rng(6);
+  const auto g = graph::gnm(2000, 20000, rng);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  for (auto _ : state) {
+    state.PauseTiming();
+    color::State st(rt, color::Params::defaults_for(g.n(), 7));
+    std::vector<int> all(static_cast<std::size_t>(g.n()));
+    for (int v = 0; v < g.n(); ++v) all[static_cast<std::size_t>(v)] = v;
+    state.ResumeTiming();
+    color::try_color_round(
+        st, all, color::uniform_sampler(g.max_degree() + 1, 0), 0.5);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_TryColorRoundPerVertex);
+
+static void BM_CandidateFamilyEval(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const gk::CandidateFamily fam(q, 4);
+  int c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fam.element(c % q, c % fam.set_size()));
+    ++c;
+  }
+}
+BENCHMARK(BM_CandidateFamilyEval)->Arg(256)->Arg(4096)->Arg(65536);
+
+static void BM_RepresentativeSetMaterialize(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  const RepresentativeFamily fam(1024, s, 1 << 16, 7);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fam.set(i % fam.family_size()));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * s);
+}
+BENCHMARK(BM_RepresentativeSetMaterialize)->Arg(64)->Arg(256);
+
+static void BM_DuplicatedSumEstimate(benchmark::State& state) {
+  const long long total = state.range(0);
+  Rng rng(11);
+  const std::vector<long long> dups{total / 2, total / 3,
+                                    total - total / 2 - total / 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gk::estimate_duplicated_sum(dups, 96, rng));
+  }
+}
+BENCHMARK(BM_DuplicatedSumEstimate)->Arg(100)->Arg(100000);
+
+static void BM_ChungLuGenerate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::chung_lu(n, 16.0, 2.5, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChungLuGenerate)->Arg(1000)->Arg(10000);

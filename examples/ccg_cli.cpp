@@ -1,0 +1,190 @@
+// ccg_cli — command-line driver for the whole library.
+//
+// Builds a conflict graph from any generator, wraps it in a cluster layout,
+// runs the (Delta+1)-coloring pipeline and prints a machine-readable JSON
+// result (plus the per-phase ledger on stderr with --verbose).
+//
+//   ccg_cli --gen gnm --n 4000 --m 24000 --layout star --cluster-size 4
+//   ccg_cli --gen caveman --cliques 8 --size 32 --bridges 2 --finisher gk
+//   ccg_cli --gen chunglu --n 10000 --avg-deg 20 --gamma 2.5 --seed 7
+//   ccg_cli --gen planted --delta 256 --cliques 4 --ext 24 --anti 2
+//   ccg_cli --gen grid --w 40 --h 25 --distance 2     (distance-k coloring)
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "ccg/ccg.hpp"
+
+namespace {
+
+using namespace ccg;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  bool has(const std::string& k) const { return kv.count(k) > 0; }
+  std::string str(const std::string& k, const std::string& dflt) const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  int num(const std::string& k, int dflt) const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::stoi(it->second);
+  }
+  double real(const std::string& k, double dflt) const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::stod(it->second);
+  }
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ccg_cli --gen {gnm|gnp|chunglu|caveman|planted|grid|cycle}\n"
+      "               [generator args: --n --m --p --avg-deg --gamma\n"
+      "                --cliques --size --bridges --delta --ext --anti\n"
+      "                --sparse --w --h]\n"
+      "               [--layout {singleton|star|path|tree|bridge}]\n"
+      "               [--cluster-size k] [--links-per-edge l]\n"
+      "               [--distance k]  (color G^k as a virtual graph)\n"
+      "               [--edge-coloring]  (color the line graph)\n"
+      "               [--finisher {randomized|linial|gk}]\n"
+      "               [--repsets] [--seed s] [--verbose]\n");
+  return 2;
+}
+
+graph::Graph build_graph(const Args& a, Rng& rng) {
+  const auto gen = a.str("gen", "gnm");
+  if (gen == "gnm") {
+    const int n = a.num("n", 2000);
+    return graph::gnm(n, a.num("m", n * 8), rng);
+  }
+  if (gen == "gnp") {
+    return graph::gnp(a.num("n", 2000), a.real("p", 0.01), rng);
+  }
+  if (gen == "chunglu") {
+    return graph::chung_lu(a.num("n", 2000), a.real("avg-deg", 16.0),
+                           a.real("gamma", 2.5), rng);
+  }
+  if (gen == "caveman") {
+    return graph::caveman(a.num("cliques", 8), a.num("size", 24),
+                          a.num("bridges", 2), rng);
+  }
+  if (gen == "planted") {
+    graph::PlantedSpec spec;
+    spec.delta = a.num("delta", 128);
+    spec.num_cliques = a.num("cliques", 4);
+    spec.anti_deg = a.num("anti", 2);
+    spec.external_deg = a.num("ext", 12);
+    spec.num_sparse = a.num("sparse", 0);
+    spec.sparse_avg_deg = spec.delta * 0.25;
+    return graph::make_planted_acd(spec, rng).g;
+  }
+  if (gen == "grid") return graph::grid(a.num("w", 30), a.num("h", 30));
+  if (gen == "cycle") return graph::cycle(a.num("n", 1000));
+  CCG_CHECK_MSG(false, "unknown generator " << gen);
+}
+
+cluster::ClusterShape parse_shape(const std::string& s) {
+  if (s == "star") return cluster::ClusterShape::kStar;
+  if (s == "path") return cluster::ClusterShape::kPath;
+  if (s == "tree") return cluster::ClusterShape::kRandomTree;
+  if (s == "bridge") return cluster::ClusterShape::kBridgePath;
+  CCG_CHECK_MSG(false, "unknown layout " << s);
+}
+
+void print_json(const color::Result& res, int n, int machines, int dilation,
+                int congestion) {
+  std::printf("{\n");
+  std::printf("  \"n\": %d,\n  \"machines\": %d,\n", n, machines);
+  std::printf("  \"num_colors\": %d,\n", res.num_colors);
+  std::printf("  \"h_rounds\": %lld,\n  \"g_rounds\": %lld,\n",
+              static_cast<long long>(res.h_rounds),
+              static_cast<long long>(res.g_rounds));
+  std::printf("  \"dilation\": %d,\n  \"congestion\": %d,\n", dilation,
+              congestion);
+  std::printf("  \"max_bits_per_link_round\": %d,\n",
+              res.max_bits_per_link_round);
+  std::printf("  \"num_cliques\": %d,\n  \"num_cabals\": %d,\n",
+              res.num_cliques, res.num_cabals);
+  std::printf("  \"sparse_count\": %d,\n", res.sparse_count);
+  std::printf("  \"fallback_count\": %d,\n  \"retry_count\": %d\n",
+              res.fallback_count, res.retry_count);
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--", 2) != 0) return usage();
+    const std::string key(a + 2);
+    if (key == "verbose" || key == "repsets" || key == "edge-coloring") {
+      args.kv[key] = "1";
+    } else if (i + 1 < argc) {
+      args.kv[key] = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (args.has("help") || !args.has("gen")) return usage();
+
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  Rng rng(seed);
+  const auto g = build_graph(args, rng);
+  std::fprintf(stderr, "H: n=%d m=%lld Delta=%d\n", g.n(),
+               static_cast<long long>(g.m()), g.max_degree());
+
+  auto params = color::Params::defaults_for(g.n(), seed + 1);
+  const auto fin = args.str("finisher", "randomized");
+  params.finisher = fin == "linial" ? color::Params::Finisher::kLinial
+                    : fin == "gk"
+                        ? color::Params::Finisher::kGhaffariKuhn
+                        : color::Params::Finisher::kRandomizedList;
+  params.use_representative_sets = args.has("repsets");
+
+  // Virtual-graph modes first: they define their own base network.
+  if (args.has("edge-coloring")) {
+    const auto enc = cluster::make_line_graph(g);
+    params = color::Params::defaults_for(enc.vg.h().n(), seed + 1);
+    const auto res = lowdeg::color_virtual_graph(enc.vg, params);
+    print_json(res.base, enc.vg.h().n(),
+               enc.vg.representation().n_machines(), enc.vg.dilation(),
+               enc.vg.congestion());
+    return 0;
+  }
+  if (args.num("distance", 1) > 1) {
+    const auto vg =
+        cluster::VirtualGraph::distance_k(g, args.num("distance", 2));
+    params = color::Params::defaults_for(vg.h().n(), seed + 1);
+    const auto res = lowdeg::color_virtual_graph(vg, params);
+    print_json(res.base, vg.h().n(), vg.representation().n_machines(),
+               vg.dilation(), vg.congestion());
+    return 0;
+  }
+
+  // Plain cluster-graph mode.
+  const auto layout = args.str("layout", "singleton");
+  cluster::ClusterGraph cg;
+  if (layout == "singleton") {
+    cg = cluster::ClusterGraph::singleton(g);
+  } else {
+    cluster::ExpandSpec spec;
+    spec.shape = parse_shape(layout);
+    spec.size = args.num("cluster-size", 4);
+    spec.links_per_edge = args.num("links-per-edge", 1);
+    cg = cluster::ClusterGraph::expand(g, spec, rng);
+  }
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  const auto res = lowdeg::color_cluster_graph(rt, params);
+  cluster::check_proper_total(g, res.colors, res.num_colors);
+  if (args.has("verbose")) {
+    std::fprintf(stderr, "%s", ledger.report().c_str());
+  }
+  print_json(res, g.n(), cg.n_machines(), cg.dilation(), 1);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Umbrella header: the public API of the cluster-graph coloring library.
+//
+// Typical use:
+//
+//   #include <ccg/ccg.hpp>
+//
+//   ccg::Rng rng(42);
+//   auto planted = ccg::graph::make_planted_acd(spec, rng);       // H
+//   auto cg = ccg::cluster::ClusterGraph::expand(planted.g,       // G
+//                                                expand_spec, rng);
+//   ccg::net::Ledger ledger(cg.default_bandwidth());
+//   ccg::cluster::Runtime rt(cg, ledger);
+//   auto result = ccg::lowdeg::color_cluster_graph(                // Δ+1
+//       rt, ccg::color::Params::defaults_for(cg.num_clusters()));
+//   // result.colors, result.h_rounds, result.phases, ...
+#pragma once
+
+#include "acd/acd.hpp"
+#include "baseline/baselines.hpp"
+#include "cluster/cluster_graph.hpp"
+#include "cluster/runtime.hpp"
+#include "cluster/validate.hpp"
+#include "cluster/virtual_graph.hpp"
+#include "color/params.hpp"
+#include "color/pipeline.hpp"
+#include "color/relays.hpp"
+#include "common/hashing.hpp"
+#include "common/mathutil.hpp"
+#include "common/repsets.hpp"
+#include "common/rng.hpp"
+#include "gk/gk.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/stats.hpp"
+#include "lowdeg/lowdeg.hpp"
+#include "lowdeg/virtual_color.hpp"
+#include "net/ledger.hpp"
+#include "sketch/approx_count.hpp"
+#include "sketch/fingerprint.hpp"

@@ -1,0 +1,79 @@
+// Almost-clique decomposition on cluster graphs (paper, Section 5.4,
+// Definitions 4.1/4.2, Proposition 4.3).
+//
+// ComputeACD partitions V_H into sparse vertices and eps-almost-cliques
+// using only fingerprint-based estimates:
+//   1. estimate degrees d̂(v); low-degree vertices answer No on all edges;
+//   2. for surviving edges, estimate F ≈ |N(u) ∪ N(v)| from the union of
+//      neighborhood fingerprints; an edge is a *buddy edge* when
+//      F <= (1 + 1.5 xi') Delta (Lemma 5.8's xi-buddy predicate);
+//   3. count per-vertex buddy degrees (fingerprints again); vertices with
+//      >= (1 - 2 xi) Delta buddy edges are dense candidates;
+//   4. almost-cliques = connected components of the buddy graph restricted
+//      to dense candidates ([ACK19, Lemma 4.8]); they have diameter <= 2,
+//      so an O(1)-round BFS elects each component's leader (Lemma 3.2).
+//
+// An exact oracle mode computes the same decomposition from true degrees
+// and true joint-neighborhood sizes while charging identical rounds; the
+// pipeline uses it at large scale (DESIGN.md substitution #1, ablation E18
+// quantifies the difference).
+#pragma once
+
+#include <vector>
+
+#include "cluster/runtime.hpp"
+#include "common/rng.hpp"
+
+namespace ccg::acd {
+
+struct AcdParams {
+  double eps = 0.05;   // epsilon of the decomposition
+  double xi = 0.0;     // buddy-predicate slack; 0 -> defaults to eps
+  int t = 96;          // fingerprint width for all estimates
+  bool use_fingerprints = true;  // false -> exact oracle mode (same cost)
+  bool measure_bits = true;
+};
+
+struct AcdResult {
+  // Almost-clique id per vertex; -1 for sparse vertices.
+  std::vector<int> clique_of;
+  int num_cliques = 0;
+  // Degree estimates d̂(v) from step 1 (exact in oracle mode).
+  std::vector<double> degree_est;
+  // Members per clique id.
+  std::vector<std::vector<int>> members;
+};
+
+AcdResult compute_acd(cluster::Runtime& rt, const AcdParams& params,
+                      Rng& rng);
+
+// Definition 4.2 checker: (2i) |K| <= (1+eps')Delta and (2ii) every v in K
+// has |N(v) ∩ K| >= (1-eps')|K|. Verified with slack factor eps' =
+// slack*eps to accommodate estimate noise (tests use slack values matching
+// the constants in Lemma 5.8's guarantee). Returns false with a reason via
+// *why if non-null.
+bool verify_almost_cliques(const graph::Graph& h,
+                           const AcdResult& acd, double eps_prime,
+                           std::string* why = nullptr);
+
+// ---- Dense-vertex annotations used by the coloring pipeline ----
+
+struct DenseInfo {
+  // ẽ_v: external degree estimate per vertex (0 for sparse).
+  std::vector<double> ext_est;
+  // exact |K| per clique id (computable exactly by tree aggregation).
+  std::vector<int> clique_size;
+  // ẽ_K: average external-degree estimate per clique id.
+  std::vector<double> avg_ext_est;
+  // cabal flag per clique id: ẽ_K < ell.
+  std::vector<bool> is_cabal;
+};
+
+// Computes ẽ_v by fingerprinting with predicate "u outside K_v"
+// (Lemma 5.7), aggregates per-clique averages on clique BFS trees, and
+// classifies cabals against the threshold ell (paper: Theta(log^1.1 n)).
+DenseInfo annotate_dense(cluster::Runtime& rt, const AcdResult& acd,
+                         double ell, int t, bool use_fingerprints,
+                         Rng& rng);
+
+}  // namespace ccg::acd

@@ -1,0 +1,33 @@
+// Comparison baselines (experiment E3).
+//
+// * greedy_coloring — sequential greedy; the correctness / color-count
+//   reference. Zero distributed cost (not a distributed algorithm).
+// * uniform_trial_baseline — Johansson/Luby-shaped: every round, uncolored
+//   vertices try a uniform color of [Delta+1]. The trial itself is
+//   cluster-graph-implementable in O(1) H-rounds, but without palette
+//   knowledge the endgame stalls in dense regions — the behaviour the
+//   paper's machinery (slack, synchronized trials, donations) eliminates.
+// * palette_sparsification_baseline — the FGH+24 / ACK19 mechanism the
+//   paper improves upon: each vertex samples an O(log^2 n)-color list up
+//   front and runs list-trial rounds; conflicts only matter between
+//   neighbors sharing sampled colors. Round complexity grows polylog(n),
+//   versus the paper's O(log* n).
+#pragma once
+
+#include "color/pipeline.hpp"
+
+namespace ccg::baseline {
+
+// Sequential greedy (Delta+1)-coloring; returns the color vector.
+std::vector<int> greedy_coloring(const graph::Graph& h);
+
+color::Result uniform_trial_baseline(cluster::Runtime& rt,
+                                     std::uint64_t seed, int max_rounds);
+
+// list_size = list_factor * log2(n)^2, capped at Delta+1.
+color::Result palette_sparsification_baseline(cluster::Runtime& rt,
+                                              std::uint64_t seed,
+                                              double list_factor,
+                                              int max_rounds);
+
+}  // namespace ccg::baseline

@@ -1,0 +1,52 @@
+#include "cluster/validate.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ccg::cluster {
+
+bool is_proper_partial(const graph::Graph& h, const std::vector<int>& color) {
+  CCG_CHECK(static_cast<int>(color.size()) == h.n());
+  for (int v = 0; v < h.n(); ++v) {
+    const int cv = color[static_cast<std::size_t>(v)];
+    if (cv == kUncolored) continue;
+    for (const int u : h.neighbors(v)) {
+      if (u > v && color[static_cast<std::size_t>(u)] == cv) return false;
+    }
+  }
+  return true;
+}
+
+bool is_proper_total(const graph::Graph& h, const std::vector<int>& color,
+                     int num_colors) {
+  CCG_CHECK(static_cast<int>(color.size()) == h.n());
+  for (const int c : color) {
+    if (c < 0 || c >= num_colors) return false;
+  }
+  return is_proper_partial(h, color);
+}
+
+void check_proper_partial(const graph::Graph& h,
+                          const std::vector<int>& color) {
+  CCG_CHECK_MSG(is_proper_partial(h, color), "coloring is not proper");
+}
+
+void check_proper_total(const graph::Graph& h, const std::vector<int>& color,
+                        int num_colors) {
+  for (int v = 0; v < h.n(); ++v) {
+    CCG_CHECK_MSG(color[static_cast<std::size_t>(v)] != kUncolored,
+                  "vertex " << v << " left uncolored");
+    CCG_CHECK_MSG(color[static_cast<std::size_t>(v)] >= 0 &&
+                      color[static_cast<std::size_t>(v)] < num_colors,
+                  "vertex " << v << " color out of range");
+  }
+  check_proper_partial(h, color);
+}
+
+int count_uncolored(const std::vector<int>& color) {
+  return static_cast<int>(
+      std::count(color.begin(), color.end(), kUncolored));
+}
+
+}  // namespace ccg::cluster

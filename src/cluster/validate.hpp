@@ -1,0 +1,28 @@
+// Exact validators for colorings and decompositions.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ccg::cluster {
+
+inline constexpr int kUncolored = -1;  // the paper's ⊥
+
+// A (partial) coloring is proper if no H-edge is monochromatic among
+// colored endpoints.
+bool is_proper_partial(const graph::Graph& h, const std::vector<int>& color);
+
+// Total + proper + every color in [0, num_colors).
+bool is_proper_total(const graph::Graph& h, const std::vector<int>& color,
+                     int num_colors);
+
+// Throwing versions for tests and pipeline post-conditions.
+void check_proper_partial(const graph::Graph& h,
+                          const std::vector<int>& color);
+void check_proper_total(const graph::Graph& h, const std::vector<int>& color,
+                        int num_colors);
+
+int count_uncolored(const std::vector<int>& color);
+
+}  // namespace ccg::cluster

@@ -1,0 +1,56 @@
+// The clique palette as a distributed data structure (paper, Lemma 4.8).
+//
+// For an almost-clique K under coloring phi, L_phi(K) = [Delta+1] \ phi(K)
+// is the set of colors unused in K. Vertices of K cannot hold L(K) locally
+// (it can be Theta(Delta log Delta) bits) but can *query* it: count the
+// free colors in a range, or fetch the i-th free color of a range, each in
+// O(1) H-rounds via tree aggregation. This class is the sequential
+// realization; call sites charge the O(1)-round cost per Lemma 4.8.
+//
+// It also tracks color multiplicities, giving M_K = |K ∩ dom phi| - |phi(K)|
+// (the colorful-matching size / reuse-slack measure used throughout
+// Sections 4.2/4.3).
+#pragma once
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ccg::color {
+
+class CliquePalette {
+ public:
+  explicit CliquePalette(int num_colors);
+
+  void add(int c);     // a member of K adopted color c
+  void remove(int c);  // a member of K dropped color c
+
+  int num_colors() const { return num_colors_; }
+  // Count of colors of [lo, hi] used by at least one member.
+  int used_distinct(int lo, int hi) const;
+  // |L(K) ∩ [lo, hi]|: free colors in the range.
+  int free_count(int lo, int hi) const;
+  // i-th (0-based) free color in [lo, hi]; -1 if fewer than i+1 exist.
+  int select_free(int lo, int hi, int i) const;
+  // i-th (0-based) *used* color in [lo, hi]; -1 if none.
+  int select_used(int lo, int hi, int i) const;
+
+  int colored_total() const { return colored_total_; }
+  int distinct_total() const { return used_distinct(0, num_colors_ - 1); }
+  // Reuse slack M_K: members colored minus distinct colors used.
+  int repeats() const { return colored_total_ - distinct_total(); }
+
+  // Multiplicity of one color.
+  int count(int c) const { return mult_[static_cast<std::size_t>(c)]; }
+
+ private:
+  void bit_update(int i, int delta);
+  int bit_prefix(int i) const;  // # distinct used colors in [0, i]
+
+  int num_colors_;
+  int colored_total_ = 0;
+  std::vector<int> mult_;
+  std::vector<int> bit_;  // Fenwick tree over the used-color indicator
+};
+
+}  // namespace ccg::color

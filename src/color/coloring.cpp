@@ -1,0 +1,140 @@
+#include "color/coloring.hpp"
+
+#include <algorithm>
+
+#include "common/mathutil.hpp"
+
+namespace ccg::color {
+
+bool Coloring::neighbor_uses(const graph::Graph& h, int v, int c) const {
+  for (const int u : h.neighbors(v)) {
+    if (get(u) == c) return true;
+  }
+  return false;
+}
+
+int Coloring::uncolored_degree(const graph::Graph& h, int v) const {
+  int d = 0;
+  for (const int u : h.neighbors(v)) {
+    if (!colored(u)) ++d;
+  }
+  return d;
+}
+
+void State::assign(int v, int c) {
+  phi.set(v, c);
+  const int k = dc.clique_of(v);
+  if (k >= 0 && !palettes.empty()) {
+    palettes[static_cast<std::size_t>(k)].add(c);
+  }
+}
+
+void State::unassign(int v) {
+  const int c = phi.get(v);
+  if (c == kUncolored) return;
+  const int k = dc.clique_of(v);
+  if (k >= 0 && !palettes.empty()) {
+    palettes[static_cast<std::size_t>(k)].remove(c);
+  }
+  phi.unset(v);
+}
+
+void State::init_palettes() {
+  palettes.clear();
+  palettes.reserve(static_cast<std::size_t>(dc.acd.num_cliques));
+  for (int k = 0; k < dc.acd.num_cliques; ++k) {
+    palettes.emplace_back(num_colors());
+  }
+  // Fold in any colors already assigned (normally none at this point).
+  for (int v = 0; v < h().n(); ++v) {
+    const int k = dc.clique_of(v);
+    if (k >= 0 && phi.colored(v)) {
+      palettes[static_cast<std::size_t>(k)].add(phi.get(v));
+    }
+  }
+}
+
+std::vector<int> State::external_neighbors(int v) const {
+  const int kv = dc.clique_of(v);
+  std::vector<int> out;
+  for (const int u : h().neighbors(v)) {
+    if (dc.clique_of(u) != kv) out.push_back(u);
+  }
+  return out;
+}
+
+double State::x_proxy(int v) const {
+  const int k = dc.clique_of(v);
+  CCG_CHECK(k >= 0);
+  return dc.info.clique_size[static_cast<std::size_t>(k)] -
+         (delta() + 1) + dc.ext_est(v);
+}
+
+std::vector<int> State::uncolored_members(int k) const {
+  std::vector<int> out;
+  for (const int v : dc.acd.members[static_cast<std::size_t>(k)]) {
+    if (!phi.colored(v)) out.push_back(v);
+  }
+  return out;
+}
+
+int fallback_finish(State& st, const std::vector<int>& vertices) {
+  // Local-minimum priority: in each round, every uncolored vertex that has
+  // no uncolored listed neighbor with smaller id picks its smallest free
+  // color. Each round costs O(1) H-rounds of O(log n)-bit messages (the
+  // free color is found by neighbor-assisted binary search, Section 1.1).
+  std::vector<int> todo;
+  for (const int v : vertices) {
+    if (!st.phi.colored(v)) todo.push_back(v);
+  }
+  int colored_here = 0;
+  const auto& h = st.h();
+  std::vector<char> in_todo(static_cast<std::size_t>(h.n()), 0);
+  for (const int v : todo) in_todo[static_cast<std::size_t>(v)] = 1;
+  while (!todo.empty()) {
+    std::vector<int> next;
+    std::vector<std::pair<int, int>> decided;
+    for (const int v : todo) {
+      // Priority only against *participating* uncolored vertices; other
+      // uncolored vertices (e.g. put-aside sets awaiting a later phase)
+      // must not block progress.
+      bool local_min = true;
+      for (const int u : h.neighbors(v)) {
+        if (u < v && in_todo[static_cast<std::size_t>(u)] &&
+            !st.phi.colored(u)) {
+          local_min = false;
+          break;
+        }
+      }
+      if (!local_min) {
+        next.push_back(v);
+        continue;
+      }
+      int c = -1;
+      for (int cand = 0; cand < st.num_colors(); ++cand) {
+        if (!st.phi.neighbor_uses(h, v, cand)) {
+          c = cand;
+          break;
+        }
+      }
+      CCG_CHECK_MSG(c >= 0, "no free color in fallback; graph violates "
+                            "Delta+1 colorability assumption");
+      decided.emplace_back(v, c);
+    }
+    for (const auto& [v, c] : decided) {
+      st.assign(v, c);
+      ++st.fallback_count;
+      ++colored_here;
+    }
+    // Binary search for a free color: O(log Delta) H-rounds of O(log n)
+    // bits (Section 1.1's neighbor-assisted search).
+    st.rt->charge(std::max(1, ceil_log2(static_cast<std::uint64_t>(
+                                 std::max(2, st.delta())))),
+                  2 * ceil_log2(static_cast<std::uint64_t>(
+                          std::max(2, st.h().n()))));
+    todo = std::move(next);
+  }
+  return colored_here;
+}
+
+}  // namespace ccg::color

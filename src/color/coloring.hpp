@@ -1,0 +1,121 @@
+// Partial-coloring store plus the shared state threaded through pipeline
+// phases (Sections 4, 6, 7, 8 of the paper).
+#pragma once
+
+#include <vector>
+
+#include "acd/acd.hpp"
+#include "cluster/runtime.hpp"
+#include "cluster/validate.hpp"
+#include "color/clique_palette.hpp"
+#include "color/params.hpp"
+#include "common/rng.hpp"
+
+namespace ccg::color {
+
+using cluster::kUncolored;
+
+// Colors are 0-based: the (Delta+1)-coloring uses {0, ..., Delta}; the
+// paper's reserved prefix [r_K] maps to {0, ..., r_K - 1}.
+class Coloring {
+ public:
+  explicit Coloring(int n) : color_(static_cast<std::size_t>(n), kUncolored) {}
+
+  int n() const { return static_cast<int>(color_.size()); }
+  int get(int v) const { return color_[static_cast<std::size_t>(v)]; }
+  bool colored(int v) const { return get(v) != kUncolored; }
+
+  void set(int v, int c) {
+    CCG_CHECK(c >= 0 && !colored(v));
+    color_[static_cast<std::size_t>(v)] = c;
+  }
+  void unset(int v) { color_[static_cast<std::size_t>(v)] = kUncolored; }
+
+  const std::vector<int>& vec() const { return color_; }
+
+  // True iff some neighbor of v in h is colored c. This is information a
+  // cluster obtains in one H-round (broadcast c, aggregate OR).
+  bool neighbor_uses(const graph::Graph& h, int v, int c) const;
+
+  // Number of uncolored neighbors of v.
+  int uncolored_degree(const graph::Graph& h, int v) const;
+
+ private:
+  std::vector<int> color_;
+};
+
+// Dense-structure context computed by ComputeACD + annotate_dense, shared
+// by all coloring phases.
+struct DenseContext {
+  acd::AcdResult acd;
+  acd::DenseInfo info;
+  double ell = 0;              // cabal threshold
+  std::vector<int> reserved;   // r_K per clique id (colors [0, r_K) reserved)
+  int reserved_cap = 0;        // global exclusion prefix (paper: 300 eps Δ)
+
+  int clique_of(int v) const {
+    return acd.clique_of[static_cast<std::size_t>(v)];
+  }
+  bool is_dense(int v) const { return clique_of(v) >= 0; }
+  bool in_cabal(int v) const {
+    const int k = clique_of(v);
+    return k >= 0 && info.is_cabal[static_cast<std::size_t>(k)];
+  }
+  double ext_est(int v) const {
+    return info.ext_est[static_cast<std::size_t>(v)];
+  }
+  int r_of(int v) const {
+    const int k = clique_of(v);
+    return k >= 0 ? reserved[static_cast<std::size_t>(k)] : 0;
+  }
+};
+
+// Everything a phase needs. One State instance per pipeline run.
+struct State {
+  cluster::Runtime* rt = nullptr;
+  Params params;
+  Coloring phi;
+  DenseContext dc;
+  std::vector<CliquePalette> palettes;  // per clique id
+  Rng rng;
+  int fallback_count = 0;  // safety-net interventions (should be ~0)
+  int retry_count = 0;     // phase-level retries after failed postconditions
+
+  State(cluster::Runtime& runtime, const Params& p)
+      : rt(&runtime), params(p), phi(runtime.h().n()), rng(p.seed) {
+    // A fresh state has no dense structure: everything is sparse until
+    // build_dense_context fills dc.
+    dc.acd.clique_of.assign(static_cast<std::size_t>(runtime.h().n()), -1);
+  }
+
+  const graph::Graph& h() const { return rt->h(); }
+  int delta() const { return rt->delta(); }
+  int num_colors() const { return rt->delta() + 1; }
+
+  // Assign a color, keeping the clique palette of v's almost-clique (if
+  // any) in sync.
+  void assign(int v, int c);
+  void unassign(int v);
+
+  // Initialize palettes after dc is filled.
+  void init_palettes();
+
+  // External neighbors of dense v (N(v) \ K_v) — identity knowable at link
+  // machines once clusters share their almost-clique id (Section 5.3).
+  std::vector<int> external_neighbors(int v) const;
+
+  // x_v = |K| - (Delta+1) + ẽ_v, the anti-degree proxy (Eq. 3).
+  double x_proxy(int v) const;
+
+  // Members of clique k that are uncolored.
+  std::vector<int> uncolored_members(int k) const;
+};
+
+// Safety net: color every remaining uncolored vertex by local-minimum
+// priority free-color search. Always succeeds for (deg+1)-list-ish
+// situations (|L(v)| >= 1 whenever uncolored degree allows), charging
+// O(log Delta) bits per round. Increments state.fallback_count per vertex
+// colored this way. Returns the number of vertices it colored.
+int fallback_finish(State& st, const std::vector<int>& vertices);
+
+}  // namespace ccg::color

@@ -1,0 +1,327 @@
+#include "color/matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hashing.hpp"
+#include "common/mathutil.hpp"
+#include "sketch/fingerprint.hpp"
+
+namespace ccg::color {
+
+std::vector<int> colorful_matching(State& st,
+                                   const std::vector<int>& clique_ids,
+                                   const std::function<int(int)>& target) {
+  const auto& h = st.h();
+  const int prefix = st.dc.reserved_cap;
+  const int log_bits =
+      2 * ceil_log2(static_cast<std::uint64_t>(std::max(2, h.n())));
+
+  std::vector<char> done(clique_ids.size(), 0);
+  for (int round = 0; round < st.params.matching_rounds; ++round) {
+    bool all_done = true;
+    // Global candidate map for cross-clique conflict detection.
+    std::unordered_map<int, int> candidate;
+    for (std::size_t ki = 0; ki < clique_ids.size(); ++ki) {
+      const int k = clique_ids[ki];
+      if (st.palettes[static_cast<std::size_t>(k)].repeats() >= target(k)) {
+        done[ki] = 1;
+      }
+      if (done[ki]) continue;
+      all_done = false;
+      for (const int v : st.dc.acd.members[static_cast<std::size_t>(k)]) {
+        if (st.phi.colored(v)) continue;
+        if (!st.rng.next_bool(0.5)) continue;
+        const int c = prefix + static_cast<int>(st.rng.next_below(
+                                   static_cast<std::uint64_t>(
+                                       st.num_colors() - prefix)));
+        candidate.emplace(v, c);
+      }
+    }
+    if (all_done) break;
+
+    // Drop candidates clashing with an external candidate or with any
+    // colored neighbor (symmetric drop; conservative).
+    std::unordered_set<int> dropped;
+    for (const auto& [v, c] : candidate) {
+      if (st.phi.neighbor_uses(h, v, c)) {
+        dropped.insert(v);
+        continue;
+      }
+      for (const int u : h.neighbors(v)) {
+        if (st.dc.clique_of(u) == st.dc.clique_of(v)) continue;
+        const auto it = candidate.find(u);
+        if (it != candidate.end() && it->second == c) {
+          dropped.insert(v);
+          break;
+        }
+      }
+    }
+
+    // Per clique and per color: keep a maximal pairwise-non-adjacent even-
+    // size subset of the same-color candidates; they all adopt the color
+    // (used >= twice => every adopted vertex provides reuse slack).
+    std::unordered_map<std::int64_t, std::vector<int>> bucket;
+    for (const auto& [v, c] : candidate) {
+      if (dropped.count(v)) continue;
+      const int k = st.dc.clique_of(v);
+      bucket[static_cast<std::int64_t>(k) * st.num_colors() + c].push_back(v);
+    }
+    for (auto& [key, vs] : bucket) {
+      if (vs.size() < 2) continue;
+      std::sort(vs.begin(), vs.end());
+      std::vector<int> chosen;
+      for (const int v : vs) {
+        bool ok = true;
+        for (const int w : chosen) {
+          if (h.has_edge(v, w)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) chosen.push_back(v);
+      }
+      if (chosen.size() % 2 == 1) chosen.pop_back();
+      if (chosen.size() < 2) continue;
+      const int c = static_cast<int>(key % st.num_colors());
+      for (const int v : chosen) st.assign(v, c);
+    }
+    st.rt->charge(2, log_bits);
+  }
+
+  std::vector<int> achieved;
+  achieved.reserve(clique_ids.size());
+  for (const int k : clique_ids) {
+    achieved.push_back(st.palettes[static_cast<std::size_t>(k)].repeats());
+  }
+  return achieved;
+}
+
+void fingerprint_matching_charge(State& st) {
+  const int n = st.h().n();
+  const int k_trials = std::max(
+      8, static_cast<int>(std::lround(st.params.cabal_matching_kfactor *
+                                      std::log2(std::max(4, n)))));
+  // Fingerprint aggregation + trial bitmaps + min-wise hash rounds +
+  // output dissemination (Lemma 6.3's O(1/eps^2) rounds).
+  st.rt->charge(3, 2 * k_trials + 64);
+  st.rt->charge(4, k_trials);
+  st.rt->charge(3, 4 * ceil_log2(static_cast<std::uint64_t>(
+                         std::max(2, n))));
+  st.rt->charge(2, k_trials);
+}
+
+std::vector<std::pair<int, int>> fingerprint_matching(
+    State& st, int clique_id, const std::vector<int>* subset, bool charge) {
+  const auto& h = st.h();
+  const auto& members =
+      subset ? *subset
+             : st.dc.acd.members[static_cast<std::size_t>(clique_id)];
+  const int sz = static_cast<int>(members.size());
+  if (sz < 2) return {};
+  const int n = h.n();
+  const int k_trials = std::max(
+      8, static_cast<int>(std::lround(st.params.cabal_matching_kfactor *
+                                      std::log2(std::max(4, n)))));
+
+  std::unordered_map<int, int> local_id;  // vertex -> position in members
+  for (int i = 0; i < sz; ++i) local_id[members[static_cast<std::size_t>(i)]] = i;
+
+  // Step 2: every member samples k_trials geometric variables; the clique
+  // maximum Y_K and per-vertex neighborhood maxima Y_v are aggregated on
+  // BFS trees. Costs: one aggregation of a k_trials-wide fingerprint,
+  // charged with its measured encoded size.
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(sz));
+  for (auto& xs : x) {
+    xs.resize(static_cast<std::size_t>(k_trials));
+    for (auto& val : xs) val = st.rng.next_geometric_half();
+  }
+  sketch::Fingerprint yk = sketch::empty_fingerprint(k_trials);
+  for (int i = 0; i < sz; ++i) {
+    for (int t = 0; t < k_trials; ++t) {
+      yk.maxima[static_cast<std::size_t>(t)] =
+          std::max(yk.maxima[static_cast<std::size_t>(t)],
+                   x[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)]);
+    }
+  }
+  if (charge) st.rt->charge(3, std::max(1, sketch::encoded_bits(yk)));
+
+  // Per-vertex in-clique neighborhood maxima.
+  std::vector<std::vector<int>> yv(
+      static_cast<std::size_t>(sz),
+      std::vector<int>(static_cast<std::size_t>(k_trials), -1));
+  for (int i = 0; i < sz; ++i) {
+    const int v = members[static_cast<std::size_t>(i)];
+    for (const int u : h.neighbors(v)) {
+      const auto it = local_id.find(u);
+      if (it == local_id.end()) continue;
+      const auto& xu = x[static_cast<std::size_t>(it->second)];
+      auto& yvi = yv[static_cast<std::size_t>(i)];
+      for (int t = 0; t < k_trials; ++t) {
+        yvi[static_cast<std::size_t>(t)] =
+            std::max(yvi[static_cast<std::size_t>(t)],
+                     xu[static_cast<std::size_t>(t)]);
+      }
+    }
+  }
+
+  // Steps 3-4: local ids via prefix sums (O(1) rounds) and trial filtering
+  // via O(k_trials)-bit aggregated bitmaps.
+  if (charge) st.rt->charge(4, k_trials);
+  std::vector<int> argmax(static_cast<std::size_t>(k_trials), -1);
+  std::vector<bool> unique_max(static_cast<std::size_t>(k_trials), false);
+  for (int t = 0; t < k_trials; ++t) {
+    int count = 0, arg = -1;
+    for (int i = 0; i < sz; ++i) {
+      if (x[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)] ==
+          yk.maxima[static_cast<std::size_t>(t)]) {
+        ++count;
+        arg = i;
+      }
+    }
+    unique_max[static_cast<std::size_t>(t)] = (count == 1);
+    argmax[static_cast<std::size_t>(t)] = (count == 1) ? arg : -1;
+  }
+
+  std::unordered_set<int> used_as_max;
+  std::vector<int> trial_u(static_cast<std::size_t>(k_trials), -1);
+  std::vector<std::vector<int>> trial_anti(
+      static_cast<std::size_t>(k_trials));
+  for (int t = 0; t < k_trials; ++t) {
+    if (!unique_max[static_cast<std::size_t>(t)]) continue;
+    const int ui = argmax[static_cast<std::size_t>(t)];
+    // Condition (c): u_i must not have been a unique maximum before.
+    if (used_as_max.count(ui)) continue;
+    // A_i: members (other than u_i) whose neighborhood max differs from
+    // the clique max — each detects an anti-edge to u_i.
+    std::vector<int> anti;
+    for (int i = 0; i < sz; ++i) {
+      if (i == ui) continue;
+      if (yv[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)] !=
+          yk.maxima[static_cast<std::size_t>(t)]) {
+        anti.push_back(i);
+      }
+    }
+    if (anti.empty()) continue;  // condition (b)
+    used_as_max.insert(ui);
+    trial_u[static_cast<std::size_t>(t)] = ui;
+    trial_anti[static_cast<std::size_t>(t)] = std::move(anti);
+  }
+
+  // Steps 7-9: per-trial min-wise hash selects the anti-neighbor w_i.
+  // Hash description: O(log|K| * log 1/eps) bits broadcast per group.
+  if (charge) {
+    st.rt->charge(3, 4 * ceil_log2(static_cast<std::uint64_t>(
+                           std::max(2, sz))));
+  }
+  std::vector<int> trial_w(static_cast<std::size_t>(k_trials), -1);
+  for (int t = 0; t < k_trials; ++t) {
+    if (trial_u[static_cast<std::size_t>(t)] < 0) continue;
+    MinWiseHash hash(static_cast<std::uint64_t>(std::max(2, sz)), 0.5,
+                     st.rng);
+    const auto& anti = trial_anti[static_cast<std::size_t>(t)];
+    int best = anti.front();
+    std::uint64_t best_h = hash(static_cast<std::uint64_t>(best));
+    for (const int i : anti) {
+      const auto hi = hash(static_cast<std::uint64_t>(i));
+      if (hi < best_h || (hi == best_h && i < best)) {
+        best = i;
+        best_h = hi;
+      }
+    }
+    trial_w[static_cast<std::size_t>(t)] = best;
+  }
+
+  // Step 10: discard trials whose unique max was sampled as an
+  // anti-neighbor elsewhere.
+  std::unordered_set<int> sampled_w(trial_w.begin(), trial_w.end());
+  // Step 11: each w keeps a single trial.
+  std::unordered_set<int> w_seen;
+  std::vector<std::pair<int, int>> matching;
+  if (charge) st.rt->charge(2, k_trials);
+  for (int t = 0; t < k_trials; ++t) {
+    const int ui = trial_u[static_cast<std::size_t>(t)];
+    const int wi = trial_w[static_cast<std::size_t>(t)];
+    if (ui < 0 || wi < 0) continue;
+    if (sampled_w.count(ui)) continue;  // step 10
+    if (w_seen.count(wi)) continue;     // step 11
+    w_seen.insert(wi);
+    const int u = members[static_cast<std::size_t>(ui)];
+    const int w = members[static_cast<std::size_t>(wi)];
+    CCG_CHECK_MSG(!h.has_edge(u, w),
+                  "fingerprint matching produced a real edge");
+    matching.emplace_back(u, w);
+  }
+  // The matching must be vertex-disjoint: u's are distinct by condition
+  // (c), w's by step 11, and u's never appear as w's by step 10.
+  return matching;
+}
+
+int color_anti_matching(State& st,
+                        const std::vector<std::pair<int, int>>& pairs) {
+  const auto& h = st.h();
+  const int prefix = st.dc.reserved_cap;
+  const int log_bits =
+      2 * ceil_log2(static_cast<std::uint64_t>(std::max(2, h.n())));
+
+  std::vector<int> todo(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    todo[i] = static_cast<int>(i);
+  }
+  int colored = 0;
+  // Pair-level synchronized trials (Algorithm 6 step 3, with the random
+  // groups of Lemma 4.4 relaying between the pair's endpoints).
+  for (int round = 0; round < st.params.mct_max_rounds && !todo.empty();
+       ++round) {
+    std::unordered_map<int, int> pair_cand;  // pair index -> color
+    for (const int pi : todo) {
+      const int c = prefix + static_cast<int>(st.rng.next_below(
+                                 static_cast<std::uint64_t>(
+                                     st.num_colors() - prefix)));
+      pair_cand.emplace(pi, c);
+    }
+    // Vertex -> candidate color of its pair, for cross-pair conflicts.
+    std::unordered_map<int, int> vertex_cand;
+    for (const auto& [pi, c] : pair_cand) {
+      vertex_cand[pairs[static_cast<std::size_t>(pi)].first] = c;
+      vertex_cand[pairs[static_cast<std::size_t>(pi)].second] = c;
+    }
+    std::vector<int> next;
+    for (const int pi : todo) {
+      const auto& [a, b] = pairs[static_cast<std::size_t>(pi)];
+      const int c = pair_cand[pi];
+      bool ok = !st.phi.neighbor_uses(h, a, c) &&
+                !st.phi.neighbor_uses(h, b, c);
+      if (ok) {
+        // Conflicts with other pairs trying the same color: yield to the
+        // smaller minimum-endpoint id.
+        const int my_id = std::min(a, b);
+        for (const int endpoint : {a, b}) {
+          for (const int u : h.neighbors(endpoint)) {
+            const auto it = vertex_cand.find(u);
+            if (it != vertex_cand.end() && it->second == c && u < my_id) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) break;
+        }
+      }
+      if (ok) {
+        st.assign(a, c);
+        st.assign(b, c);
+        ++colored;
+      } else {
+        next.push_back(pi);
+      }
+    }
+    st.rt->charge(3, log_bits);
+    todo = std::move(next);
+  }
+  CCG_CHECK_MSG(todo.empty(), "anti-matching pairs left uncolored");
+  return colored;
+}
+
+}  // namespace ccg::color

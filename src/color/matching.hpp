@@ -1,0 +1,52 @@
+// Colorful matchings (paper, Lemma 4.9 and Section 6).
+//
+// A colorful matching colors pairs of non-adjacent vertices (anti-edges)
+// inside an almost-clique with a shared color, creating the reuse slack
+// that lets the clique palette outlast |K| > Delta + 1.
+//
+// Two algorithms, as in the paper:
+//  * colorful_matching — the sampling scheme of Lemma 4.9 (FGH+24): works
+//    w.h.p. when the average anti-degree is Omega(log n).
+//  * fingerprint_matching — Algorithm 7, the paper's novel routine for the
+//    densest cabals (a_K = O(log n)): repeated fingerprint trials locate
+//    unique-maximum vertices; an anti-neighbor is sampled per trial via a
+//    min-wise hash; surviving (u_i, w_i) pairs form an anti-edge matching
+//    of size Omega(tau * â_K / eps) (Lemma 6.2).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "color/coloring.hpp"
+
+namespace ccg::color {
+
+// Lemma 4.9 matching on the given cliques; a clique stops once its palette
+// repeat count reaches target(k). Costs O(matching_rounds) H-rounds.
+// Returns per-clique repeats achieved (aligned with clique_ids).
+std::vector<int> colorful_matching(State& st,
+                                   const std::vector<int>& clique_ids,
+                                   const std::function<int(int)>& target);
+
+// Algorithm 7 on one cabal: returns a matching of anti-edges (vertex
+// pairs, each pair non-adjacent, pairwise disjoint). Does not color.
+// `subset` restricts participation (e.g. to uncolored members when topping
+// up a too-small sampling matching); nullptr = the whole clique.
+// `charge` = false skips ledger charges: executions in vertex-disjoint
+// cliques are parallel, so a batch caller charges one execution shape
+// (fingerprint_matching_charge) for the whole batch.
+std::vector<std::pair<int, int>> fingerprint_matching(
+    State& st, int clique_id, const std::vector<int>* subset = nullptr,
+    bool charge = true);
+
+// One parallel Algorithm 7 execution's ledger shape.
+void fingerprint_matching_charge(State& st);
+
+// Algorithm 6 steps 2-3: colors each anti-edge pair with a common
+// non-reserved color via synchronized pair-level trials. Returns the
+// number of pairs colored.
+int color_anti_matching(State& st,
+                        const std::vector<std::pair<int, int>>& pairs);
+
+}  // namespace ccg::color

@@ -1,0 +1,160 @@
+#include "color/multicolor_trial.hpp"
+
+#include "color/primitives.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <memory>
+
+#include "common/mathutil.hpp"
+#include "common/repsets.hpp"
+
+namespace ccg::color {
+
+std::vector<int> multicolor_trial(State& st, std::vector<int> S,
+                                  const SetSampler& sampler,
+                                  const MctOptions& opt) {
+  const auto& h = st.h();
+  const int n = h.n();
+  const int x_cap =
+      opt.x_cap > 0
+          ? opt.x_cap
+          : 2 * std::max(1, ceil_log2(static_cast<std::uint64_t>(
+                                std::max(2, n))));
+  S = uncolored_of(st, S);
+  int x = std::max(1, opt.x_init);
+
+  std::vector<char> active(static_cast<std::size_t>(n), 0);
+  for (int round = 0; round < opt.max_rounds && !S.empty(); ++round) {
+    for (const int v : S) active[static_cast<std::size_t>(v)] = 1;
+
+    // Sampling phase: each active vertex derives its set from a fresh seed
+    // (neighbors reconstruct it from the broadcast seed).
+    std::unordered_map<int, std::vector<int>> tried;
+    tried.reserve(S.size() * 2);
+    int x_max_round = 1;
+    for (const int v : S) {
+      int xv = x;
+      if (opt.slack) {
+        const int deg = active_degree(st, v, active);
+        const int cap_by_slack =
+            deg > 0 ? std::max(1, opt.slack(v) / deg) : x_cap;
+        xv = std::min(xv, cap_by_slack);
+      }
+      xv = std::min(xv, x_cap);
+      x_max_round = std::max(x_max_round, xv);
+      auto set = sampler(v, xv, st.rng);
+      if (!set.empty()) tried.emplace(v, std::move(set));
+    }
+
+    // Adoption phase (Algorithm 16 step 3): adopt some c in X(v) ∩ L(v)
+    // with c ∉ X(N(v)).
+    std::vector<std::pair<int, int>> adopted;
+    for (const auto& [v, set] : tried) {
+      // Colors tried by neighbors this round.
+      std::unordered_set<int> blocked;
+      for (const int u : h.neighbors(v)) {
+        const auto it = tried.find(u);
+        if (it != tried.end()) {
+          blocked.insert(it->second.begin(), it->second.end());
+        }
+      }
+      for (const int c : set) {
+        if (blocked.count(c)) continue;
+        if (st.phi.neighbor_uses(h, v, c)) continue;
+        adopted.emplace_back(v, c);
+        break;
+      }
+    }
+    for (const auto& [v, c] : adopted) st.assign(v, c);
+
+    // Seed broadcast (O(log n) bits) + per-tried-color response bitmap.
+    const int bits =
+        2 * ceil_log2(static_cast<std::uint64_t>(std::max(2, n))) +
+        x_max_round;
+    st.rt->charge(2, bits);
+
+    for (const int v : S) active[static_cast<std::size_t>(v)] = 0;
+    S = uncolored_of(st, S);
+    x = std::min(x_cap, 2 * x);
+  }
+  return S;
+}
+
+SetSampler uniform_set_sampler(int num_colors, int prefix) {
+  CCG_CHECK(prefix >= 0 && prefix < num_colors);
+  return [num_colors, prefix](int, int x, Rng& rng) {
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(x));
+    for (int i = 0; i < x; ++i) {
+      out.push_back(prefix +
+                    static_cast<int>(rng.next_below(
+                        static_cast<std::uint64_t>(num_colors - prefix))));
+    }
+    return out;
+  };
+}
+
+SetSampler reserved_set_sampler(std::function<int(int)> r_of) {
+  return [r_of](int v, int x, Rng& rng) {
+    const int r = r_of(v);
+    std::vector<int> out;
+    if (r <= 0) return out;
+    out.reserve(static_cast<std::size_t>(x));
+    for (int i = 0; i < x; ++i) {
+      out.push_back(
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(r))));
+    }
+    return out;
+  };
+}
+
+SetSampler representative_set_sampler(int num_colors, int prefix,
+                                      std::uint64_t family_seed) {
+  CCG_CHECK(prefix >= 0 && prefix < num_colors);
+  const int universe = num_colors - prefix;
+  // Lemma C.6 sizing at the library's working confidence; the member is
+  // never materialized by the "receiving" side beyond the x picks, so the
+  // only bandwidth is the index (checked by tests against O(log n)).
+  const int s = std::max(
+      64, RepresentativeFamily::recommended_set_size(0.5, 0.1, 1e-6));
+  const auto family = std::make_shared<RepresentativeFamily>(
+      universe, s, RepresentativeFamily::recommended_family_size(
+                       universe, 1e-6),
+      family_seed);
+  return [family, prefix](int, int x, Rng& rng) {
+    const auto member = family->set(family->sample_index(rng));
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(x));
+    for (int i = 0; i < x; ++i) {
+      out.push_back(prefix +
+                    member[static_cast<std::size_t>(rng.next_below(
+                        static_cast<std::uint64_t>(member.size())))]);
+    }
+    return out;
+  };
+}
+
+SetSampler clique_palette_set_sampler(State& st,
+                                      std::function<int(int)> prefix_of) {
+  return [&st, prefix_of](int v, int x, Rng& rng) {
+    std::vector<int> out;
+    const int k = st.dc.clique_of(v);
+    if (k < 0) return out;
+    const auto& pal = st.palettes[static_cast<std::size_t>(k)];
+    const int lo = prefix_of(v);
+    const int free = pal.free_count(lo, pal.num_colors() - 1);
+    if (free <= 0) return out;
+    out.reserve(static_cast<std::size_t>(x));
+    for (int i = 0; i < x; ++i) {
+      const int idx = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(free)));
+      out.push_back(pal.select_free(lo, pal.num_colors() - 1, idx));
+    }
+    return out;
+  };
+}
+
+}  // namespace ccg::color

@@ -1,0 +1,59 @@
+// MultiColorTrial (paper, Lemma D.1 / Algorithm 16).
+//
+// Vertices with slack linear in their uncolored degree get fully colored in
+// O(gamma^-1 log* n) rounds by trying exponentially growing pseudo-random
+// color sets: a vertex adopts a tried color iff it is free among colored
+// neighbors AND absent from every active neighbor's tried set. Color sets
+// are derived from O(log n)-bit seeds (DESIGN.md substitution #3 for the
+// paper's representative-set families), so one round moves O(log n) bits
+// plus an x-bit response bitmap.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "color/coloring.hpp"
+
+namespace ccg::color {
+
+// Returns up to x candidate colors for v (duplicates allowed — sampling is
+// with replacement as in TryPseudorandomColors).
+using SetSampler = std::function<std::vector<int>(int v, int x, Rng& rng)>;
+
+struct MctOptions {
+  int max_rounds = 64;
+  int x_init = 1;
+  int x_cap = 0;  // 0 -> 2 * ceil(log2 n)
+  // Guaranteed slack lower bound per vertex: caps x so that
+  // x * active_degree <= slack (Lemma D.2's hypothesis).
+  std::function<int(int v)> slack;
+};
+
+// Runs MCT over S until everything is colored or the budget runs out.
+// Returns the leftover uncolored vertices (empty on success).
+std::vector<int> multicolor_trial(State& st, std::vector<int> S,
+                                  const SetSampler& sampler,
+                                  const MctOptions& opt);
+
+// ---- stock set samplers ----
+
+// x colors uniform in {prefix, ..., num_colors-1}.
+SetSampler uniform_set_sampler(int num_colors, int prefix);
+
+// x colors uniform in [0, r_of(v)) — the reserved-color space used in
+// cabals (Algorithm 5 step 5) and in Complete's phase II.
+SetSampler reserved_set_sampler(std::function<int(int)> r_of);
+
+// x colors uniform in L(K_v) \ [prefix_of(v)) via palette queries.
+SetSampler clique_palette_set_sampler(State& st,
+                                      std::function<int(int)> prefix_of);
+
+// Algorithm 16 with the genuine representative-set families of
+// Definition C.5: Y(v) is a uniform member of a globally known family over
+// {prefix, ..., num_colors-1}; X(v) is x uniform picks inside Y(v). The
+// broadcast is the member index — O(log n) bits, same as the PRG-set
+// substitute this replaces (enabled by Params::use_representative_sets).
+SetSampler representative_set_sampler(int num_colors, int prefix,
+                                      std::uint64_t family_seed);
+
+}  // namespace ccg::color

@@ -1,0 +1,401 @@
+#include "color/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "color/matching.hpp"
+#include "color/multicolor_trial.hpp"
+#include "color/prep_mct.hpp"
+#include "color/primitives.hpp"
+#include "color/putaside.hpp"
+#include "color/slack_generation.hpp"
+#include "color/sync_trial.hpp"
+#include "common/mathutil.hpp"
+
+namespace ccg::color {
+
+void build_dense_context(State& st) {
+  const int n = st.h().n();
+  acd::AcdParams ap;
+  ap.eps = st.params.eps;
+  ap.t = st.params.fingerprint_t;
+  ap.use_fingerprints = st.params.use_fingerprint_acd;
+  ap.measure_bits = st.params.measure_bits;
+  st.dc.acd = acd::compute_acd(*st.rt, ap, st.rng);
+
+  st.dc.ell = st.params.ell(n);
+  st.dc.info = acd::annotate_dense(*st.rt, st.dc.acd, st.dc.ell,
+                                   st.params.fingerprint_t,
+                                   st.params.use_fingerprint_acd, st.rng);
+
+  st.dc.reserved_cap = st.params.reserved_cap(st.delta());
+  st.dc.reserved.resize(static_cast<std::size_t>(st.dc.acd.num_cliques));
+  for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
+    const double base = std::max(
+        st.dc.info.avg_ext_est[static_cast<std::size_t>(k)], st.dc.ell);
+    st.dc.reserved[static_cast<std::size_t>(k)] = std::max(
+        1, std::min(st.dc.reserved_cap,
+                    static_cast<int>(std::lround(
+                        st.params.reserved_factor * base))));
+  }
+  st.init_palettes();
+}
+
+void coloring_sparse(State& st) {
+  std::vector<int> sparse;
+  for (int v = 0; v < st.h().n(); ++v) {
+    if (!st.dc.is_dense(v)) sparse.push_back(v);
+  }
+  if (sparse.empty()) return;
+  const auto sampler = uniform_sampler(st.num_colors(), 0);
+  try_color_rounds(st, sparse, sampler, st.params.trycolor_activation,
+                   st.params.trycolor_rounds);
+  MctOptions mct;
+  mct.max_rounds = st.params.mct_max_rounds;
+  const int slack = std::max(
+      1, static_cast<int>(st.params.gamma_sg * st.delta() / 4));
+  mct.slack = [slack](int) { return slack; };
+  const auto set_sampler =
+      st.params.use_representative_sets
+          ? representative_set_sampler(st.num_colors(), 0,
+                                       st.params.seed ^ 0xC5C5C5C5ULL)
+          : uniform_set_sampler(st.num_colors(), 0);
+  auto left =
+      multicolor_trial(st, uncolored_of(st, sparse), set_sampler, mct);
+  if (!left.empty()) fallback_finish(st, left);
+}
+
+namespace {
+
+// Big-matching escape hatch (proofs of Props 4.6/4.7): when M_K >= 2 eps
+// Delta every member has eps*Delta slack in the full color space; TryColor
+// + MCT finishes K directly.
+void color_easy_cliques(State& st, const std::vector<int>& easy) {
+  if (easy.empty()) return;
+  std::vector<int> s;
+  for (const int k : easy) {
+    const auto unc = st.uncolored_members(k);
+    s.insert(s.end(), unc.begin(), unc.end());
+  }
+  if (s.empty()) return;
+  const auto sampler = uniform_sampler(st.num_colors(), 0);
+  try_color_rounds(st, s, sampler, st.params.trycolor_activation,
+                   st.params.trycolor_rounds);
+  MctOptions mct;
+  mct.max_rounds = st.params.mct_max_rounds;
+  const int slack =
+      std::max(1, static_cast<int>(st.params.eps * st.delta()));
+  mct.slack = [slack](int) { return slack; };
+  auto left = multicolor_trial(st, uncolored_of(st, s),
+                               uniform_set_sampler(st.num_colors(), 0), mct);
+  if (!left.empty()) fallback_finish(st, left);
+}
+
+// Outliers are colored while Omega(Delta) uncolored inliers give temporary
+// slack; the candidate space excludes the reserved prefix (NC-3).
+void color_outliers(State& st, const std::vector<int>& outliers) {
+  if (outliers.empty()) return;
+  const auto sampler = [&st](int v, Rng& rng) -> int {
+    const int r = st.dc.r_of(v);
+    return r + static_cast<int>(rng.next_below(
+                   static_cast<std::uint64_t>(st.num_colors() - r)));
+  };
+  try_color_rounds(st, outliers, sampler, st.params.trycolor_activation,
+                   st.params.trycolor_rounds);
+  MctOptions mct;
+  mct.max_rounds = st.params.mct_max_rounds;
+  const int slack = std::max(1, st.delta() / 4);
+  mct.slack = [slack](int) { return slack; };
+  const auto set_sampler = [&st](int v, int x, Rng& rng) {
+    const int r = st.dc.r_of(v);
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(x));
+    for (int i = 0; i < x; ++i) {
+      out.push_back(r + static_cast<int>(rng.next_below(
+                            static_cast<std::uint64_t>(
+                                st.num_colors() - r))));
+    }
+    return out;
+  };
+  auto left =
+      multicolor_trial(st, uncolored_of(st, outliers), set_sampler, mct);
+  if (!left.empty()) fallback_finish(st, left);
+}
+
+// Matching size the clique measurably needs: M_K must dominate the x̃_v
+// proxy (Eq. 3) for Eq. 4 to classify ~everyone as an inlier and for the
+// clique palette to outlast |K| (Lemma 4.17). x̃_max is one tree-aggregated
+// maximum (O(1) rounds, charged at the call site). The paper gets this
+// from the Eq. 5 asymptotics (M_K >= 80 a_K or a_K << e_K); at laptop
+// scale we check the measurable requirement directly.
+int needed_matching(State& st, int k) {
+  double x_max = 0;
+  for (const int v : st.dc.acd.members[static_cast<std::size_t>(k)]) {
+    if (!st.phi.colored(v)) x_max = std::max(x_max, st.x_proxy(v));
+  }
+  return std::max(0, 2 * static_cast<int>(std::ceil(x_max)) + 2);
+}
+
+// Non-cabal inlier test (Eq. 4): ẽ_v <= 20 ẽ_K and x_v <= M_K/2 + γ/8 ẽ_K.
+bool is_noncabal_inlier(State& st, int v) {
+  const int k = st.dc.clique_of(v);
+  const double e_k = std::max(
+      1.0, st.dc.info.avg_ext_est[static_cast<std::size_t>(k)]);
+  if (st.dc.ext_est(v) > st.params.inlier_ext_factor * e_k) return false;
+  const double m_k = st.palettes[static_cast<std::size_t>(k)].repeats();
+  return st.x_proxy(v) <=
+         m_k / 2.0 + st.params.gamma_sg / 8.0 * e_k;
+}
+
+}  // namespace
+
+void coloring_noncabals(State& st) {
+  std::vector<int> ids;
+  for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
+    if (!st.dc.info.is_cabal[static_cast<std::size_t>(k)]) ids.push_back(k);
+  }
+  if (ids.empty()) return;
+
+  // Step 1: colorful matching everywhere (Lemma 4.9).
+  std::vector<int> easy, rest;
+  {
+    net::PhaseScope p(st.rt->ledger(), "4a-matching");
+    const int target =
+        std::max(1, static_cast<int>(2.2 * st.params.eps * st.delta()));
+    colorful_matching(st, ids, [target](int) { return target; });
+    // Cliques whose sampling matching is too small for their measured
+    // x̃_max (sparse anti-edge regime) top up with the fingerprint
+    // matching over their uncolored members. Cliques are vertex-disjoint,
+    // so the executions are parallel: one charge for the whole batch.
+    st.rt->charge(1, 32);  // x̃_max aggregation
+    std::vector<std::pair<int, int>> all_pairs;
+    bool any_topup = false;
+    for (const int k : ids) {
+      if (st.palettes[static_cast<std::size_t>(k)].repeats() >=
+          needed_matching(st, k)) {
+        continue;
+      }
+      any_topup = true;
+      const auto unc = st.uncolored_members(k);
+      const auto pairs =
+          fingerprint_matching(st, k, &unc, /*charge=*/false);
+      all_pairs.insert(all_pairs.end(), pairs.begin(), pairs.end());
+    }
+    if (any_topup) fingerprint_matching_charge(st);
+    if (!all_pairs.empty()) color_anti_matching(st, all_pairs);
+    // Cliques whose matching is big enough get colored outright.
+    const double two_eps_delta = 2.0 * st.params.eps * st.delta();
+    for (const int k : ids) {
+      if (st.palettes[static_cast<std::size_t>(k)].repeats() >=
+          two_eps_delta) {
+        easy.push_back(k);
+      } else {
+        rest.push_back(k);
+      }
+    }
+  }
+  {
+    net::PhaseScope p(st.rt->ledger(), "4b-easy");
+    color_easy_cliques(st, easy);
+  }
+  if (rest.empty()) return;
+
+  // Step 2: outliers first (they enjoy temporary slack from inliers).
+  std::vector<std::vector<int>> inliers_of(rest.size());
+  {
+    net::PhaseScope p(st.rt->ledger(), "4c-outliers");
+    std::vector<int> outliers;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      for (const int v : st.uncolored_members(rest[i])) {
+        if (is_noncabal_inlier(st, v)) {
+          inliers_of[i].push_back(v);
+        } else {
+          outliers.push_back(v);
+        }
+      }
+    }
+    color_outliers(st, outliers);
+  }
+
+  // Step 3: synchronized color trial on all but r_K uncolored inliers.
+  {
+    net::PhaseScope p(st.rt->ledger(), "4d-sct");
+    std::vector<std::vector<int>> s_of(rest.size());
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      auto unc = uncolored_of(st, inliers_of[i]);
+      const int r = st.dc.reserved[static_cast<std::size_t>(rest[i])];
+      const int keep = std::max(0, static_cast<int>(unc.size()) - r);
+      std::sort(unc.begin(), unc.end());
+      unc.resize(static_cast<std::size_t>(keep));
+      s_of[i] = std::move(unc);
+    }
+    synchronized_color_trial(st, rest, s_of);
+  }
+
+  // Step 4: Complete (Section 8).
+  {
+    net::PhaseScope p(st.rt->ledger(), "4e-complete");
+    complete_noncabals(st, rest);
+  }
+}
+
+void coloring_cabals(State& st) {
+  std::vector<int> ids;
+  for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
+    if (st.dc.info.is_cabal[static_cast<std::size_t>(k)]) ids.push_back(k);
+  }
+  if (ids.empty()) return;
+  const auto& h = st.h();
+  const int n = h.n();
+
+  // Step 1: colorful matching; densest cabals switch to the fingerprint
+  // algorithm when the sampling matching stays small (Prop 4.15).
+  const int target =
+      std::max(1, static_cast<int>(2.2 * st.params.eps * st.delta()));
+  colorful_matching(st, ids, [target](int) { return target; });
+  st.rt->charge(1, 32);  // x̃_max aggregation
+  std::vector<std::pair<int, int>> all_pairs;
+  bool any_redo = false;
+  for (const int k : ids) {
+    auto& pal = st.palettes[static_cast<std::size_t>(k)];
+    if (pal.repeats() >= needed_matching(st, k)) continue;
+    // Cancel the coloring in K (only the matching colored cabal vertices
+    // so far) and run FingerprintMatching + pair coloring (Prop 4.15);
+    // parallel across the (vertex-disjoint) cabals, charged once.
+    any_redo = true;
+    for (const int v : st.dc.acd.members[static_cast<std::size_t>(k)]) {
+      if (st.phi.colored(v)) st.unassign(v);
+    }
+    const auto pairs =
+        fingerprint_matching(st, k, nullptr, /*charge=*/false);
+    all_pairs.insert(all_pairs.end(), pairs.begin(), pairs.end());
+  }
+  if (any_redo) fingerprint_matching_charge(st);
+  if (!all_pairs.empty()) color_anti_matching(st, all_pairs);
+
+  std::vector<int> easy, rest;
+  const double two_eps_delta = 2.0 * st.params.eps * st.delta();
+  for (const int k : ids) {
+    if (st.palettes[static_cast<std::size_t>(k)].repeats() >=
+        two_eps_delta) {
+      easy.push_back(k);
+    } else {
+      rest.push_back(k);
+    }
+  }
+  color_easy_cliques(st, easy);
+  if (rest.empty()) return;
+
+  // Step 2: outliers (cabal rule: high estimated external degree only).
+  std::vector<int> outliers;
+  for (const int k : rest) {
+    const double e_k = std::max(
+        1.0, st.dc.info.avg_ext_est[static_cast<std::size_t>(k)]);
+    for (const int v : st.uncolored_members(k)) {
+      if (st.dc.ext_est(v) > st.params.inlier_ext_factor * e_k) {
+        outliers.push_back(v);
+      }
+    }
+  }
+  color_outliers(st, outliers);
+
+  // Step 3: put-aside sets (identical size across cabals; see
+  // Params::putaside_factor for the calibrated |P_K| < r_K choice).
+  const int r_reserved =
+      st.dc.reserved[static_cast<std::size_t>(rest.front())];
+  const int r = std::max(
+      2, std::min(r_reserved,
+                  static_cast<int>(std::lround(
+                      st.params.putaside_factor * st.dc.ell))));
+  const auto put = compute_putaside(st, rest, r);
+
+  // Step 4: synchronized color trial on uncolored inliers minus P_K.
+  std::vector<std::vector<int>> s_of(rest.size());
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    std::vector<char> in_put(static_cast<std::size_t>(n), 0);
+    for (const int v : put.sets[i]) in_put[static_cast<std::size_t>(v)] = 1;
+    for (const int v : st.uncolored_members(rest[i])) {
+      if (!in_put[static_cast<std::size_t>(v)]) s_of[i].push_back(v);
+    }
+  }
+  synchronized_color_trial(st, rest, s_of);
+
+  // Step 5: MultiColorTrial on the reserved prefix for the SCT leftovers.
+  std::vector<int> leftover;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    for (const int v : uncolored_of(st, s_of[i])) leftover.push_back(v);
+  }
+  if (!leftover.empty()) {
+    const auto r_of = [&st](int v) { return st.dc.r_of(v); };
+    MctOptions mct;
+    mct.max_rounds = st.params.mct_max_rounds;
+    mct.slack = [&st](int v) {
+      // Reserved colors lost only to external neighbors (Lemma 8.5);
+      // ẽ_v is the vertex's own estimate.
+      return std::max(
+          1, static_cast<int>(st.dc.r_of(v) - st.dc.ext_est(v) - 1));
+    };
+    auto left =
+        multicolor_trial(st, leftover, reserved_set_sampler(r_of), mct);
+    if (!left.empty()) fallback_finish(st, left);
+  }
+
+  // Step 6: color the put-aside sets via free colors / donation (Sec. 7).
+  color_putaside_sets(st, rest, put.sets);
+}
+
+Result finalize_result(State& st) {
+  Result res;
+  res.colors = st.phi.vec();
+  res.num_colors = st.num_colors();
+  const auto& ledger = st.rt->ledger();
+  res.h_rounds = ledger.h_rounds();
+  res.g_rounds = ledger.g_rounds();
+  res.max_message_bits = ledger.max_message_bits();
+  res.max_bits_per_link_round = ledger.max_bits_per_link_round();
+  res.phases = ledger.phases();
+  res.fallback_count = st.fallback_count;
+  res.retry_count = st.retry_count;
+  res.num_cliques = st.dc.acd.num_cliques;
+  for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
+    if (st.dc.info.is_cabal[static_cast<std::size_t>(k)]) ++res.num_cabals;
+  }
+  for (int v = 0; v < st.h().n(); ++v) {
+    if (!st.dc.is_dense(v)) ++res.sparse_count;
+  }
+  res.dilation = st.rt->cg().dilation();
+  return res;
+}
+
+Result color_high_degree(cluster::Runtime& rt, const Params& params) {
+  State st(rt, params);
+  {
+    net::PhaseScope p(rt.ledger(), "1-acd");
+    build_dense_context(st);
+  }
+  {
+    net::PhaseScope p(rt.ledger(), "2-slack-generation");
+    slack_generation(st);
+  }
+  {
+    net::PhaseScope p(rt.ledger(), "3-sparse");
+    coloring_sparse(st);
+  }
+  {
+    net::PhaseScope p(rt.ledger(), "4-noncabals");
+    coloring_noncabals(st);
+  }
+  {
+    net::PhaseScope p(rt.ledger(), "5-cabals");
+    coloring_cabals(st);
+  }
+  // Safety net: should be a no-op.
+  std::vector<int> all(static_cast<std::size_t>(st.h().n()));
+  for (int v = 0; v < st.h().n(); ++v) all[static_cast<std::size_t>(v)] = v;
+  fallback_finish(st, all);
+
+  cluster::check_proper_total(st.h(), st.phi.vec(), st.num_colors());
+  return finalize_result(st);
+}
+
+}  // namespace ccg::color

@@ -1,0 +1,48 @@
+// The high-degree (Delta + 1)-coloring pipeline (paper, Algorithm 3,
+// Theorem 1.2): ComputeACD -> SlackGeneration (outside cabals) ->
+// ColoringSparse -> ColoringNonCabals (Algorithm 4) -> ColoringCabals
+// (Algorithm 5). Every phase is exposed individually for tests and the
+// per-phase benches; color_high_degree() assembles them and validates the
+// result.
+#pragma once
+
+#include <vector>
+
+#include "color/coloring.hpp"
+#include "net/ledger.hpp"
+
+namespace ccg::color {
+
+struct Result {
+  std::vector<int> colors;
+  int num_colors = 0;
+  std::int64_t h_rounds = 0;
+  std::int64_t g_rounds = 0;
+  int max_message_bits = 0;
+  int max_bits_per_link_round = 0;
+  std::vector<net::PhaseCost> phases;
+  int fallback_count = 0;
+  int retry_count = 0;
+  int num_cliques = 0;
+  int num_cabals = 0;
+  int sparse_count = 0;
+  int dilation = 0;
+};
+
+// ComputeACD + dense annotations + reserved colors + palettes.
+void build_dense_context(State& st);
+
+// Phase implementations (Algorithm 3 lines 2-5).
+void coloring_sparse(State& st);
+void coloring_noncabals(State& st);
+void coloring_cabals(State& st);
+
+// Full Theorem 1.2 pipeline. Produces a proper (Delta+1)-coloring on any
+// input; the O(log* n)-round guarantee applies when
+// Delta >= params.delta_low(n).
+Result color_high_degree(cluster::Runtime& rt, const Params& params);
+
+// Collects ledger totals + structural counts from a finished state.
+Result finalize_result(State& st);
+
+}  // namespace ccg::color

@@ -1,0 +1,124 @@
+#include "color/prep_mct.hpp"
+
+#include <algorithm>
+
+#include "color/multicolor_trial.hpp"
+#include "color/primitives.hpp"
+#include "common/mathutil.hpp"
+
+namespace ccg::color {
+
+double z_estimate(State& st, int v) {
+  const int k = st.dc.clique_of(v);
+  CCG_CHECK(k >= 0);
+  const auto& pal = st.palettes[static_cast<std::size_t>(k)];
+  const int r_v = st.dc.reserved[static_cast<std::size_t>(k)];
+  const int delta = st.delta();
+
+  // Members of K colored with non-reserved colors: exact via aggregation.
+  // Reserved colors are untouched inside K at this stage, so this is the
+  // full colored count.
+  const int mu_k = pal.colored_total();
+
+  // External neighbors colored with non-reserved colors: the paper
+  // estimates this by fingerprinting (Claim 8.3); the simulation computes
+  // it exactly and the caller charges the fingerprint round.
+  int mu_e = 0;
+  for (const int u : st.external_neighbors(v)) {
+    if (st.phi.colored(u) && st.phi.get(u) >= r_v) ++mu_e;
+  }
+
+  // Computable reuse-slack lower bound standing in for
+  // gamma_{4.11} e_K + 40 a_K + x_v (Eq. 6), using Eq. 5's conversion
+  // 80 a_K <= M_K + gamma e_K / 8 to eliminate the unknowable a_K.
+  const double e_k = st.dc.info.avg_ext_est[static_cast<std::size_t>(k)];
+  const double reuse = st.params.gamma_reuse * e_k +
+                       pal.repeats() / 2.0 + st.x_proxy(v);
+
+  return (delta + 1 - r_v) - mu_k - mu_e + reuse;
+}
+
+int complete_noncabals(State& st, const std::vector<int>& clique_ids) {
+  const auto& h = st.h();
+  const int lb = 2 * ceil_log2(static_cast<std::uint64_t>(
+                       std::max(2, h.n())));
+
+  std::vector<int> all;
+  for (const int k : clique_ids) {
+    const auto unc = st.uncolored_members(k);
+    all.insert(all.end(), unc.begin(), unc.end());
+  }
+  if (all.empty()) return 0;
+
+  const auto e_k_of = [&](int v) {
+    return st.dc.info.avg_ext_est[static_cast<std::size_t>(
+        st.dc.clique_of(v))];
+  };
+  const auto r_of = [&](int v) { return st.dc.r_of(v); };
+
+  // Phase I: vertices whose z̃ certifies non-reserved palette slack try
+  // palette colors above the reserved prefix; O(1) iterations.
+  const int t_iters = std::max(2, st.params.trycolor_rounds / 2);
+  for (int it = 0; it < t_iters; ++it) {
+    std::vector<int> s_i;
+    for (const int v : uncolored_of(st, all)) {
+      if (z_estimate(st, v) >=
+          0.25 * st.params.gamma_reuse * std::max(1.0, e_k_of(v))) {
+        s_i.push_back(v);
+      }
+    }
+    if (s_i.empty()) break;
+    // z̃ recomputation: one fingerprint aggregation (Claim 8.3).
+    st.rt->charge(1, 2 * st.params.fingerprint_t + 16);
+    try_color_round(st, s_i,
+                    clique_palette_sampler(st, r_of),
+                    st.params.trycolor_activation);
+  }
+
+  // Split leftovers: large-z̃ vertices (few per clique, Lemma 8.4) finish
+  // with MCT on the reserved prefix; the rest have reserved slack by
+  // Lemma 8.2 and follow in phase II.
+  st.rt->charge(1, 2 * st.params.fingerprint_t + 16);
+  std::vector<int> s_last, phase2;
+  for (const int v : uncolored_of(st, all)) {
+    if (z_estimate(st, v) >
+        0.25 * st.params.gamma_reuse * std::max(1.0, e_k_of(v))) {
+      s_last.push_back(v);
+    } else {
+      phase2.push_back(v);
+    }
+  }
+  const auto reserved_slack = [&](int v) {
+    // |[r_v] ∩ L(v)| >= r_v - e_v (Lemma 8.5): only external neighbors
+    // consume reserved colors. The algorithm knows ẽ_v (Lemma 5.7), so
+    // the per-vertex bound replaces the paper's worst-case 25 e_K figure
+    // (itself only meaningful when r = 250 ell >> e_K).
+    return std::max(1,
+                    static_cast<int>(st.dc.r_of(v) - st.dc.ext_est(v) - 1));
+  };
+  MctOptions mct;
+  mct.max_rounds = st.params.mct_max_rounds;
+  mct.slack = reserved_slack;
+  auto left1 =
+      multicolor_trial(st, s_last, reserved_set_sampler(r_of), mct);
+
+  // Phase II: O(1) reserved TryColor rounds, then MCT.
+  try_color_rounds(st, phase2,
+                   [&](int v, Rng& rng) -> int {
+                     const int r = st.dc.r_of(v);
+                     if (r <= 0) return -1;
+                     return static_cast<int>(
+                         rng.next_below(static_cast<std::uint64_t>(r)));
+                   },
+                   st.params.trycolor_activation,
+                   std::max(2, st.params.trycolor_rounds / 2));
+  auto left2 = multicolor_trial(st, uncolored_of(st, phase2),
+                                reserved_set_sampler(r_of), mct);
+
+  st.rt->charge(1, lb);
+  left1.insert(left1.end(), left2.begin(), left2.end());
+  if (left1.empty()) return 0;
+  return fallback_finish(st, left1);
+}
+
+}  // namespace ccg::color

@@ -1,0 +1,32 @@
+// Preparing MultiColorTrial in non-cabals (paper, Section 8 /
+// Algorithm 11 "Complete" / Proposition 4.14).
+//
+// After the synchronized color trial, uncolored non-cabal inliers have
+// O(e_K) uncolored degree but cannot see their palettes. Each vertex
+// estimates z_v (Eq. 14) — a certified lower bound on its available
+// non-reserved clique-palette colors (Lemma 8.1) — from:
+//   * the exact count of K's members colored with non-reserved colors
+//     (one tree aggregation),
+//   * a fingerprint estimate of its externally-used non-reserved colors,
+//   * the reuse-slack guarantee of Lemma 4.11, expressed through the
+//     measurable M_K and ẽ_K (Eq. 5 converts the unknowable a_K term).
+// Vertices with large z̃ keep trying non-reserved palette colors (phase I);
+// once few remain, everyone falls back on the reserved prefix [r_K], where
+// Lemma 8.2 guarantees slack, and MultiColorTrial finishes (phase II).
+#pragma once
+
+#include <vector>
+
+#include "color/coloring.hpp"
+
+namespace ccg::color {
+
+// Colors every remaining uncolored vertex of the given (non-cabal)
+// cliques. Returns the number of safety-net fallbacks (0 in healthy runs).
+int complete_noncabals(State& st, const std::vector<int>& clique_ids);
+
+// z_v estimate (Eq. 14 with the computable reuse bound); exposed for tests
+// and the ablation bench.
+double z_estimate(State& st, int v);
+
+}  // namespace ccg::color

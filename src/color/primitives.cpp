@@ -1,0 +1,98 @@
+#include "color/primitives.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/mathutil.hpp"
+
+namespace ccg::color {
+
+int try_color_round(State& st, const std::vector<int>& S,
+                    const ColorSampler& sampler, double activation) {
+  const auto& h = st.h();
+  // Sampling phase: all candidates drawn against the same snapshot.
+  std::unordered_map<int, int> candidate;  // vertex -> color
+  candidate.reserve(S.size() * 2);
+  for (const int v : S) {
+    if (st.phi.colored(v)) continue;
+    if (!st.rng.next_bool(activation)) continue;
+    const int c = sampler(v, st.rng);
+    if (c >= 0) candidate.emplace(v, c);
+  }
+  // Adoption phase (Algorithm 17, step 4): keep c(v) iff it is free among
+  // colored neighbors and no smaller-ID active neighbor picked it too.
+  std::vector<std::pair<int, int>> adopted;
+  for (const auto& [v, c] : candidate) {
+    bool ok = !st.phi.neighbor_uses(h, v, c);
+    if (ok) {
+      for (const int u : h.neighbors(v)) {
+        if (u < v) {
+          const auto it = candidate.find(u);
+          if (it != candidate.end() && it->second == c) {
+            ok = false;
+            break;
+          }
+        }
+      }
+    }
+    if (ok) adopted.emplace_back(v, c);
+  }
+  for (const auto& [v, c] : adopted) st.assign(v, c);
+  // Candidate broadcast + accept/reject echo: 2 H-rounds, O(log n) bits.
+  st.rt->charge(2, 2 * ceil_log2(static_cast<std::uint64_t>(
+                        std::max(2, st.h().n()))));
+  return static_cast<int>(adopted.size());
+}
+
+int try_color_rounds(State& st, std::vector<int> S,
+                     const ColorSampler& sampler, double activation,
+                     int rounds) {
+  int total = 0;
+  for (int r = 0; r < rounds && !S.empty(); ++r) {
+    total += try_color_round(st, S, sampler, activation);
+    S = uncolored_of(st, S);
+  }
+  return total;
+}
+
+ColorSampler uniform_sampler(int num_colors, int prefix) {
+  CCG_CHECK(prefix >= 0 && prefix < num_colors);
+  return [num_colors, prefix](int, Rng& rng) {
+    return prefix + static_cast<int>(rng.next_below(
+                        static_cast<std::uint64_t>(num_colors - prefix)));
+  };
+}
+
+ColorSampler clique_palette_sampler(State& st,
+                                    std::function<int(int)> prefix_of) {
+  return [&st, prefix_of](int v, Rng& rng) -> int {
+    const int k = st.dc.clique_of(v);
+    if (k < 0) return -1;
+    const auto& pal = st.palettes[static_cast<std::size_t>(k)];
+    const int lo = prefix_of(v);
+    const int free = pal.free_count(lo, pal.num_colors() - 1);
+    if (free <= 0) return -1;
+    const int idx = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(free)));
+    return pal.select_free(lo, pal.num_colors() - 1, idx);
+  };
+}
+
+std::vector<int> uncolored_of(const State& st, const std::vector<int>& S) {
+  std::vector<int> out;
+  out.reserve(S.size());
+  for (const int v : S) {
+    if (!st.phi.colored(v)) out.push_back(v);
+  }
+  return out;
+}
+
+int active_degree(const State& st, int v, const std::vector<char>& active) {
+  int d = 0;
+  for (const int u : st.h().neighbors(v)) {
+    if (active[static_cast<std::size_t>(u)]) ++d;
+  }
+  return d;
+}
+
+}  // namespace ccg::color

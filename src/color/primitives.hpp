@@ -1,0 +1,50 @@
+// Elementary randomized color-trial primitives.
+//
+// TryColor (paper, Algorithm 17 / Lemma D.3): activated vertices sample one
+// candidate color and adopt it when it conflicts neither with a colored
+// neighbor nor with a smaller-ID active neighbor's simultaneous candidate.
+// Each round shrinks uncolored degrees by a constant factor while the
+// sampler keeps Omega(1) success probability.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "color/coloring.hpp"
+
+namespace ccg::color {
+
+// Returns a candidate color for v this round, or -1 to sit out. Called once
+// per vertex per round, before any adoption, so palette-backed samplers see
+// a stable snapshot.
+using ColorSampler = std::function<int(int v, Rng& rng)>;
+
+// One synchronized TryColor round over the uncolored vertices of S.
+// Charges 2 H-rounds of O(log n)-bit messages. Returns # newly colored.
+int try_color_round(State& st, const std::vector<int>& S,
+                    const ColorSampler& sampler, double activation);
+
+// `rounds` TryColor rounds; S is pruned of colored vertices as it goes.
+// Returns total newly colored.
+int try_color_rounds(State& st, std::vector<int> S,
+                     const ColorSampler& sampler, double activation,
+                     int rounds);
+
+// ---- stock samplers ----
+
+// Uniform over {prefix, ..., num_colors-1} (excludes the reserved prefix).
+ColorSampler uniform_sampler(int num_colors, int prefix);
+
+// Uniform over L(K_v) \ [prefix_of(v)] via clique-palette queries
+// (Lemma 4.8; O(1) rounds, already covered by the round's charge).
+// Vertices outside any clique sit out.
+ColorSampler clique_palette_sampler(State& st,
+                                    std::function<int(int)> prefix_of);
+
+// Uncolored vertices of S (helper).
+std::vector<int> uncolored_of(const State& st, const std::vector<int>& S);
+
+// Uncolored degree of v counted within the uncolored subset flag array.
+int active_degree(const State& st, int v, const std::vector<char>& active);
+
+}  // namespace ccg::color

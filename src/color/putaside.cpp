@@ -1,0 +1,466 @@
+#include "color/putaside.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/mathutil.hpp"
+
+namespace ccg::color {
+
+namespace {
+
+int log_bits(const State& st) {
+  return 2 * ceil_log2(
+                 static_cast<std::uint64_t>(std::max(2, st.h().n())));
+}
+
+// Uncolored inliers of cabal k (cabal inlier rule, Section 4.3: low
+// estimated external degree only).
+std::vector<int> eligible_members(const State& st, int k) {
+  const double ek = st.dc.info.avg_ext_est[static_cast<std::size_t>(k)];
+  std::vector<int> out;
+  for (const int v : st.dc.acd.members[static_cast<std::size_t>(k)]) {
+    if (st.phi.colored(v)) continue;
+    if (st.dc.ext_est(v) <= st.params.inlier_ext_factor * std::max(1.0, ek)) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
+                                int r) {
+  CCG_CHECK(r >= 1);
+  const auto& h = st.h();
+  PutAsideResult result;
+  result.sets.assign(cabal_ids.size(), {});
+
+  std::unordered_map<int, std::size_t> idx_of_cabal;
+  for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
+    idx_of_cabal[cabal_ids[i]] = i;
+  }
+
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    result.attempts = attempt + 1;
+    // Sample candidates per cabal.
+    std::unordered_map<int, std::size_t> cand;  // vertex -> cabal index
+    for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
+      const auto eligible = eligible_members(st, cabal_ids[i]);
+      const double p = std::min(
+          0.5, 2.5 * r / std::max<std::size_t>(1, eligible.size()));
+      for (const int v : eligible) {
+        if (st.rng.next_bool(p)) cand.emplace(v, i);
+      }
+    }
+    // Cross-cabal conflicts resolved by ID priority: the smaller-ID
+    // candidate survives (one exchange round; keeps the surviving sets
+    // mutually independent while retiring only one endpoint per edge).
+    std::unordered_set<int> dropped;
+    for (const auto& [v, ci] : cand) {
+      for (const int u : h.neighbors(v)) {
+        if (u >= v) continue;
+        const auto it = cand.find(u);
+        if (it != cand.end() && it->second != ci) {
+          dropped.insert(v);
+          break;
+        }
+      }
+    }
+    std::vector<std::vector<int>> sets(cabal_ids.size());
+    for (const auto& [v, ci] : cand) {
+      if (!dropped.count(v)) sets[ci].push_back(v);
+    }
+    bool ok = true;
+    for (auto& s : sets) {
+      if (static_cast<int>(s.size()) < r) {
+        ok = false;
+        break;
+      }
+      std::sort(s.begin(), s.end());
+      s.resize(static_cast<std::size_t>(r));
+    }
+    st.rt->charge(2, log_bits(st));
+    if (!ok) {
+      ++st.retry_count;
+      continue;
+    }
+
+    // One-sided pruning may leave an edge from a *pruned-away* kept
+    // candidate; verify independence of the final truncated sets and
+    // retry in the (rare) violating case.
+    std::unordered_set<int> in_putaside;
+    std::vector<std::size_t> cabal_of_put(
+        static_cast<std::size_t>(h.n()), SIZE_MAX);
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      for (const int v : sets[i]) {
+        in_putaside.insert(v);
+        cabal_of_put[static_cast<std::size_t>(v)] = i;
+      }
+    }
+    bool independent = true;
+    for (const int v : in_putaside) {
+      for (const int u : h.neighbors(v)) {
+        if (in_putaside.count(u) &&
+            cabal_of_put[static_cast<std::size_t>(u)] !=
+                cabal_of_put[static_cast<std::size_t>(v)]) {
+          independent = false;
+          break;
+        }
+      }
+      if (!independent) break;
+    }
+    if (!independent) {
+      ++st.retry_count;
+      continue;
+    }
+
+    // Lemma 4.18 (3) is a log^21-regime property (exposed fraction ~
+    // e_v * |P| / Delta); at laptop scale we *measure* it against a
+    // calibrated threshold instead of retrying on it.
+    result.property3_ok = true;
+    for (std::size_t i = 0; i < cabal_ids.size() && result.property3_ok;
+         ++i) {
+      const auto& members =
+          st.dc.acd.members[static_cast<std::size_t>(cabal_ids[i])];
+      int exposed = 0;
+      for (const int v : members) {
+        for (const int u : h.neighbors(v)) {
+          if (in_putaside.count(u) &&
+              cabal_of_put[static_cast<std::size_t>(u)] != i) {
+            ++exposed;
+            break;
+          }
+        }
+      }
+      if (exposed > std::max(3, static_cast<int>(members.size()) / 4)) {
+        result.property3_ok = false;
+      }
+    }
+    result.sets = std::move(sets);
+    return result;
+  }
+
+  // Deterministic fallback: greedy sequential selection across cabals,
+  // skipping vertices adjacent to previously chosen put-aside vertices.
+  ++st.fallback_count;
+  std::unordered_set<int> chosen;
+  for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
+    auto eligible = eligible_members(st, cabal_ids[i]);
+    std::vector<int> mine;
+    for (const int v : eligible) {
+      bool clash = false;
+      for (const int u : h.neighbors(v)) {
+        if (chosen.count(u) &&
+            st.dc.clique_of(u) != cabal_ids[i]) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) {
+        mine.push_back(v);
+        if (static_cast<int>(mine.size()) == r) break;
+      }
+    }
+    CCG_CHECK_MSG(static_cast<int>(mine.size()) == r,
+                  "cannot form put-aside set in cabal " << cabal_ids[i]);
+    for (const int v : mine) chosen.insert(v);
+    result.sets[i] = std::move(mine);
+  }
+  st.rt->charge(static_cast<int>(cabal_ids.size()), log_bits(st));
+  return result;
+}
+
+namespace {
+
+// TryFreeColors (Algorithm 8, step 2): direct hashed sampling from the
+// clique palette when it still holds many free colors.
+int try_free_colors(State& st, int k, const std::vector<int>& put,
+                    std::vector<int>* leftovers) {
+  auto& pal = st.palettes[static_cast<std::size_t>(k)];
+  const int n_colors = pal.num_colors();
+  const int window =
+      std::min(st.params.ell_s(st.h().n()), pal.free_count(0, n_colors - 1));
+  const int k_samples = st.params.donation_samples(st.h().n());
+  int colored = 0;
+  // ID order simulates the collision-free-hash disambiguation among the
+  // <= r put-aside vertices of K (paper uses h_K collision-free on the
+  // ell_s smallest palette colors; cost charged below).
+  std::unordered_set<int> taken;
+  for (const int u : put) {
+    int got = -1;
+    for (int s = 0; s < k_samples && got < 0; ++s) {
+      const int idx = static_cast<int>(
+          st.rng.next_below(static_cast<std::uint64_t>(window)));
+      const int c = pal.select_free(0, n_colors - 1, idx);
+      if (c < 0 || taken.count(c)) continue;
+      // External conflicts only: put-aside sets are independent and K's
+      // members don't use palette colors.
+      bool ok = true;
+      for (const int w : st.external_neighbors(u)) {
+        if (st.phi.get(w) == c) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) got = c;
+    }
+    if (got >= 0) {
+      taken.insert(got);
+      st.assign(u, got);
+      ++colored;
+    } else {
+      leftovers->push_back(u);
+    }
+  }
+  return colored;
+}
+
+struct DonationPlan {
+  // aligned triples (Lemma 7.3): replacement color, block id, safe donors.
+  std::vector<int> replacement;
+  std::vector<int> block;
+  std::vector<std::vector<int>> donors;
+  bool ok = false;
+};
+
+// FindCandidateDonors + FindSafeDonors (Algorithms 9 and 10) for one cabal.
+// `active_external` marks candidate donors of all cabals this step (for
+// the mutual-exclusion drop of Algorithm 9 step 3).
+// Returns up to `r` matched (replacement, block, donors) triples; a
+// partial plan is usable — unmatched put-aside vertices retry in the next
+// synchronized attempt (each attempt is O(1) rounds).
+DonationPlan find_safe_donors(State& st, int k, int r,
+                              const std::vector<int>& q_k) {
+  DonationPlan plan;
+  auto& pal = st.palettes[static_cast<std::size_t>(k)];
+  const int n_colors = pal.num_colors();
+  const int free_total = pal.free_count(0, n_colors - 1);
+  if (free_total < 1 || q_k.empty()) return plan;
+
+  const int b = st.params.block_size(st.h().n());
+  const int ell_s = st.params.ell_s(st.h().n());
+  // Calibrated per-donor-set floor (paper: beta > 2*ell_s; see DESIGN.md
+  // substitution #1): enough donors that k samples w.h.p. dodge external
+  // conflicts.
+  const int s_min = std::max(
+      2, std::min(ell_s, static_cast<int>(q_k.size()) / std::max(1, 2 * r)));
+
+  // Algorithm 10 step 1: every candidate donor samples a uniform
+  // replacement from L(K) and keeps it only if its own palette allows it.
+  std::unordered_map<int, int> repl_of;  // donor -> replacement color
+  for (const int v : q_k) {
+    const int idx = static_cast<int>(
+        st.rng.next_below(static_cast<std::uint64_t>(free_total)));
+    const int c = pal.select_free(0, n_colors - 1, idx);
+    if (c < 0) continue;
+    if (!st.phi.neighbor_uses(st.h(), v, c)) repl_of.emplace(v, c);
+  }
+
+  // beta_{c,j}: donors in block j that kept replacement c.
+  std::map<std::pair<int, int>, std::vector<int>> by_color_block;
+  for (const auto& [v, c] : repl_of) {
+    const int j = st.phi.get(v) / b;
+    by_color_block[{c, j}].push_back(v);
+  }
+  // j(c): first block with enough donors; then the first r colors win.
+  std::map<int, std::pair<int, std::vector<int>*>> chosen_for_color;
+  for (auto& [key, donors] : by_color_block) {
+    if (static_cast<int>(donors.size()) < s_min) continue;
+    const auto& [c, j] = key;
+    if (!chosen_for_color.count(c)) {
+      chosen_for_color[c] = {j, &donors};
+    }
+  }
+  for (const auto& [c, jd] : chosen_for_color) {
+    if (static_cast<int>(plan.replacement.size()) == r) break;
+    plan.replacement.push_back(c);
+    plan.block.push_back(jd.first);
+    auto donors = *jd.second;
+    std::sort(donors.begin(), donors.end());
+    if (static_cast<int>(donors.size()) > ell_s) {
+      donors.resize(static_cast<std::size_t>(ell_s));
+    }
+    plan.donors.push_back(std::move(donors));
+  }
+  plan.ok = !plan.replacement.empty();
+  return plan;
+}
+
+}  // namespace
+
+DonationStats color_putaside_sets(State& st,
+                                  const std::vector<int>& cabal_ids,
+                                  const std::vector<std::vector<int>>& sets) {
+  CCG_CHECK(cabal_ids.size() == sets.size());
+  const auto& h = st.h();
+  const int ell_s = st.params.ell_s(h.n());
+  DonationStats stats;
+  std::vector<int> leftovers;
+
+  // Step 1 (parallel): palette occupancy decides the branch per cabal.
+  std::vector<char> free_path(cabal_ids.size(), 0);
+  for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
+    const auto& pal = st.palettes[static_cast<std::size_t>(cabal_ids[i])];
+    free_path[i] =
+        pal.free_count(0, pal.num_colors() - 1) >= ell_s ? 1 : 0;
+  }
+  st.rt->charge(1, log_bits(st));
+
+  // Branch A (parallel over its cabals): TryFreeColors.
+  bool any_free = false;
+  for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
+    if (!free_path[i]) continue;
+    any_free = true;
+    ++stats.free_path_cliques;
+    stats.free_colored +=
+        try_free_colors(st, cabal_ids[i], sets[i], &leftovers);
+  }
+  if (any_free) {
+    // Hash description + k hashed samples: O(log n) bits (Section 7.1).
+    st.rt->charge(3, st.params.donation_samples(h.n()) * 8 + log_bits(st));
+  }
+
+  // Branch B: the donation scheme.
+  // FindCandidateDonors runs synchronized across all donation cabals: the
+  // activation sets must be simultaneous for the mutual-exclusion drop.
+  std::vector<std::size_t> donation_idx;
+  for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
+    if (!free_path[i]) donation_idx.push_back(i);
+  }
+  if (!donation_idx.empty()) {
+    // Vertices of any put-aside set (all cabals) — excluded from Q^pre.
+    std::unordered_set<int> put_union;
+    for (const auto& s : sets) put_union.insert(s.begin(), s.end());
+
+    for (int attempt = 0; attempt < 5 && !donation_idx.empty(); ++attempt) {
+      // Algorithm 9 steps 1-2: Q^pre then independent activation. The
+      // activation rate plays the role of the paper's p = 50 ell_s^3 / b:
+      // small enough that an external neighbor is rarely active too
+      // (p * e_v << 1), sized here from the measured ẽ_K.
+      std::unordered_map<int, std::size_t> active;  // vertex -> cabal index
+      for (const std::size_t i : donation_idx) {
+        const int k = cabal_ids[i];
+        const auto& pal = st.palettes[static_cast<std::size_t>(k)];
+        const double e_k =
+            st.dc.info.avg_ext_est[static_cast<std::size_t>(k)];
+        const double p_active = std::min(0.4, 1.0 / (1.0 + e_k));
+        for (const int v :
+             st.dc.acd.members[static_cast<std::size_t>(k)]) {
+          if (!st.phi.colored(v)) continue;
+          if (pal.count(st.phi.get(v)) != 1) continue;  // unique colors only
+          bool exposed = false;
+          for (const int u : st.external_neighbors(v)) {
+            if (put_union.count(u)) {
+              exposed = true;
+              break;
+            }
+          }
+          if (exposed) continue;
+          if (st.rng.next_bool(p_active)) active.emplace(v, i);
+        }
+      }
+      // Algorithm 9 step 3: drop active vertices with an active external
+      // neighbor (any other cabal).
+      std::vector<std::vector<int>> q(cabal_ids.size());
+      for (const auto& [v, ci] : active) {
+        bool clash = false;
+        for (const int u : h.neighbors(v)) {
+          const auto it = active.find(u);
+          if (it != active.end() && it->second != ci) {
+            clash = true;
+            break;
+          }
+        }
+        if (!clash) q[ci].push_back(v);
+      }
+      st.rt->charge(3, log_bits(st));
+
+      // Algorithm 10 + donation, cabal by cabal (their candidate/put-aside
+      // sets are mutually independent, so parallel = sequential). Plans
+      // may be partial: unmatched put-aside vertices retry next attempt.
+      std::vector<std::size_t> failed;
+      for (const std::size_t i : donation_idx) {
+        const int k = cabal_ids[i];
+        std::vector<int> unmatched;
+        for (const int u : sets[i]) {
+          if (!st.phi.colored(u)) unmatched.push_back(u);
+        }
+        if (unmatched.empty()) continue;
+        auto plan = find_safe_donors(
+            st, k, static_cast<int>(unmatched.size()), q[i]);
+        if (!plan.ok) {
+          failed.push_back(i);
+          continue;
+        }
+        if (attempt == 0) ++stats.donation_path_cliques;
+        // DonateColors: sample k offers from each matched donor set; the
+        // offer list rides in one O(log Delta + k log b)-bit message
+        // (Eq. 11).
+        const int k_samples = st.params.donation_samples(h.n());
+        const int matched = static_cast<int>(plan.replacement.size());
+        bool all_done = true;
+        for (int idx = 0;
+             idx < static_cast<int>(unmatched.size()); ++idx) {
+          const int u = unmatched[static_cast<std::size_t>(idx)];
+          if (idx >= matched) {
+            all_done = false;
+            continue;  // retry next attempt
+          }
+          const auto& donors = plan.donors[static_cast<std::size_t>(idx)];
+          int donor = -1;
+          for (int s = 0; s < k_samples && donor < 0; ++s) {
+            const int pick = static_cast<int>(st.rng.next_below(
+                static_cast<std::uint64_t>(donors.size())));
+            const int v = donors[static_cast<std::size_t>(pick)];
+            const int c_don = st.phi.get(v);
+            bool ok = true;
+            for (const int w : st.external_neighbors(u)) {
+              if (st.phi.get(w) == c_don) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) donor = v;
+          }
+          if (donor < 0) {
+            all_done = false;
+            continue;  // fresh donor set next attempt
+          }
+          const int c_don = st.phi.get(donor);
+          const int c_recol = plan.replacement[static_cast<std::size_t>(idx)];
+          st.unassign(donor);
+          st.assign(donor, c_recol);
+          st.assign(u, c_don);
+          ++stats.donated;
+        }
+        if (!all_done) failed.push_back(i);
+      }
+      const int b = st.params.block_size(h.n());
+      st.rt->charge(4, st.params.donation_samples(h.n()) *
+                               std::max(1, ceil_log2(static_cast<std::uint64_t>(
+                                               std::max(2, b)))) +
+                           log_bits(st));
+      if (!failed.empty()) ++st.retry_count;
+      donation_idx = std::move(failed);
+    }
+    // Cabals still unfinished after the attempt budget: remaining
+    // put-aside vertices go to the safety net.
+    for (const std::size_t i : donation_idx) {
+      for (const int u : sets[i]) {
+        if (!st.phi.colored(u)) leftovers.push_back(u);
+      }
+    }
+  }
+
+  if (!leftovers.empty()) {
+    stats.fallbacks = fallback_finish(st, leftovers);
+  }
+  return stats;
+}
+
+}  // namespace ccg::color

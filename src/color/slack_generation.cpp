@@ -1,0 +1,90 @@
+#include "color/slack_generation.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/mathutil.hpp"
+
+namespace ccg::color {
+
+int slack_generation(State& st) {
+  const auto& h = st.h();
+  const int n = h.n();
+  const int prefix = st.dc.reserved_cap;
+  CCG_CHECK(prefix < st.num_colors());
+
+  // Sampling: every non-cabal vertex, colored nobody yet.
+  std::unordered_map<int, int> candidate;
+  for (int v = 0; v < n; ++v) {
+    if (st.dc.in_cabal(v)) continue;
+    if (!st.rng.next_bool(st.params.slack_activation)) continue;
+    const int c =
+        prefix + static_cast<int>(st.rng.next_below(
+                     static_cast<std::uint64_t>(st.num_colors() - prefix)));
+    candidate.emplace(v, c);
+  }
+  // Keep c(v) iff no neighbor sampled the same color (nothing else is
+  // colored at this stage, so candidate-candidate conflicts are the only
+  // ones; symmetric, no ID priority needed — both drop).
+  int colored = 0;
+  for (const auto& [v, c] : candidate) {
+    bool unique = true;
+    for (const int u : h.neighbors(v)) {
+      const auto it = candidate.find(u);
+      if (it != candidate.end() && it->second == c) {
+        unique = false;
+        break;
+      }
+    }
+    if (unique) {
+      st.assign(v, c);
+      ++colored;
+    }
+  }
+  st.rt->charge(2, 2 * ceil_log2(static_cast<std::uint64_t>(
+                        std::max(2, n))));
+  return colored;
+}
+
+SlackStats measure_slack(const State& st) {
+  const auto& h = st.h();
+  SlackStats out;
+  for (int v = 0; v < h.n(); ++v) {
+    // Palette size |L(v)|.
+    std::unordered_set<int> used;
+    int colored_nbrs = 0;
+    for (const int u : h.neighbors(v)) {
+      if (st.phi.colored(u)) {
+        ++colored_nbrs;
+        used.insert(st.phi.get(u));
+      }
+    }
+    if (!st.dc.is_dense(v)) {
+      const int palette = st.num_colors() - static_cast<int>(used.size());
+      const int unc_deg = h.degree(v) - colored_nbrs;
+      out.sparse_slack.push_back(palette - unc_deg);
+    } else {
+      const int reuse = colored_nbrs - static_cast<int>(used.size());
+      int ext = 0;
+      for (const int u : h.neighbors(v)) {
+        if (st.dc.clique_of(u) != st.dc.clique_of(v)) ++ext;
+      }
+      out.dense_reuse_and_ext.emplace_back(reuse, ext);
+    }
+  }
+  for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
+    const auto& members = st.dc.acd.members[static_cast<std::size_t>(k)];
+    int colored = 0;
+    for (const int v : members) {
+      if (st.phi.colored(v)) ++colored;
+    }
+    out.clique_colored_fraction.push_back(
+        members.empty() ? 0.0
+                        : static_cast<double>(colored) /
+                              static_cast<double>(members.size()));
+  }
+  return out;
+}
+
+}  // namespace ccg::color

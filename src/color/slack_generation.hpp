@@ -1,0 +1,34 @@
+// SlackGeneration (paper, Algorithm 18 / Proposition 4.5).
+//
+// Every vertex outside the cabals activates with probability p_g and tries
+// one uniform color from [Delta+1] minus the reserved prefix; a vertex
+// keeps its color iff no neighbor sampled or holds the same color. Pairs of
+// same-colored vertices inside a neighborhood create *reuse slack*:
+// sparse vertices gain Omega(Delta), dense non-cabal vertices gain
+// Omega(e_v), and at most a small fraction of each almost-clique gets
+// colored (Prop 4.5 (1)-(3)). Runs before anything else is colored.
+#pragma once
+
+#include <vector>
+
+#include "color/coloring.hpp"
+
+namespace ccg::color {
+
+// Colors a subset of V \ V_cabal; returns the number of colored vertices.
+// Costs O(1) H-rounds.
+int slack_generation(State& st);
+
+// Measured post-conditions for experiment E8 (Prop 4.5):
+struct SlackStats {
+  // |L(v)| - deg_phi(v) per sparse vertex.
+  std::vector<int> sparse_slack;
+  // reuse slack |N(v) ∩ dom phi| - |phi(N(v))| per dense vertex, paired
+  // with its true external degree e_v.
+  std::vector<std::pair<int, int>> dense_reuse_and_ext;
+  // colored fraction per almost-clique.
+  std::vector<double> clique_colored_fraction;
+};
+SlackStats measure_slack(const State& st);
+
+}  // namespace ccg::color

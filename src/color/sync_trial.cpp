@@ -1,0 +1,86 @@
+#include "color/sync_trial.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hashing.hpp"
+#include "common/mathutil.hpp"
+
+namespace ccg::color {
+
+std::vector<SyncTrialResult> synchronized_color_trial(
+    State& st, const std::vector<int>& clique_ids,
+    const std::vector<std::vector<int>>& S_of) {
+  CCG_CHECK(clique_ids.size() == S_of.size());
+  const auto& h = st.h();
+
+  // Phase 1 (parallel over cliques): enumerate S, draw the permutation
+  // seed, fetch assigned colors. Nothing is adopted yet — candidates from
+  // different cliques must see a consistent snapshot.
+  std::unordered_map<int, int> candidate;  // vertex -> color
+  std::vector<SyncTrialResult> results(clique_ids.size());
+  for (std::size_t idx = 0; idx < clique_ids.size(); ++idx) {
+    const int k = clique_ids[idx];
+    auto S = S_of[idx];
+    if (S.empty()) continue;
+    auto& pal = st.palettes[static_cast<std::size_t>(k)];
+    const int r = st.dc.reserved[static_cast<std::size_t>(k)];
+    const int avail = pal.free_count(r, pal.num_colors() - 1);
+    if (static_cast<int>(S.size()) > avail) {
+      // Lemma 4.12 rules this out w.h.p.; trim deterministically (counted
+      // as a retry-shaped deviation).
+      std::sort(S.begin(), S.end());
+      S.resize(static_cast<std::size_t>(std::max(0, avail)));
+      ++st.retry_count;
+    }
+    if (S.empty()) continue;
+    std::sort(S.begin(), S.end());  // enumeration order (prefix sums)
+    const FeistelPermutation pi(S.size(), st.rng.next_u64());
+    for (std::size_t i = 0; i < S.size(); ++i) {
+      const int pos = static_cast<int>(pi(i));
+      const int c = pal.select_free(r, pal.num_colors() - 1, pos);
+      CCG_CHECK(c >= 0);
+      candidate.emplace(S[i], c);
+    }
+    results[idx].participated = static_cast<int>(S.size());
+  }
+
+  // Phase 2: resolve conflicts. Within a clique, colors are distinct by
+  // construction; a vertex drops only if an external neighbor already
+  // holds its color or simultaneously tries it (symmetric drop — external
+  // randomness may be adversarial, Lemma 4.13).
+  std::vector<std::pair<int, int>> adopted;
+  for (const auto& [v, c] : candidate) {
+    bool ok = true;
+    const int kv = st.dc.clique_of(v);
+    for (const int u : h.neighbors(v)) {
+      if (st.dc.clique_of(u) == kv) continue;
+      if (st.phi.get(u) == c) {
+        ok = false;
+        break;
+      }
+      const auto it = candidate.find(u);
+      if (it != candidate.end() && it->second == c) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) adopted.emplace_back(v, c);
+  }
+  std::unordered_map<int, std::size_t> idx_of;
+  for (std::size_t idx = 0; idx < clique_ids.size(); ++idx) {
+    idx_of[clique_ids[idx]] = idx;
+  }
+  for (const auto& [v, c] : adopted) {
+    st.assign(v, c);
+    ++results[idx_of[st.dc.clique_of(v)]].colored;
+  }
+
+  // Enumeration (prefix sums on a height-<=2 tree) + seed broadcast +
+  // palette query + conflict exchange: O(1) H-rounds of O(log n) bits.
+  st.rt->charge(5, 2 * ceil_log2(static_cast<std::uint64_t>(
+                        std::max(2, h.n()))));
+  return results;
+}
+
+}  // namespace ccg::color

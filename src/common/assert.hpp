@@ -1,0 +1,56 @@
+// Contract-checking macros used across the library.
+//
+// CCG_CHECK   — always-on invariant check; throws ccg::ContractViolation.
+// CCG_ASSERT  — debug-only check (compiled out under NDEBUG).
+//
+// Distributed-simulation bugs tend to corrupt results silently (a coloring
+// that is "almost proper", a ledger that under-charges), so library code
+// checks its invariants eagerly and loudly instead of returning error codes.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ccg {
+
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace ccg
+
+#define CCG_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ccg::detail::contract_fail("CCG_CHECK", #cond, __FILE__, __LINE__,  \
+                                   "");                                     \
+  } while (0)
+
+#define CCG_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream ccg_os_;                                           \
+      ccg_os_ << msg;                                                       \
+      ::ccg::detail::contract_fail("CCG_CHECK", #cond, __FILE__, __LINE__,  \
+                                   ccg_os_.str());                          \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define CCG_ASSERT(cond) ((void)0)
+#else
+#define CCG_ASSERT(cond) CCG_CHECK(cond)
+#endif

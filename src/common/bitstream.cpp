@@ -1,0 +1,68 @@
+#include "common/bitstream.hpp"
+
+#include <bit>
+
+namespace ccg {
+
+void BitWriter::write_bits(std::uint64_t value, int width) {
+  CCG_CHECK(width >= 0 && width <= 64);
+  if (width == 0) return;
+  if (width < 64) value &= (1ULL << width) - 1;
+  const int word_idx = bit_count_ >> 6;
+  const int offset = bit_count_ & 63;
+  if (static_cast<std::size_t>(word_idx) >= words_.size()) words_.push_back(0);
+  words_[static_cast<std::size_t>(word_idx)] |= value << offset;
+  if (offset + width > 64) {
+    words_.push_back(value >> (64 - offset));
+  }
+  bit_count_ += width;
+}
+
+void BitWriter::write_bit(bool b) { write_bits(b ? 1u : 0u, 1); }
+
+void BitWriter::write_unary(int value) {
+  CCG_CHECK(value >= 0);
+  for (int i = 0; i < value; ++i) write_bit(true);
+  write_bit(false);
+}
+
+void BitWriter::write_gamma(std::uint64_t value) {
+  CCG_CHECK(value >= 1);
+  const int len = 63 - std::countl_zero(value);  // floor(log2 value)
+  for (int i = 0; i < len; ++i) write_bit(false);
+  // Emit the value MSB-first so the leading 1 terminates the zero run.
+  for (int i = len; i >= 0; --i) write_bit((value >> i) & 1u);
+}
+
+std::uint64_t BitReader::read_bits(int width) {
+  CCG_CHECK(width >= 0 && width <= 64);
+  CCG_CHECK_MSG(pos_ + width <= total_bits_, "bitstream overrun");
+  if (width == 0) return 0;
+  const int word_idx = pos_ >> 6;
+  const int offset = pos_ & 63;
+  std::uint64_t v = (*words_)[static_cast<std::size_t>(word_idx)] >> offset;
+  if (offset + width > 64) {
+    v |= (*words_)[static_cast<std::size_t>(word_idx) + 1] << (64 - offset);
+  }
+  if (width < 64) v &= (1ULL << width) - 1;
+  pos_ += width;
+  return v;
+}
+
+bool BitReader::read_bit() { return read_bits(1) != 0; }
+
+int BitReader::read_unary() {
+  int v = 0;
+  while (read_bit()) ++v;
+  return v;
+}
+
+std::uint64_t BitReader::read_gamma() {
+  int zeros = 0;
+  while (!read_bit()) ++zeros;
+  std::uint64_t v = 1;
+  for (int i = 0; i < zeros; ++i) v = (v << 1) | read_bits(1);
+  return v;
+}
+
+}  // namespace ccg

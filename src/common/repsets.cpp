@@ -1,0 +1,60 @@
+#include "common/repsets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hashing.hpp"
+#include "common/mathutil.hpp"
+
+namespace ccg {
+
+RepresentativeFamily::RepresentativeFamily(int universe, int set_size,
+                                           int family_size,
+                                           std::uint64_t seed)
+    : universe_(universe),
+      set_size_(std::min(set_size, universe)),
+      family_size_(family_size),
+      seed_(seed) {
+  CCG_CHECK(universe >= 1 && set_size >= 1 && family_size >= 1);
+}
+
+std::vector<int> RepresentativeFamily::set(int i) const {
+  CCG_CHECK(i >= 0 && i < family_size_);
+  const FeistelPermutation perm(
+      static_cast<std::uint64_t>(universe_),
+      mix64(seed_ ^ (0x5bd1e995ULL * static_cast<std::uint64_t>(i + 1))));
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(set_size_));
+  for (int j = 0; j < set_size_; ++j) {
+    out.push_back(
+        static_cast<int>(perm(static_cast<std::uint64_t>(j))));
+  }
+  return out;
+}
+
+int RepresentativeFamily::sample_index(Rng& rng) const {
+  return static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(family_size_)));
+}
+
+int RepresentativeFamily::index_bits() const {
+  return std::max(1, ceil_log2(static_cast<std::uint64_t>(family_size_)));
+}
+
+int RepresentativeFamily::recommended_set_size(double alpha, double delta,
+                                               double nu) {
+  CCG_CHECK(alpha > 0 && delta > 0 && nu > 0 && nu < 1);
+  const double s = std::log(1.0 / nu) / (alpha * alpha * delta);
+  return std::max(4, static_cast<int>(std::ceil(s)));
+}
+
+int RepresentativeFamily::recommended_family_size(int universe, double nu) {
+  CCG_CHECK(universe >= 1 && nu > 0 && nu < 1);
+  const double t =
+      universe / nu +
+      universe * std::log2(std::max(2.0, static_cast<double>(universe)));
+  // Members are derived, not stored; the cap keeps index_bits = O(log n).
+  return static_cast<int>(std::min(t, 1.0 * (1 << 22)));
+}
+
+}  // namespace ccg

@@ -1,0 +1,63 @@
+// Representative set families (paper, Definition C.5 and Lemma C.6).
+//
+// A family F = {S_1, ..., S_t} of s-sized subsets of a universe U of size
+// k is (alpha, delta, nu)-representative when a uniformly chosen member
+// samples every large target T ⊆ U proportionally:
+//
+//   |T| >= delta*k:  | |S_i∩T|/s - |T|/k | <= alpha*|T|/k   w.p. >= 1-nu,
+//   |T| <  delta*k:  |S_i∩T|/s <= (1+alpha)*delta           w.p. >= 1-nu.
+//
+// Lemma C.6 shows families of t = Theta(k/nu + k log k) sets of size
+// s = Theta(alpha^-2 delta^-1 log(1/nu)) exist. MultiColorTrial uses them
+// so a vertex can describe a Theta(log n)-color trial set to all neighbors
+// in O(log t) = O(log n) bits: everyone holds the (globally known) family
+// and only the index travels.
+//
+// Construction: member S_i is the image of {0, ..., s-1} under a Feistel
+// permutation of the universe keyed by mix(seed, i) — s *distinct*
+// elements, materializable from 64 bits by any machine, with the i.i.d.-
+// like sampling statistics the existence proof of Lemma C.6 needs (the
+// tests verify the (alpha, delta, nu) predicate empirically).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ccg {
+
+class RepresentativeFamily {
+ public:
+  // Universe [0, k); family of `family_size` sets of `set_size` distinct
+  // elements each, derived from `seed` (known to every machine).
+  RepresentativeFamily(int universe, int set_size, int family_size,
+                       std::uint64_t seed);
+
+  int universe() const { return universe_; }
+  int set_size() const { return set_size_; }
+  int family_size() const { return family_size_; }
+
+  // Materialize S_i; any party knowing (seed, i) gets the same set.
+  std::vector<int> set(int i) const;
+
+  // Uniform member index (what a vertex broadcasts).
+  int sample_index(Rng& rng) const;
+
+  // Bits to transmit a member index: ceil(log2 t) — the Lemma C.6 price.
+  int index_bits() const;
+
+  // Lemma C.6 sizing: s = Theta(alpha^-2 delta^-1 log(1/nu)).
+  static int recommended_set_size(double alpha, double delta, double nu);
+  // t = Theta(k/nu + k log k), capped for laptop-scale memory (members are
+  // never stored, so the cap only bounds the index width).
+  static int recommended_family_size(int universe, double nu);
+
+ private:
+  int universe_;
+  int set_size_;
+  int family_size_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ccg

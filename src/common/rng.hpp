@@ -1,0 +1,63 @@
+// Deterministic, splittable random number generation.
+//
+// Every randomized routine in the library takes an explicit Rng (or a seed),
+// so simulations are reproducible bit-for-bit. Machines in the network
+// simulator derive independent streams by splitting a master seed, mirroring
+// the model assumption that each machine has private random bits
+// (paper, Section 3.2).
+//
+// Generator: xoshiro256** (public domain, Blackman/Vigna), seeded via
+// SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ccg {
+
+// SplitMix64 step; used for seeding and for cheap stateless mixing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// Stateless mix of a key; handy to derive per-entity seeds.
+std::uint64_t mix64(std::uint64_t x);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound). bound > 0. Unbiased (rejection sampling).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Bernoulli(p).
+  bool next_bool(double p);
+
+  // Geometric variable with parameter lambda as defined in the paper
+  // (Section 5.1): Pr[X = k] = lambda^k - lambda^(k+1), i.e.
+  // Pr[X >= k] = lambda^k, supported on {0, 1, 2, ...}.
+  // For lambda = 1/2 this counts fair-coin successes before the first
+  // failure and is sampled by counting trailing one-bits.
+  int next_geometric_half();
+  int next_geometric(double lambda);
+
+  // Derive an independent child generator (stream splitting).
+  Rng split();
+
+  // Fisher-Yates shuffle of [0, n) indices.
+  std::vector<int> permutation(int n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ccg

@@ -1,0 +1,86 @@
+#include "gk/candidate_family.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ccg::gk {
+
+namespace {
+
+bool is_prime(int p) {
+  if (p < 2) return false;
+  for (int d = 2; d * d <= p; ++d) {
+    if (p % d == 0) return false;
+  }
+  return true;
+}
+
+int next_prime(int x) {
+  while (!is_prime(x)) ++x;
+  return x;
+}
+
+// field^tau >= q without overflow.
+bool reaches(int field, int tau, int q) {
+  long long r = 1;
+  for (int e = 0; e < tau; ++e) {
+    r *= field;
+    if (r >= q) return true;
+  }
+  return r >= q;
+}
+
+}  // namespace
+
+CandidateFamily::CandidateFamily(int q, int min_set_size) : q_(q) {
+  CCG_CHECK(q >= 1 && min_set_size >= 1);
+  // Scan degree bounds; tau <= ceil(log2 q) + 1 always admits a field
+  // (q^(1/tau) <= 2 there), so the loop terminates.
+  long long best_universe = -1;
+  for (int tau = 1; tau <= 2 + static_cast<int>(std::ceil(
+                              std::log2(static_cast<double>(q) + 1))); ++tau) {
+    // Smallest prime covering both constraints: field >= s*tau (defect
+    // averaging) and field^tau >= q (colors map to distinct polynomials).
+    int lo = min_set_size * tau;
+    const double root =
+        std::pow(static_cast<double>(q), 1.0 / static_cast<double>(tau));
+    lo = std::max(lo, static_cast<int>(std::ceil(root)));
+    lo = std::max(lo, 2);
+    int field = next_prime(lo);
+    while (!reaches(field, tau, q)) field = next_prime(field + 1);
+    const long long uni = static_cast<long long>(field) * field;
+    if (best_universe < 0 || uni < best_universe) {
+      best_universe = uni;
+      field_ = field;
+      tau_ = tau;
+    }
+  }
+}
+
+int CandidateFamily::eval_poly(int color, int x) const {
+  // Coefficients = base-field digits of the color (degree < tau).
+  long long fx = 0;
+  long long pow_x = 1;
+  long long c = color;
+  for (int e = 0; e < tau_; ++e) {
+    fx = (fx + (c % field_) * pow_x) % field_;
+    c /= field_;
+    pow_x = (pow_x * x) % field_;
+  }
+  return static_cast<int>(fx);
+}
+
+int CandidateFamily::element(int color, int j) const {
+  CCG_CHECK(color >= 0 && color < q_ && j >= 0 && j < field_);
+  return j * field_ + eval_poly(color, j);
+}
+
+bool CandidateFamily::contains(int color, int elem) const {
+  CCG_CHECK(elem >= 0 && elem < universe());
+  const int x = elem / field_;
+  const int y = elem % field_;
+  return eval_poly(color, x) == y;
+}
+
+}  // namespace ccg::gk

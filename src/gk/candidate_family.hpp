@@ -1,0 +1,59 @@
+// Candidate-color set systems (paper, Equation 18).
+//
+// Linial-style color reduction — and the weighted defective coloring of
+// Lemma 9.6 built on it — needs, for every current color i in [q], a set
+// S_i of candidate next-colors such that the S_i are large but pairwise
+// nearly disjoint:
+//
+//   |S_i| = s*tau,  |S_i ∩ S_j| < tau  for i != j,  S_i ⊆ [s^2 tau].
+//
+// The classical construction identifies color i with the polynomial p_i
+// over GF(field) whose coefficients are the base-`field` digits of i
+// (degree < tau, so field^tau >= q distinguishes all colors), and sets
+//
+//   S_i = { (x, p_i(x)) : x in GF(field) }  ⊆  [field^2].
+//
+// Distinct polynomials of degree < tau agree on at most tau - 1 points, so
+// |S_i ∩ S_j| <= tau - 1 < tau; choosing field >= s*tau yields the sizes
+// above. The averaging argument of Lemma 9.6 then guarantees each vertex a
+// candidate whose bichromatic weight is at most W_v / s.
+#pragma once
+
+#include <vector>
+
+namespace ccg::gk {
+
+class CandidateFamily {
+ public:
+  // Builds the cheapest valid family for `q` input colors with candidate
+  // sets of size >= `min_set_size` ("s*tau" in the paper): scans the
+  // polynomial degree bound tau and picks the (field, tau) pair minimizing
+  // the output universe field^2.
+  CandidateFamily(int q, int min_set_size);
+
+  int q() const { return q_; }
+  int field() const { return field_; }        // evaluation points / set size
+  int degree_bound() const { return tau_; }   // polynomials have degree < tau
+  int universe() const { return field_ * field_; }  // new color count
+  int set_size() const { return field_; }
+
+  // j-th candidate of S_color: the pair (x = j, p_color(j)) encoded as
+  // j * field + p_color(j).
+  int element(int color, int j) const;
+
+  // Membership test: does `elem` (encoded pair) lie in S_color?  O(tau).
+  bool contains(int color, int elem) const;
+
+  // True iff the reduction makes progress (universe < q); callers stop
+  // iterating once the fixpoint O(min_set_size^2) is reached.
+  bool shrinks() const { return universe() < q_; }
+
+ private:
+  int eval_poly(int color, int x) const;
+
+  int q_;
+  int field_;
+  int tau_;
+};
+
+}  // namespace ccg::gk

@@ -1,0 +1,219 @@
+#include "gk/gk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "color/primitives.hpp"
+#include "common/mathutil.hpp"
+#include "gk/rounding.hpp"
+
+namespace ccg::gk {
+
+namespace {
+
+// Colors of `list` still free among v's colored neighbors.
+std::vector<int> live_of(const color::State& st, int v,
+                         const std::vector<int>& list) {
+  std::vector<int> out;
+  for (const int c : list) {
+    if (!st.phi.neighbor_uses(st.h(), v, c)) out.push_back(c);
+  }
+  return out;
+}
+
+// Split [lo, hi) into at most k near-equal sub-ranges; returns their lo
+// bounds plus the terminal hi (so ranges are [cuts[i], cuts[i+1])).
+std::vector<int> split_range(int lo, int hi, int k) {
+  const int width = hi - lo;
+  const int parts = std::min(k, width);
+  std::vector<int> cuts;
+  cuts.reserve(static_cast<std::size_t>(parts) + 1);
+  for (int i = 0; i <= parts; ++i) {
+    cuts.push_back(lo + static_cast<int>(
+                            (static_cast<long long>(width) * i) / parts));
+  }
+  return cuts;
+}
+
+// Largest-remainder apportionment of 2^b among masses; exact total.
+std::vector<int> apportion(const std::vector<int>& mass, int b) {
+  const long long total = std::accumulate(mass.begin(), mass.end(), 0LL);
+  CCG_CHECK(total > 0);
+  const long long budget = 1LL << b;
+  std::vector<int> num(mass.size(), 0);
+  std::vector<std::pair<double, int>> rem;  // (fraction, index)
+  long long assigned = 0;
+  for (int i = 0; i < static_cast<int>(mass.size()); ++i) {
+    const double exact =
+        static_cast<double>(budget) * mass[static_cast<std::size_t>(i)] /
+        static_cast<double>(total);
+    num[static_cast<std::size_t>(i)] = static_cast<int>(exact);
+    assigned += num[static_cast<std::size_t>(i)];
+    rem.emplace_back(exact - std::floor(exact), i);
+  }
+  std::sort(rem.begin(), rem.end(),
+            [](const auto& a, const auto& c) { return a.first > c.first; });
+  for (std::size_t k = 0; assigned < budget; ++k) {
+    num[static_cast<std::size_t>(rem[k % rem.size()].second)] += 1;
+    ++assigned;
+  }
+  return num;
+}
+
+}  // namespace
+
+GkStats list_color_components(color::State& st, std::vector<int> S,
+                              std::vector<std::vector<int>>& lists) {
+  GkStats stats;
+  const auto& h = st.h();
+  const int num_colors = st.num_colors();
+  const int big_k = std::max(
+      2, std::min(st.params.gk_chunk_cap,
+                  static_cast<int>(std::ceil(std::sqrt(std::log2(
+                      std::max(4.0, static_cast<double>(num_colors))))))));
+
+  const int iter_cap =
+      4 * ceil_log2(static_cast<std::uint64_t>(std::max(4, h.n()))) + 8;
+  while (!S.empty() && stats.iterations < iter_cap) {
+    ++stats.iterations;
+    // Snapshot the live lists for this pass; nobody adopts until the end.
+    std::vector<std::vector<int>> live(S.size());
+    for (int i = 0; i < static_cast<int>(S.size()); ++i) {
+      live[static_cast<std::size_t>(i)] =
+          live_of(st, S[static_cast<std::size_t>(i)],
+                  lists[static_cast<std::size_t>(
+                      S[static_cast<std::size_t>(i)])]);
+      CCG_CHECK_MSG(!live[static_cast<std::size_t>(i)].empty(),
+                    "GK finisher requires a live deg+1 list");
+    }
+
+    // Current color block per vertex; all start at the full space.
+    std::vector<int> block_lo(S.size(), 0);
+    std::vector<int> block_hi(S.size(), num_colors);
+
+    bool all_singleton = false;
+    while (!all_singleton) {
+      ++stats.levels;
+      all_singleton = true;
+      // Build the fractional assignment for this level. Label id = lo
+      // bound of the sub-range (unique per level: parents are disjoint).
+      std::vector<LabelVec> lv(S.size());
+      int max_parts = 1;
+      for (int i = 0; i < static_cast<int>(S.size()); ++i) {
+        const auto cuts = split_range(block_lo[static_cast<std::size_t>(i)],
+                                      block_hi[static_cast<std::size_t>(i)],
+                                      big_k);
+        auto& a = lv[static_cast<std::size_t>(i)];
+        std::vector<int> mass;
+        for (std::size_t p = 0; p + 1 < cuts.size(); ++p) {
+          int m = 0;
+          for (const int c : live[static_cast<std::size_t>(i)]) {
+            if (c >= cuts[p] && c < cuts[p + 1]) ++m;
+          }
+          if (m > 0) {
+            a.ids.push_back(cuts[p]);
+            a.y.push_back(1.0 / m);
+            mass.push_back(m);
+          }
+        }
+        CCG_CHECK(!a.ids.empty());
+        max_parts = std::max(max_parts, a.label_count());
+        // Range boundaries for the narrow step below.
+        a.num = mass;  // temporarily store masses; replaced by apportion
+      }
+      const int b = std::max(1, ceil_log2(static_cast<std::uint64_t>(
+                                    std::max(2, max_parts)))) +
+                    2;
+      for (auto& a : lv) a.num = apportion(a.num, b);
+
+      // b rounding steps: 2^-b-integral -> integral.
+      int denom_log2 = b;
+      const double eps_step = st.params.gk_round_eps;
+      while (denom_log2 > 0) {
+        RoundingStats rs;
+        rounding_step(st, S, lv, denom_log2, eps_step, &rs);
+        ++stats.rounding_steps;
+        stats.classes_swept += rs.classes_swept;
+      }
+
+      // Narrow every vertex to its selected sub-range.
+      for (int i = 0; i < static_cast<int>(S.size()); ++i) {
+        auto& a = lv[static_cast<std::size_t>(i)];
+        int chosen = -1;
+        for (int li = 0; li < a.label_count(); ++li) {
+          if (a.num[static_cast<std::size_t>(li)] == 1) {
+            CCG_CHECK(chosen < 0);
+            chosen = a.ids[static_cast<std::size_t>(li)];
+          }
+        }
+        CCG_CHECK_MSG(chosen >= 0, "rounding must leave exactly one label");
+        const auto cuts = split_range(block_lo[static_cast<std::size_t>(i)],
+                                      block_hi[static_cast<std::size_t>(i)],
+                                      big_k);
+        for (std::size_t p = 0; p + 1 < cuts.size(); ++p) {
+          if (cuts[p] == chosen) {
+            block_lo[static_cast<std::size_t>(i)] = cuts[p];
+            block_hi[static_cast<std::size_t>(i)] = cuts[p + 1];
+            break;
+          }
+        }
+        // Keep only live colors inside the new block.
+        auto& lw = live[static_cast<std::size_t>(i)];
+        std::vector<int> next;
+        for (const int c : lw) {
+          if (c >= block_lo[static_cast<std::size_t>(i)] &&
+              c < block_hi[static_cast<std::size_t>(i)]) {
+            next.push_back(c);
+          }
+        }
+        CCG_CHECK(!next.empty());
+        lw = std::move(next);
+        if (block_hi[static_cast<std::size_t>(i)] -
+                block_lo[static_cast<std::size_t>(i)] >
+            1) {
+          all_singleton = false;
+        }
+      }
+    }
+
+    // Adopt conflict-free selections (one exchange round).
+    std::vector<char> in_s(static_cast<std::size_t>(h.n()), 0);
+    std::vector<int> proposed(static_cast<std::size_t>(h.n()), -1);
+    for (int i = 0; i < static_cast<int>(S.size()); ++i) {
+      in_s[static_cast<std::size_t>(S[static_cast<std::size_t>(i)])] = 1;
+      proposed[static_cast<std::size_t>(S[static_cast<std::size_t>(i)])] =
+          block_lo[static_cast<std::size_t>(i)];
+    }
+    st.rt->charge(1, 2 * ceil_log2(static_cast<std::uint64_t>(
+                          std::max(2, h.n()))));
+    std::vector<int> rest;
+    for (const int v : S) {
+      const int c = proposed[static_cast<std::size_t>(v)];
+      bool clash = st.phi.neighbor_uses(h, v, c);
+      if (!clash) {
+        for (const int u : h.neighbors(v)) {
+          if (in_s[static_cast<std::size_t>(u)] &&
+              proposed[static_cast<std::size_t>(u)] == c) {
+            clash = true;
+            break;
+          }
+        }
+      }
+      if (clash) {
+        rest.push_back(v);
+      } else {
+        st.assign(v, c);
+      }
+    }
+    stats.conflicts_left += static_cast<int>(rest.size());
+    S = std::move(rest);
+  }
+
+  if (!S.empty()) {
+    stats.fallback = color::fallback_finish(st, S);
+  }
+  return stats;
+}
+
+}  // namespace ccg::gk

@@ -1,0 +1,45 @@
+// The Ghaffari-Kuhn (deg+1)-list-coloring finisher for shattered instances
+// (paper, Lemma 9.1 / Section 9.4).
+//
+// After shattering, the uncolored subgraph has poly(log n)-size components
+// and every vertex holds a list of deg+1 free colors. The finisher selects
+// colors by recursive subdivision of the color space: the current color
+// block of each vertex is split into K = O(sqrt(log C)) chunks, a
+// fractional label assignment (mass proportional to the list overlap with
+// each chunk, penalties y = 1/overlap) is rounded to an integral chunk
+// choice by b applications of the approximate rounding lemma (Lemma 9.7),
+// and after Q = O(log C / loglog C) levels every vertex sits on a single
+// color. The rounding guarantees the total cost — an upper bound on the
+// number of monochromatic edges — grows by only (1 + 1/Q) per level, so a
+// constant fraction of vertices picks a conflict-free color per iteration;
+// O(log N) iterations color everything.
+//
+// The whole ladder (candidate families -> weighted defective colorings ->
+// sequential class sweeps -> per-level rounding) is implemented and
+// charged; weight sums are computed exactly by default and charged as the
+// Lemma 9.4 fingerprint payloads, or actually estimated with duplicated
+// geometric maxima when Params::gk_estimated_weights is set.
+#pragma once
+
+#include <vector>
+
+#include "color/coloring.hpp"
+
+namespace ccg::gk {
+
+struct GkStats {
+  int iterations = 0;        // outer select-and-adopt passes
+  int levels = 0;            // recursion levels executed (sum over passes)
+  int rounding_steps = 0;    // Lemma 9.7 applications
+  int classes_swept = 0;     // sequential defective-class rounds
+  int conflicts_left = 0;    // vertices deferred at least once
+  int fallback = 0;          // vertices finished by the safety net
+};
+
+// Lemma 9.1: extends st.phi to every vertex of S. lists[v] (indexed by
+// vertex id) must hold at least deg_S(v) + 1 colors free at entry; the
+// deg+1 invariant is maintained as neighbors adopt. Proper on exit.
+GkStats list_color_components(color::State& st, std::vector<int> S,
+                              std::vector<std::vector<int>>& lists);
+
+}  // namespace ccg::gk

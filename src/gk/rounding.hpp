@@ -1,0 +1,72 @@
+// Approximate rounding of fractional label assignments (paper, Lemma 9.7),
+// with the duplicated-fingerprint weight estimator of Lemma 9.4.
+//
+// A fractional assignment gives every vertex a distribution x_v over a
+// small label set (here: the K sub-blocks of its current color block),
+// stored as fixed-point numerators with a shared power-of-two denominator
+// (Definition 9.3: 2^-b-integral). The cost of an assignment against
+// per-vertex label penalties y is Eq. 16:
+//
+//   C(x, y) = sum_{uv in E} sum_l x_ul x_vl (y_ul + y_vl).
+//
+// One rounding step halves the denominator while increasing the cost by at
+// most a (1 + eps) factor: compute an (eps/8)-relative weighted defective
+// coloring of the uncolored subgraph under the Eq. 17 weights, then sweep
+// its color classes sequentially; each vertex of the active class splits
+// its odd-numerator labels into the half with the largest estimated
+// incident weights W_vl = sum_u x_ul (y_ul + y_vl) (decremented) and the
+// rest (incremented). Numerators stay non-negative and only ever move
+// between labels that started with positive mass, so the final integral
+// assignment picks a label the vertex's list actually supports.
+#pragma once
+
+#include <vector>
+
+#include "color/coloring.hpp"
+
+namespace ccg::gk {
+
+// Sparse per-vertex fractional assignment. ids are global label ids (two
+// neighbors conflict only on equal ids); num are numerators over the
+// shared denominator 2^denom_log2; y are the Lemma 9.1 penalties.
+struct LabelVec {
+  std::vector<int> ids;
+  std::vector<int> num;
+  std::vector<double> y;
+
+  int label_count() const { return static_cast<int>(ids.size()); }
+  // Numerator for a global label id; 0 when the vertex does not carry it.
+  int num_of(int id) const;
+  double y_of(int id) const;
+};
+
+struct RoundingStats {
+  int defective_colors = 0;
+  int defective_iterations = 0;
+  int classes_swept = 0;   // non-empty defective classes (sequential rounds)
+  double cost_before = 0;
+  double cost_after = 0;
+};
+
+// Eq. 16 cost of the assignment over H[S]; lv is aligned with S and
+// denom_log2 is the shared denominator exponent.
+double assignment_cost(const color::State& st, const std::vector<int>& S,
+                       const std::vector<LabelVec>& lv, int denom_log2);
+
+// Lemma 9.4: estimate sum_u dup_u where every term is a non-negative
+// integer "duplication count", by t maxima of duplicated geometric(1/2)
+// variables fed through the Lemma 5.2 estimator. Exercised when
+// Params::gk_estimated_weights is set; the exact path charges the same
+// rounds (the estimator itself is validated by experiment E4).
+double estimate_duplicated_sum(const std::vector<long long>& dups, int t,
+                               Rng& rng);
+
+// One Lemma 9.7 step on H[S]: halves the denominator (denom_log2 -> -1),
+// cost grows by <= (1 + eps) plus the discretization slack measured by
+// the caller. Charges: the defective coloring plus one H-round per
+// non-empty class (per-link message = |labels| fingerprint words).
+void rounding_step(color::State& st, const std::vector<int>& S,
+                   std::vector<LabelVec>& lv, int& denom_log2, double eps,
+                   RoundingStats* stats = nullptr);
+
+}  // namespace ccg::gk

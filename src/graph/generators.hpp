@@ -1,0 +1,74 @@
+// Graph generators.
+//
+// The central one is make_planted_acd: graphs with a known ("planted")
+// almost-clique decomposition — dense blocks of size ~(Delta+1-e+a) with
+// per-vertex anti-degree a and external degree e, plus a sparse background.
+// This realizes the simplified setting the paper itself analyzes
+// (Section 2.4: (Delta+1-r)-cliques with r external neighbors) and gives
+// ground truth for validating the distributed ACD, the colorful matching
+// and the cabal pipeline.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ccg::graph {
+
+Graph gnp(int n, double p, Rng& rng);
+Graph gnm(int n, std::int64_t m, Rng& rng);
+Graph random_tree(int n, Rng& rng);
+Graph path(int n);
+Graph cycle(int n);
+Graph star(int n);       // vertex 0 is the center, n-1 leaves
+Graph complete(int n);
+Graph grid(int w, int h);
+
+// k-th power of g: edge {u,v} iff dist_g(u,v) <= k. Used by the distance-2
+// coloring example (Corollary 1.3).
+Graph graph_power(const Graph& g, int k);
+
+// Chung-Lu power-law graph: expected degree of vertex i proportional to
+// (i + 1)^(-1/(gamma - 1)), scaled so the expected average degree is
+// avg_deg. gamma in (2, inf); smaller gamma = heavier tail. The skewed
+// degree sequence stresses the pipeline's sparse/dense split: power-law
+// hubs have sparse neighborhoods, so these graphs exercise the sparse
+// path even at high Delta.
+Graph chung_lu(int n, double avg_deg, double gamma, Rng& rng);
+
+// Connected caveman / ring-of-cliques: `cliques` blocks of `size` vertices
+// each, consecutive blocks joined by `bridges` random inter-block edges.
+// Near-uniform almost-cliques with tiny external degree — the cabal-est
+// workload a generator can produce, and a classic community-structure
+// benchmark shape.
+Graph caveman(int cliques, int size, int bridges, Rng& rng);
+
+struct PlantedSpec {
+  int delta = 64;        // target maximum degree
+  int num_cliques = 4;   // number of planted almost-cliques
+  int anti_deg = 0;      // per-vertex anti-degree a_v inside each block
+  int external_deg = 8;  // per-vertex external degree e_v target
+  int num_sparse = 0;    // vertices in the sparse background
+  double sparse_avg_deg = 0.0;  // expected degree within the sparse part
+  // Fraction of external stubs wired into the sparse part instead of other
+  // cliques (when num_sparse > 0).
+  double external_to_sparse = 0.0;
+};
+
+struct PlantedGraph {
+  Graph g;
+  std::vector<int> clique_of;  // planted block id, -1 for sparse vertices
+  int num_cliques = 0;
+  int delta = 0;  // actual max degree of g
+};
+
+// Each planted block K has size Delta + 1 - external_deg + anti_deg so in-
+// block degree + external degree ~= Delta, matching the paper's simplified
+// dense setting. Anti-edges are a (random-relabelled) circulant so every
+// block vertex has anti-degree exactly `anti_deg`. External edges are wired
+// via random stub matching between different blocks; per-vertex external
+// degree is <= external_deg (equal unless stub matching retires stubs).
+PlantedGraph make_planted_acd(const PlantedSpec& spec, Rng& rng);
+
+}  // namespace ccg::graph

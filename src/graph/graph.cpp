@@ -1,0 +1,109 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ccg::graph {
+
+Graph Graph::from_edges(int n, const std::vector<std::pair<int, int>>& edges) {
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  g.finalize();
+  return g;
+}
+
+void Graph::add_edge(int u, int v) {
+  CCG_CHECK(!finalized_);
+  CCG_CHECK(u >= 0 && u < n() && v >= 0 && v < n());
+  CCG_CHECK_MSG(u != v, "self-loop");
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  ++m_;
+}
+
+void Graph::finalize() {
+  if (finalized_) return;
+  for (std::size_t v = 0; v < adj_.size(); ++v) {
+    auto& a = adj_[v];
+    std::sort(a.begin(), a.end());
+    CCG_CHECK_MSG(std::adjacent_find(a.begin(), a.end()) == a.end(),
+                  "duplicate edge at vertex " << v);
+  }
+  finalized_ = true;
+}
+
+bool Graph::has_edge(int u, int v) const {
+  CCG_CHECK(finalized_);
+  const auto& a = adj_[static_cast<std::size_t>(u)];
+  const auto& b = adj_[static_cast<std::size_t>(v)];
+  const auto& small = a.size() <= b.size() ? a : b;
+  const int target = a.size() <= b.size() ? v : u;
+  return std::binary_search(small.begin(), small.end(), target);
+}
+
+int Graph::max_degree() const {
+  int d = 0;
+  for (int v = 0; v < n(); ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+std::vector<int> Graph::connected_components() const {
+  std::vector<int> comp(static_cast<std::size_t>(n()), -1);
+  int next = 0;
+  std::queue<int> q;
+  for (int s = 0; s < n(); ++s) {
+    if (comp[static_cast<std::size_t>(s)] != -1) continue;
+    comp[static_cast<std::size_t>(s)] = next;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (const int u : neighbors(v)) {
+        if (comp[static_cast<std::size_t>(u)] == -1) {
+          comp[static_cast<std::size_t>(u)] = next;
+          q.push(u);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+bool Graph::is_connected() const {
+  if (n() == 0) return true;
+  const auto comp = connected_components();
+  return std::all_of(comp.begin(), comp.end(),
+                     [](int c) { return c == 0; });
+}
+
+std::vector<std::pair<int, int>> Graph::edges() const {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(static_cast<std::size_t>(m_));
+  for (int u = 0; u < n(); ++u) {
+    for (const int v : neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::pair<Graph, std::vector<int>> Graph::induced_subgraph(
+    const std::vector<int>& keep) const {
+  std::vector<int> new_id(static_cast<std::size_t>(n()), -1);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    new_id[static_cast<std::size_t>(keep[i])] = static_cast<int>(i);
+  }
+  Graph sub(static_cast<int>(keep.size()));
+  for (const int u : keep) {
+    for (const int v : neighbors(u)) {
+      const int nu = new_id[static_cast<std::size_t>(u)];
+      const int nv = new_id[static_cast<std::size_t>(v)];
+      if (nv != -1 && nu < nv) sub.add_edge(nu, nv);
+    }
+  }
+  sub.finalize();
+  return {std::move(sub), keep};
+}
+
+}  // namespace ccg::graph

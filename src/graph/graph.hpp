@@ -1,0 +1,63 @@
+// Simple undirected graph container.
+//
+// Used both for the communication network G (vertices = machines) and the
+// cluster graph H (vertices = clusters). Adjacency lists are kept sorted
+// after finalize() so edge queries are O(log deg).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ccg::graph {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int n) : adj_(static_cast<std::size_t>(n)) {}
+
+  static Graph from_edges(int n,
+                          const std::vector<std::pair<int, int>>& edges);
+
+  // Build phase. Self-loops and duplicate edges are rejected at finalize().
+  void add_edge(int u, int v);
+
+  // Sorts adjacency lists and locks the structure. Must be called before
+  // any query. Idempotent.
+  void finalize();
+
+  int n() const { return static_cast<int>(adj_.size()); }
+  std::int64_t m() const { return m_; }
+  bool finalized() const { return finalized_; }
+
+  const std::vector<int>& neighbors(int v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+  int degree(int v) const {
+    return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+  }
+  bool has_edge(int u, int v) const;
+
+  int max_degree() const;
+  bool is_connected() const;
+
+  // Component id per vertex, ids in [0, #components).
+  std::vector<int> connected_components() const;
+
+  // All edges as (u < v) pairs, sorted.
+  std::vector<std::pair<int, int>> edges() const;
+
+  // Subgraph induced by `keep` (ids remapped to [0, |keep|));
+  // also returns the old-id list indexed by new id.
+  std::pair<Graph, std::vector<int>> induced_subgraph(
+      const std::vector<int>& keep) const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+  std::int64_t m_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace ccg::graph

@@ -1,0 +1,87 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace ccg::graph {
+
+Graph read_dimacs(std::istream& in) {
+  std::string line;
+  int n = -1;
+  std::int64_t m_declared = -1;
+  Graph g;
+  std::int64_t edges_seen = 0;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    switch (tag) {
+      case 'c':
+        break;  // comment
+      case 'p': {
+        CCG_CHECK_MSG(n == -1, "duplicate problem line at " << line_no);
+        std::string kind;
+        ls >> kind >> n >> m_declared;
+        CCG_CHECK_MSG(!ls.fail() && (kind == "edge" || kind == "col"),
+                      "bad problem line at " << line_no);
+        CCG_CHECK_MSG(n >= 0 && m_declared >= 0,
+                      "bad problem sizes at " << line_no);
+        g = Graph(n);
+        break;
+      }
+      case 'e': {
+        CCG_CHECK_MSG(n != -1, "edge before problem line at " << line_no);
+        int u = 0, v = 0;
+        ls >> u >> v;
+        CCG_CHECK_MSG(!ls.fail(), "bad edge line at " << line_no);
+        CCG_CHECK_MSG(u >= 1 && u <= n && v >= 1 && v <= n,
+                      "vertex id out of range at " << line_no);
+        g.add_edge(u - 1, v - 1);
+        ++edges_seen;
+        break;
+      }
+      default:
+        CCG_CHECK_MSG(false, "unknown line tag '" << tag << "' at line "
+                                                  << line_no);
+    }
+  }
+  CCG_CHECK_MSG(n != -1, "missing problem line");
+  CCG_CHECK_MSG(edges_seen == m_declared,
+                "edge count mismatch: declared " << m_declared << ", got "
+                                                 << edges_seen);
+  g.finalize();  // rejects duplicates/self-loops
+  return g;
+}
+
+Graph read_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  CCG_CHECK_MSG(in.good(), "cannot open " << path);
+  return read_dimacs(in);
+}
+
+void write_dimacs(const Graph& g, std::ostream& out) {
+  out << "c written by ccg\n";
+  out << "p edge " << g.n() << " " << g.m() << "\n";
+  for (const auto& [u, v] : g.edges()) {
+    out << "e " << (u + 1) << " " << (v + 1) << "\n";
+  }
+}
+
+void write_dimacs_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  CCG_CHECK_MSG(out.good(), "cannot open " << path);
+  write_dimacs(g, out);
+}
+
+void write_coloring(const std::vector<int>& colors, std::ostream& out) {
+  for (std::size_t v = 0; v < colors.size(); ++v) {
+    out << "v " << (v + 1) << " " << (colors[v] + 1) << "\n";
+  }
+}
+
+}  // namespace ccg::graph

@@ -1,0 +1,28 @@
+// DIMACS graph I/O: the lingua franca of coloring benchmarks, so the
+// library can be pointed at standard instances (and the CLI tool can be
+// dropped into existing pipelines).
+//
+// Read format: lines "c ..." (comment), "p edge <n> <m>", "e <u> <v>"
+// with 1-based vertex ids. Write emits the same dialect.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ccg::graph {
+
+// Parses a DIMACS "edge" stream; throws ContractViolation on malformed
+// input (missing problem line, out-of-range ids, duplicate edges).
+Graph read_dimacs(std::istream& in);
+Graph read_dimacs_file(const std::string& path);
+
+void write_dimacs(const Graph& g, std::ostream& out);
+void write_dimacs_file(const Graph& g, const std::string& path);
+
+// Writes "v <vertex> <color>" lines (1-based), the conventional coloring
+// output alongside DIMACS instances.
+void write_coloring(const std::vector<int>& colors, std::ostream& out);
+
+}  // namespace ccg::graph

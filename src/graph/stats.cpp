@@ -1,0 +1,101 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+namespace ccg::graph {
+
+int common_neighbors(const Graph& g, int u, int v) {
+  const auto& a = g.neighbors(u);
+  const auto& b = g.neighbors(v);
+  int count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double sparsity(const Graph& g, int v, int delta) {
+  CCG_CHECK(delta >= 1);
+  double sum = 0;
+  for (const int u : g.neighbors(v)) sum += common_neighbors(g, u, v);
+  const double pairs = static_cast<double>(delta) * (delta - 1) / 2.0;
+  return (pairs - sum / 2.0) / static_cast<double>(delta);
+}
+
+std::vector<double> all_sparsities(const Graph& g, int delta) {
+  std::vector<double> out(static_cast<std::size_t>(g.n()));
+  for (int v = 0; v < g.n(); ++v) {
+    out[static_cast<std::size_t>(v)] = sparsity(g, v, delta);
+  }
+  return out;
+}
+
+DenseDegrees dense_degrees(const Graph& g, const std::vector<int>& clique_of) {
+  const auto n = static_cast<std::size_t>(g.n());
+  CCG_CHECK(clique_of.size() == n);
+  DenseDegrees dd;
+  dd.external.assign(n, 0);
+  dd.anti.assign(n, 0);
+
+  // Clique sizes for anti-degree computation.
+  int num_cliques = 0;
+  for (const int c : clique_of) num_cliques = std::max(num_cliques, c + 1);
+  std::vector<int> size(static_cast<std::size_t>(num_cliques), 0);
+  for (const int c : clique_of) {
+    if (c >= 0) ++size[static_cast<std::size_t>(c)];
+  }
+
+  for (int v = 0; v < g.n(); ++v) {
+    const int kv = clique_of[static_cast<std::size_t>(v)];
+    if (kv < 0) continue;
+    int internal = 0;
+    for (const int u : g.neighbors(v)) {
+      if (clique_of[static_cast<std::size_t>(u)] == kv) {
+        ++internal;
+      } else {
+        ++dd.external[static_cast<std::size_t>(v)];
+      }
+    }
+    dd.anti[static_cast<std::size_t>(v)] =
+        size[static_cast<std::size_t>(kv)] - 1 - internal;
+  }
+  return dd;
+}
+
+CliqueAverages clique_averages(const Graph& g,
+                               const std::vector<int>& clique_of,
+                               int num_cliques) {
+  const auto dd = dense_degrees(g, clique_of);
+  CliqueAverages out;
+  out.avg_external.assign(static_cast<std::size_t>(num_cliques), 0.0);
+  out.avg_anti.assign(static_cast<std::size_t>(num_cliques), 0.0);
+  out.size.assign(static_cast<std::size_t>(num_cliques), 0);
+  for (int v = 0; v < g.n(); ++v) {
+    const int c = clique_of[static_cast<std::size_t>(v)];
+    if (c < 0) continue;
+    out.avg_external[static_cast<std::size_t>(c)] +=
+        dd.external[static_cast<std::size_t>(v)];
+    out.avg_anti[static_cast<std::size_t>(c)] +=
+        dd.anti[static_cast<std::size_t>(v)];
+    ++out.size[static_cast<std::size_t>(c)];
+  }
+  for (int c = 0; c < num_cliques; ++c) {
+    const auto s = static_cast<double>(out.size[static_cast<std::size_t>(c)]);
+    if (s > 0) {
+      out.avg_external[static_cast<std::size_t>(c)] /= s;
+      out.avg_anti[static_cast<std::size_t>(c)] /= s;
+    }
+  }
+  return out;
+}
+
+}  // namespace ccg::graph

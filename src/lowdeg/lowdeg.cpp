@@ -1,0 +1,475 @@
+#include "lowdeg/lowdeg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "color/matching.hpp"
+#include "color/primitives.hpp"
+#include "color/relays.hpp"
+#include "color/slack_generation.hpp"
+#include "common/mathutil.hpp"
+#include "gk/gk.hpp"
+
+namespace ccg::lowdeg {
+
+using color::State;
+
+namespace {
+
+int log_bits(const State& st) {
+  return 2 * ceil_log2(static_cast<std::uint64_t>(
+                 std::max(2, st.h().n())));
+}
+
+int loglog(int n) {
+  return std::max(1, static_cast<int>(std::ceil(
+                         std::log2(std::max(2.0, std::log2(std::max(
+                                                     4, n)))))));
+}
+
+// Live entries of v's learned list: colors still free among colored
+// neighbors (list freshness is maintained with O(|list|)-bit bitmaps each
+// round; |list| <= Delta+1 = poly(log n) here).
+std::vector<int> live_list(const State& st, int v,
+                           const std::vector<int>& list) {
+  std::vector<int> out;
+  for (const int c : list) {
+    if (!st.phi.neighbor_uses(st.h(), v, c)) out.push_back(c);
+  }
+  return out;
+}
+
+// Enumerate v's entire palette: a (Delta+1)-bit bitmap aggregation —
+// cheap in the low-degree regime; this is the paper's "learn the whole
+// clique palette / all used colors" step. Runs for any number of
+// vertices in parallel: call sites charge one batch per super-step via
+// charge_palette_round.
+std::vector<int> enumerate_palette(State& st, int v) {
+  std::vector<int> out;
+  for (int c = 0; c < st.num_colors(); ++c) {
+    if (!st.phi.neighbor_uses(st.h(), v, c)) out.push_back(c);
+  }
+  return out;
+}
+
+void charge_palette_round(State& st) {
+  st.rt->charge(1, st.num_colors());  // the ledger chunks > B payloads
+}
+
+// LearnColors (Algorithm 15, step 2): sample-and-test until every vertex
+// of S holds uncolored-degree+1 free colors. src draws candidates from the
+// vertex's legitimate color source.
+void learn_colors(State& st, const std::vector<int>& S,
+                  const color::ColorSampler& src,
+                  std::vector<std::vector<int>>& lists) {
+  const auto& h = st.h();
+  const int max_batches = 2 * loglog(h.n()) + 4;
+  for (int batch = 0; batch < max_batches; ++batch) {
+    bool all_done = true;
+    for (const int v : S) {
+      if (st.phi.colored(v)) continue;
+      auto& list = lists[static_cast<std::size_t>(v)];
+      const int need =
+          st.phi.uncolored_degree(h, v) + 1 -
+          static_cast<int>(live_list(st, v, list).size());
+      if (need <= 0) continue;
+      all_done = false;
+      const int tries = 2 * need + 2;
+      for (int i = 0; i < tries; ++i) {
+        const int c = src(v, st.rng);
+        if (c < 0) continue;
+        if (st.phi.neighbor_uses(h, v, c)) continue;
+        if (std::find(list.begin(), list.end(), c) != list.end()) continue;
+        list.push_back(c);
+      }
+    }
+    st.rt->charge(1, log_bits(st));
+    if (all_done) return;
+  }
+  // Stragglers learn their palette exhaustively (legitimate and cheap at
+  // low degree); one parallel bitmap round for the whole batch.
+  bool any = false;
+  for (const int v : S) {
+    if (st.phi.colored(v)) continue;
+    auto& list = lists[static_cast<std::size_t>(v)];
+    if (static_cast<int>(live_list(st, v, list).size()) <
+        st.phi.uncolored_degree(st.h(), v) + 1) {
+      list = enumerate_palette(st, v);
+      any = true;
+    }
+  }
+  if (any) charge_palette_round(st);
+}
+
+// Random trials from the learned lists: used both for Shattering
+// (O(loglog n) rounds) and for finishing the shattered components
+// (randomized (deg+1)-list coloring; DESIGN.md substitution #4).
+// Returns the vertices still uncolored after `rounds`.
+std::vector<int> list_trial_rounds(State& st, std::vector<int> S,
+                                   std::vector<std::vector<int>>& lists,
+                                   int rounds, double activation) {
+  const auto sampler = [&st, &lists](int v, Rng& rng) -> int {
+    const auto live =
+        live_list(st, v, lists[static_cast<std::size_t>(v)]);
+    if (live.empty()) return -1;
+    return live[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(live.size())))];
+  };
+  for (int r = 0; r < rounds && !S.empty(); ++r) {
+    color::try_color_round(st, S, sampler, activation);
+    S = color::uncolored_of(st, S);
+    // Replenish dead lists (can only happen when neighbors ate every
+    // learned color; bounded by the low-degree palette enumeration).
+    // One parallel bitmap round per trial round when needed.
+    bool any = false;
+    for (const int v : S) {
+      auto& list = lists[static_cast<std::size_t>(v)];
+      if (live_list(st, v, list).empty()) {
+        list = enumerate_palette(st, v);
+        any = true;
+      }
+    }
+    if (any) charge_palette_round(st);
+  }
+  return S;
+}
+
+int next_prime(int x) {
+  const auto is_prime = [](int p) {
+    if (p < 2) return false;
+    for (int d = 2; d * d <= p; ++d) {
+      if (p % d == 0) return false;
+    }
+    return true;
+  };
+  while (!is_prime(x)) ++x;
+  return x;
+}
+
+// Deterministic finisher for the shattered components (ablation for
+// DESIGN.md substitution #4): the classic Linial color reduction.
+//
+//  1. Component-local ids 1..N via BFS enumeration (Lemma 3.3).
+//  2. Repeat: view each current color as a degree-d polynomial over
+//     GF(q) (coefficients = base-q digits), with the smallest d such that
+//     q^(d+1) >= C for q = next_prime(Delta_F * d + 2). Distinct
+//     polynomials agree on <= d points, so among q > Delta_F * d
+//     evaluation points some x* avoids every neighbor; the vertex
+//     re-colors to (x*, f(x*)). Colors shrink from C to q^2, reaching
+//     O(Delta_F^2) in O(log* N) rounds of O(log n)-bit exchanges.
+//  3. Sweep the final classes in order: each class is an independent set,
+//     so its members simultaneously take any live learned-list color.
+//
+// Deterministic O(log* N + Delta_F^2) rounds — slower than the paper's
+// Lemma 9.1 charge but with its w.h.p.-free guarantee shape.
+void deterministic_finish(State& st, const std::vector<int>& S,
+                          std::vector<std::vector<int>>& lists) {
+  const auto& h = st.h();
+  if (S.empty()) return;
+  std::vector<char> in_s(static_cast<std::size_t>(h.n()), 0);
+  for (const int v : S) in_s[static_cast<std::size_t>(v)] = 1;
+  // Active degree inside the uncolored subgraph.
+  int delta_f = 0;
+  std::unordered_map<int, int> lin;  // Linial color per vertex
+  {
+    int next_id = 0;
+    for (const int v : S) lin[v] = next_id++;
+    for (const int v : S) {
+      int d = 0;
+      for (const int u : h.neighbors(v)) {
+        if (in_s[static_cast<std::size_t>(u)]) ++d;
+      }
+      delta_f = std::max(delta_f, d);
+    }
+  }
+  st.rt->charge(3, log_bits(st));  // component enumeration
+
+  std::int64_t num_colors = static_cast<int>(S.size());
+  for (int iter = 0; iter < 64; ++iter) {
+    // Smallest polynomial degree d with q^(d+1) >= C for
+    // q = next_prime(Delta_F * d + 1); distinct degree-d polynomials
+    // agree on <= d points, so Delta_F * d < q evaluation points always
+    // leave a conflict-free one.
+    int d = 1, q = 2;
+    for (;; ++d) {
+      q = next_prime(delta_f * d + 2);
+      std::int64_t reach = 1;
+      for (int e = 0; e <= d && reach < num_colors; ++e) reach *= q;
+      if (reach >= num_colors) break;
+      CCG_CHECK(d < 40);
+    }
+    if (static_cast<std::int64_t>(q) * q >= num_colors) break;  // stalled
+
+    const auto eval_poly = [q, d](int c, int x) {
+      // Coefficients = base-q digits of the color.
+      int fx = 0, pow_x = 1;
+      for (int e = 0; e <= d; ++e) {
+        fx = (fx + (c % q) * pow_x) % q;
+        c /= q;
+        pow_x = (pow_x * x) % q;
+      }
+      return fx;
+    };
+    std::unordered_map<int, int> next;
+    for (const int v : S) {
+      for (int x = 0; x < q; ++x) {
+        const int fx = eval_poly(lin[v], x);
+        bool clash = false;
+        for (const int u : h.neighbors(v)) {
+          if (in_s[static_cast<std::size_t>(u)] &&
+              eval_poly(lin[u], x) == fx) {
+            clash = true;
+            break;
+          }
+        }
+        if (!clash) {
+          next[v] = x * q + fx;
+          break;
+        }
+      }
+      CCG_CHECK_MSG(next.count(v), "Linial step found no free point");
+    }
+    lin = std::move(next);
+    num_colors = static_cast<std::int64_t>(q) * q;
+    st.rt->charge(1, log_bits(st));
+  }
+
+  // Class sweep: classes are independent sets; one round per class.
+  for (int c = 0; c < num_colors; ++c) {
+    bool any = false;
+    for (const int v : S) {
+      if (st.phi.colored(v) || lin[v] != c) continue;
+      any = true;
+      const auto live = live_list(st, v, lists[static_cast<std::size_t>(v)]);
+      if (!live.empty()) {
+        st.assign(v, live.front());
+      } else {
+        const auto palette = enumerate_palette(st, v);
+        CCG_CHECK_MSG(!palette.empty(), "no free color in class sweep");
+        st.assign(v, palette.front());
+      }
+    }
+    if (any) st.rt->charge(1, log_bits(st));
+  }
+}
+
+// Algorithm 15: DegreeReduction -> LearnColors -> Shattering ->
+// SmallInstanceColoring for one vertex class with its color source.
+void reduce_learn_shatter_finish(State& st, std::vector<int> S,
+                                 const color::ColorSampler& reduce_src,
+                                 const color::ColorSampler& learn_src) {
+  if (S.empty()) return;
+  const int n = st.h().n();
+  const int ll = loglog(n);
+
+  // Degree reduction: O(loglog n) plain TryColor rounds.
+  color::try_color_rounds(st, S, reduce_src,
+                          st.params.trycolor_activation, 2 * ll + 2);
+  S = color::uncolored_of(st, S);
+  if (S.empty()) return;
+
+  // Learn deg+1 colors, shatter, finish.
+  std::vector<std::vector<int>> lists(static_cast<std::size_t>(n));
+  learn_colors(st, S, learn_src, lists);
+  S = list_trial_rounds(st, std::move(S), lists, 2 * ll + 2, 0.8);
+  switch (st.params.finisher) {
+    case color::Params::Finisher::kLinial:
+      deterministic_finish(st, S, lists);
+      S = color::uncolored_of(st, S);
+      break;
+    case color::Params::Finisher::kGhaffariKuhn:
+      if (!S.empty()) {
+        // Top lists back up to deg+1 (shattering may have consumed the
+        // surplus) before handing over to Lemma 9.1.
+        learn_colors(st, S, learn_src, lists);
+        gk::list_color_components(st, S, lists);
+        S.clear();
+      }
+      break;
+    case color::Params::Finisher::kRandomizedList: {
+      // Randomized finisher: list coloring until the shattered components
+      // die out; observed O(log N) rounds for N = poly(log n) components.
+      const int finish_cap = 8 * ceil_log2(static_cast<std::uint64_t>(
+                                     std::max(4, n))) +
+                             16;
+      S = list_trial_rounds(st, std::move(S), lists, finish_cap, 0.9);
+      break;
+    }
+  }
+  if (!S.empty()) color::fallback_finish(st, S);
+}
+
+}  // namespace
+
+color::Result color_low_degree(cluster::Runtime& rt,
+                               const color::Params& params) {
+  State st(rt, params);
+  const int n = rt.h().n();
+  const int delta = rt.delta();
+  const int logn = ceil_log2(static_cast<std::uint64_t>(std::max(2, n)));
+
+  if (delta + 1 <= 4 * logn) {
+    // ---- Logarithmic regime (Algorithm 12): palettes are bitmaps. ----
+    net::PhaseScope p(rt.ledger(), "lowdeg-logarithmic");
+    std::vector<int> all(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+    std::vector<std::vector<int>> lists(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      lists[static_cast<std::size_t>(v)] = enumerate_palette(st, v);
+    }
+    charge_palette_round(st);  // all vertices aggregate in parallel
+    auto left = list_trial_rounds(st, std::move(all), lists,
+                                  2 * loglog(n) + 2, 0.8);
+    switch (st.params.finisher) {
+      case color::Params::Finisher::kLinial:
+        deterministic_finish(st, left, lists);
+        left = color::uncolored_of(st, left);
+        break;
+      case color::Params::Finisher::kGhaffariKuhn:
+        if (!left.empty()) {
+          for (const int v : left) {
+            lists[static_cast<std::size_t>(v)] = enumerate_palette(st, v);
+          }
+          charge_palette_round(st);
+          gk::list_color_components(st, left, lists);
+          left.clear();
+        }
+        break;
+      case color::Params::Finisher::kRandomizedList: {
+        const int finish_cap = 8 * logn + 16;
+        left =
+            list_trial_rounds(st, std::move(left), lists, finish_cap, 0.9);
+        break;
+      }
+    }
+    if (!left.empty()) color::fallback_finish(st, left);
+  } else {
+    // ---- Polylogarithmic regime (Algorithms 13/14/15). ----
+    {
+      net::PhaseScope p(rt.ledger(), "lowdeg-acd");
+      color::build_dense_context(st);
+      // Section 9.2: the cabal threshold moves to Theta(log n) and no
+      // colors are reserved in the low-degree regime.
+      st.dc.ell = logn;
+      for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
+        st.dc.info.is_cabal[static_cast<std::size_t>(k)] =
+            st.dc.info.avg_ext_est[static_cast<std::size_t>(k)] <
+            st.dc.ell;
+        st.dc.reserved[static_cast<std::size_t>(k)] = 0;
+      }
+      st.dc.reserved_cap = 0;
+    }
+    {
+      net::PhaseScope p(rt.ledger(), "lowdeg-slackgen");
+      color::slack_generation(st);
+    }
+    const auto uniform = color::uniform_sampler(st.num_colors(), 0);
+    const auto palette = color::clique_palette_sampler(
+        st, [](int) { return 0; });
+    {
+      net::PhaseScope p(rt.ledger(), "lowdeg-sparse");
+      std::vector<int> sparse;
+      for (int v = 0; v < n; ++v) {
+        if (!st.dc.is_dense(v)) sparse.push_back(v);
+      }
+      reduce_learn_shatter_finish(st, std::move(sparse), uniform, uniform);
+    }
+    {
+      net::PhaseScope p(rt.ledger(), "lowdeg-noncabals");
+      std::vector<int> ids;
+      for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
+        if (!st.dc.info.is_cabal[static_cast<std::size_t>(k)]) {
+          ids.push_back(k);
+        }
+      }
+      if (!ids.empty()) {
+        const int target = std::max(
+            1, static_cast<int>(2.2 * st.params.eps * delta));
+        color::colorful_matching(st, ids, [target](int) { return target; });
+        std::vector<int> outliers, inliers;
+        for (const int k : ids) {
+          const double e_k = std::max(
+              1.0, st.dc.info.avg_ext_est[static_cast<std::size_t>(k)]);
+          for (const int v : st.uncolored_members(k)) {
+            if (st.dc.ext_est(v) > st.params.inlier_ext_factor * e_k) {
+              outliers.push_back(v);
+            } else {
+              inliers.push_back(v);
+            }
+          }
+        }
+        reduce_learn_shatter_finish(st, std::move(outliers), uniform,
+                                    uniform);
+        reduce_learn_shatter_finish(st, std::move(inliers), palette,
+                                    palette);
+      }
+    }
+    {
+      net::PhaseScope p(rt.ledger(), "lowdeg-cabals");
+      std::vector<int> ids;
+      for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
+        if (st.dc.info.is_cabal[static_cast<std::size_t>(k)]) {
+          ids.push_back(k);
+        }
+      }
+      if (!ids.empty()) {
+        const int target = std::max(
+            1, static_cast<int>(2.2 * st.params.eps * delta));
+        color::colorful_matching(st, ids, [target](int) { return target; });
+        const int small_threshold = std::max(2, logn / 2);
+        std::vector<std::pair<int, int>> all_pairs;
+        bool any_redo = false;
+        int relay_rounds = 0;
+        for (const int k : ids) {
+          auto& pal = st.palettes[static_cast<std::size_t>(k)];
+          if (pal.repeats() >= small_threshold) continue;
+          any_redo = true;
+          for (const int v :
+               st.dc.acd.members[static_cast<std::size_t>(k)]) {
+            if (st.phi.colored(v)) st.unassign(v);
+          }
+          // Lemma 9.2 relays substitute for the random groups (Delta may
+          // be well below log^2 n here); the fingerprint matching itself
+          // is unchanged. Parallel across cabals, charged once per batch.
+          const auto pairs = color::fingerprint_matching(
+              st, k, nullptr, /*charge=*/false);
+          if (!pairs.empty()) {
+            const auto relays =
+                color::find_relays(st, k, pairs, /*charge=*/false);
+            relay_rounds =
+                std::max(relay_rounds, relays.proposal_rounds);
+          }
+          all_pairs.insert(all_pairs.end(), pairs.begin(), pairs.end());
+        }
+        if (any_redo) {
+          color::fingerprint_matching_charge(st);
+          color::find_relays_charge(st, relay_rounds);
+        }
+        if (!all_pairs.empty()) color::color_anti_matching(st, all_pairs);
+        std::vector<int> rest;
+        for (const int k : ids) {
+          const auto unc = st.uncolored_members(k);
+          rest.insert(rest.end(), unc.begin(), unc.end());
+        }
+        reduce_learn_shatter_finish(st, std::move(rest), palette, palette);
+      }
+    }
+  }
+
+  std::vector<int> all(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+  color::fallback_finish(st, all);
+  cluster::check_proper_total(st.h(), st.phi.vec(), st.num_colors());
+  return color::finalize_result(st);
+}
+
+color::Result color_cluster_graph(cluster::Runtime& rt,
+                                  const color::Params& params) {
+  if (rt.delta() >= params.delta_low(rt.h().n())) {
+    return color::color_high_degree(rt, params);
+  }
+  return color_low_degree(rt, params);
+}
+
+}  // namespace ccg::lowdeg

@@ -1,0 +1,22 @@
+#include "lowdeg/virtual_color.hpp"
+
+#include "cluster/validate.hpp"
+#include "lowdeg/lowdeg.hpp"
+
+namespace ccg::lowdeg {
+
+VirtualResult color_virtual_graph(const cluster::VirtualGraph& vg,
+                                  const color::Params& params) {
+  net::Ledger ledger(vg.default_bandwidth());
+  cluster::Runtime rt(vg.representation(), ledger);
+  VirtualResult out;
+  out.base = color_cluster_graph(rt, params);
+  cluster::check_proper_total(vg.h(), out.base.colors,
+                              out.base.num_colors);
+  out.congestion = vg.congestion();
+  out.g_rounds_with_congestion =
+      out.base.g_rounds * static_cast<std::int64_t>(out.congestion);
+  return out;
+}
+
+}  // namespace ccg::lowdeg

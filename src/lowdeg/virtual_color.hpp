@@ -1,0 +1,27 @@
+// Coloring virtual graphs (paper, Appendix A + Corollary 1.3).
+//
+// "Everything in this paper immediately translates to virtual graphs,
+// with the additional overhead factor of the edge congestion": run the
+// ordinary dispatcher on the disjoint copy-machine representation, then
+// pay the measured congestion multiplicatively on the network rounds.
+#pragma once
+
+#include "cluster/virtual_graph.hpp"
+#include "color/pipeline.hpp"
+
+namespace ccg::lowdeg {
+
+struct VirtualResult {
+  color::Result base;  // costs on the disjoint representation
+  int congestion = 1;  // measured c (Eq. 19)
+  // G-rounds after the congestion overhead; H-rounds are unchanged (the
+  // theorem statements hide both the c and d factors).
+  std::int64_t g_rounds_with_congestion = 0;
+};
+
+// (Delta_H + 1)-colors the virtual graph; validates properness of the
+// result against H before returning.
+VirtualResult color_virtual_graph(const cluster::VirtualGraph& vg,
+                                  const color::Params& params);
+
+}  // namespace ccg::lowdeg

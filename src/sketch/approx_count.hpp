@@ -1,0 +1,62 @@
+// Distributed approximate counting on cluster graphs (paper, Lemma 5.7).
+//
+// Every vertex v estimates |{u in N_H(v) : pred(v, u)}| within (1 ± xi)
+// by aggregating the coordinate-wise maximum of its selected neighbors'
+// geometric variables over its support tree. The aggregation is simulated
+// at machine level: each selected H-neighbor contributes through exactly
+// one designated G-link ("cut all but one link" dedup, Section 1.1), and
+// partial aggregates are carried up the support tree encoded with the
+// deviation codec — the returned max_message_bits is the measured size of
+// the largest such message, realizing the O(t + loglog d)-bit claim.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/runtime.hpp"
+#include "common/rng.hpp"
+#include "sketch/fingerprint.hpp"
+
+namespace ccg::sketch {
+
+struct CountResult {
+  std::vector<double> estimate;      // per H-vertex
+  std::vector<Fingerprint> maxima;   // Y_v per H-vertex (for reuse)
+  int max_message_bits = 0;          // largest encoded partial aggregate
+};
+
+struct CountOptions {
+  int t = 64;                // fingerprint width (Theta(xi^-2 log n))
+  bool measure_bits = true;  // walk support trees and measure encodings;
+                             // if false, charges the codec's expected size
+                             // (2t + 16 bits) without the walk
+  bool charge = true;        // charge the ledger for the aggregation epoch
+};
+
+using NeighborPredicate = std::function<bool(int v, int u)>;
+
+// Raw per-vertex fingerprints (the X_{v,*} variables); shared by callers
+// that estimate several quantities from one sampling.
+std::vector<Fingerprint> sample_raw_fingerprints(int n, int t, Rng& rng);
+
+// Y_v = combine over {u in N(v) : pred(v,u)} of raw[u]; estimates the
+// selected-neighborhood sizes. Cost: 1 H-round of max_message_bits bits.
+CountResult neighborhood_counts(cluster::Runtime& rt,
+                                const std::vector<Fingerprint>& raw,
+                                const NeighborPredicate& pred,
+                                const CountOptions& opt);
+
+// Convenience: sample raw fingerprints and count in one call.
+CountResult approximate_neighborhood_counts(cluster::Runtime& rt,
+                                            const NeighborPredicate& pred,
+                                            const CountOptions& opt,
+                                            Rng& rng);
+
+// For each H-edge (in h().edges() order), estimate |N(u) ∪ N(v)| from the
+// union of the endpoints' neighborhood fingerprints (Lemma 5.8 step 2).
+// Reuses Y from a prior neighborhood_counts run with the trivial predicate.
+std::vector<double> edge_union_estimates(cluster::Runtime& rt,
+                                         const CountResult& neighborhood,
+                                         const CountOptions& opt);
+
+}  // namespace ccg::sketch

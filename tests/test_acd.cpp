@@ -1,0 +1,158 @@
+// Tests: almost-clique decomposition (Section 5.4, Prop 4.3, Def 4.2).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "acd/acd.hpp"
+#include "cluster/cluster_graph.hpp"
+#include "cluster/runtime.hpp"
+#include "graph/generators.hpp"
+
+namespace ccg::acd {
+namespace {
+
+struct AcdCase {
+  int delta;
+  int cliques;
+  int anti;
+  int ext;
+  int sparse;
+  double sparse_deg;
+};
+
+class AcdOnPlanted : public ::testing::TestWithParam<AcdCase> {};
+
+TEST_P(AcdOnPlanted, RecoversPlantedStructure) {
+  const auto c = GetParam();
+  Rng rng(1234);
+  graph::PlantedSpec spec;
+  spec.delta = c.delta;
+  spec.num_cliques = c.cliques;
+  spec.anti_deg = c.anti;
+  spec.external_deg = c.ext;
+  spec.num_sparse = c.sparse;
+  spec.sparse_avg_deg = c.sparse_deg;
+  const auto planted = graph::make_planted_acd(spec, rng);
+
+  const auto cg = cluster::ClusterGraph::singleton(planted.g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+
+  AcdParams params;
+  params.eps = 0.2;
+  params.t = 8000;  // wide fingerprints: near-exact estimates
+  params.measure_bits = false;
+  const auto res = compute_acd(rt, params, rng);
+
+  EXPECT_EQ(res.num_cliques, c.cliques);
+  std::string why;
+  EXPECT_TRUE(verify_almost_cliques(planted.g, res, 3 * params.eps, &why))
+      << why;
+  // Planted dense vertices recovered as dense, in blocks matching the
+  // ground truth (ids may permute: check same-block equivalence).
+  for (int v = 0; v < planted.g.n(); ++v) {
+    if (planted.clique_of[v] >= 0) {
+      EXPECT_GE(res.clique_of[v], 0) << "dense vertex " << v << " missed";
+    } else {
+      EXPECT_EQ(res.clique_of[v], -1) << "sparse vertex " << v << " caught";
+    }
+  }
+  for (int v = 0; v < planted.g.n(); ++v) {
+    for (int u = v + 1; u < std::min(planted.g.n(), v + 50); ++u) {
+      if (planted.clique_of[v] >= 0 &&
+          planted.clique_of[v] == planted.clique_of[u]) {
+        EXPECT_EQ(res.clique_of[v], res.clique_of[u]);
+      }
+    }
+  }
+}
+
+// Planted instances are detectable when roughly 2 e_v + 2 a_v <= xi*Delta
+// (see the calibration note in src/acd/acd.cpp).
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AcdOnPlanted,
+    ::testing::Values(AcdCase{60, 3, 0, 4, 0, 0.0},
+                      AcdCase{60, 3, 2, 6, 60, 8.0},
+                      AcdCase{64, 4, 4, 4, 0, 0.0},
+                      AcdCase{40, 2, 0, 4, 120, 6.0}));
+
+TEST(Acd, OracleModeMatchesPlantedExactly) {
+  Rng rng(77);
+  graph::PlantedSpec spec;
+  spec.delta = 40;
+  spec.num_cliques = 3;
+  spec.anti_deg = 2;
+  spec.external_deg = 4;
+  spec.num_sparse = 40;
+  spec.sparse_avg_deg = 5.0;
+  const auto planted = graph::make_planted_acd(spec, rng);
+  const auto cg = cluster::ClusterGraph::singleton(planted.g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  AcdParams params;
+  params.eps = 0.2;
+  params.use_fingerprints = false;
+  const auto res = compute_acd(rt, params, rng);
+  EXPECT_EQ(res.num_cliques, 3);
+  for (int v = 0; v < planted.g.n(); ++v) {
+    EXPECT_EQ(res.clique_of[v] >= 0, planted.clique_of[v] >= 0);
+  }
+}
+
+TEST(Acd, PureSparseGraphHasNoCliques) {
+  Rng rng(5);
+  const auto g = graph::gnm(300, 1500, rng);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  AcdParams params;
+  params.eps = 0.1;
+  params.use_fingerprints = false;
+  const auto res = compute_acd(rt, params, rng);
+  EXPECT_EQ(res.num_cliques, 0);
+}
+
+TEST(Acd, AnnotateDenseClassifiesCabals) {
+  Rng rng(7);
+  graph::PlantedSpec spec;
+  spec.delta = 60;
+  spec.num_cliques = 4;
+  spec.anti_deg = 0;
+  spec.external_deg = 4;  // low external degree -> cabals for large ell
+  const auto planted = graph::make_planted_acd(spec, rng);
+  const auto cg = cluster::ClusterGraph::singleton(planted.g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  AcdParams params;
+  params.eps = 0.1;
+  params.use_fingerprints = false;
+  const auto res = compute_acd(rt, params, rng);
+  ASSERT_EQ(res.num_cliques, 4);
+
+  // ell above the external degree: every clique is a cabal.
+  auto info = annotate_dense(rt, res, /*ell=*/10.0, 64, false, rng);
+  for (int k = 0; k < res.num_cliques; ++k) {
+    EXPECT_TRUE(info.is_cabal[k]);
+    EXPECT_NEAR(info.avg_ext_est[k], 4.0, 1.0);
+    EXPECT_EQ(info.clique_size[k], 60 + 1 - 4);
+  }
+  // ell below: none are.
+  info = annotate_dense(rt, res, /*ell=*/2.0, 64, false, rng);
+  for (int k = 0; k < res.num_cliques; ++k) {
+    EXPECT_FALSE(info.is_cabal[k]);
+  }
+}
+
+TEST(Acd, VerifierCatchesBadDecomposition) {
+  const auto g = graph::path(10);
+  AcdResult bad;
+  bad.num_cliques = 1;
+  bad.clique_of.assign(10, 0);
+  bad.members = {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}};
+  std::string why;
+  EXPECT_FALSE(verify_almost_cliques(g, bad, 0.2, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+}  // namespace
+}  // namespace ccg::acd

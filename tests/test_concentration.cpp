@@ -1,0 +1,127 @@
+// Empirical verification of the concentration bounds the paper's analysis
+// leans on (Appendix B): the additive Chernoff bound (Lemma B.1), the
+// martingale bound for stochastically dominated sequences (Lemma B.2),
+// and the read-k bound for weakly dependent families (Lemma B.3). The
+// library replaces union bounds with detect-and-retry, so these tests pin
+// down that the *measured* tail frequencies stay below the analytic
+// bounds the retry counters are calibrated against.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ccg {
+namespace {
+
+// Frequency of {sum of r Bernoulli(p) > pr + t} over `reps` runs.
+double upper_tail_freq(int r, double p, double t, int reps, Rng& rng) {
+  int hits = 0;
+  for (int it = 0; it < reps; ++it) {
+    int sum = 0;
+    for (int i = 0; i < r; ++i) sum += rng.next_bool(p) ? 1 : 0;
+    if (sum > p * r + t) ++hits;
+  }
+  return static_cast<double>(hits) / reps;
+}
+
+TEST(Concentration, AdditiveChernoffUpperTail) {
+  Rng rng(3);
+  const int reps = 4000;
+  for (const auto& [r, p] : std::vector<std::pair<int, double>>{
+           {200, 0.5}, {200, 0.1}, {1000, 0.3}}) {
+    for (const double tfrac : {0.05, 0.1}) {
+      const double t = tfrac * r;
+      const double bound = std::exp(-2.0 * t * t / r);
+      const double freq = upper_tail_freq(r, p, t, reps, rng);
+      // Bound + 3-sigma sampling slack on the empirical frequency.
+      const double slack = 3.0 * std::sqrt(bound / reps + 1e-9);
+      EXPECT_LE(freq, bound + slack + 0.01)
+          << "r=" << r << " p=" << p << " t=" << t;
+    }
+  }
+}
+
+TEST(Concentration, MartingaleLowerTailUnderDependence) {
+  // X_i = 1 w.p. q_i(history) where q_i >= q always: Lemma B.2's lower
+  // tail must hold even though the sequence is adaptively biased *up*
+  // whenever the history is lucky (adversarial-but-dominated shape).
+  Rng rng(5);
+  const int r = 400;
+  const double q = 0.3;
+  const double delta = 0.25;
+  const int reps = 3000;
+  int hits = 0;
+  for (int it = 0; it < reps; ++it) {
+    int sum = 0;
+    for (int i = 0; i < r; ++i) {
+      const double boost = (sum > q * i) ? 0.2 : 0.0;  // history-dependent
+      sum += rng.next_bool(std::min(1.0, q + boost)) ? 1 : 0;
+    }
+    if (sum <= (1 - delta) * q * r) ++hits;
+  }
+  const double bound = std::exp(-delta * delta / 2.0 * q * r);
+  EXPECT_LE(static_cast<double>(hits) / reps, bound + 0.01);
+}
+
+TEST(Concentration, ReadKBoundForOverlappingFamilies) {
+  // Y_j = AND of k shared Bernoulli variables (each X_i read by exactly k
+  // of the Y's): Lemma B.3 gives Pr[|sum Y - E| >= delta*r] <=
+  // 2 exp(-2 delta^2 r / k).
+  Rng rng(7);
+  const int r = 600;  // number of X variables
+  const int k = 5;    // each X read by k Y's
+  const int m = r;    // number of Y variables (cyclic windows of width k)
+  const double p = 0.8;
+  const int reps = 2000;
+  const double mean_y = std::pow(p, k);
+  for (const double delta : {0.08, 0.15}) {
+    int hits = 0;
+    for (int it = 0; it < reps; ++it) {
+      std::vector<char> x(static_cast<std::size_t>(r));
+      for (int i = 0; i < r; ++i) {
+        x[static_cast<std::size_t>(i)] = rng.next_bool(p) ? 1 : 0;
+      }
+      int sum = 0;
+      for (int j = 0; j < m; ++j) {
+        bool all = true;
+        for (int o = 0; o < k; ++o) {
+          if (!x[static_cast<std::size_t>((j + o) % r)]) {
+            all = false;
+            break;
+          }
+        }
+        sum += all ? 1 : 0;
+      }
+      if (std::abs(sum - mean_y * m) >= delta * m) ++hits;
+    }
+    const double bound = 2.0 * std::exp(-2.0 * delta * delta * m / k);
+    EXPECT_LE(static_cast<double>(hits) / reps, bound + 0.02)
+        << "delta=" << delta;
+  }
+}
+
+TEST(Concentration, GeometricMaximaConcentrateAroundLogD) {
+  // The Lemma 5.5 phenomenon underlying the deviation codec: the sum of
+  // |Y_i - ceil(log2 d)| over t maxima stays O(t).
+  Rng rng(11);
+  for (const int d : {16, 256, 4096}) {
+    const int t = 128;
+    const int k = static_cast<int>(std::ceil(std::log2(d)));
+    for (int rep = 0; rep < 10; ++rep) {
+      long long dev = 0;
+      for (int i = 0; i < t; ++i) {
+        int y = 0;
+        for (int j = 0; j < d; ++j) {
+          y = std::max(y, rng.next_geometric_half());
+        }
+        dev += std::abs(y - k);
+      }
+      EXPECT_LE(dev, 8LL * t) << "d=" << d;  // the Lemma 5.5 constant
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccg

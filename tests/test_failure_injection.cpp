@@ -1,0 +1,266 @@
+// Failure injection and adversarial-condition tests: starved bandwidth,
+// hostile topologies, label permutations, repeated seeds. The pipeline's
+// contract — a validated proper (Delta+1)-coloring with honest charging —
+// must survive all of them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/validate.hpp"
+#include "helpers.hpp"
+#include "sketch/approx_count.hpp"
+#include "color/relays.hpp"
+#include "lowdeg/lowdeg.hpp"
+
+namespace ccg {
+namespace {
+
+color::Params tough_params(int n, std::uint64_t seed) {
+  auto p = color::Params::defaults_for(n, seed);
+  p.eps = 0.2;
+  p.use_fingerprint_acd = false;
+  p.measure_bits = false;
+  return p;
+}
+
+graph::PlantedGraph small_mixture(std::uint64_t seed) {
+  Rng rng(seed);
+  graph::PlantedSpec spec;
+  spec.delta = 90;
+  spec.num_cliques = 2;
+  spec.anti_deg = 2;
+  spec.external_deg = 8;
+  spec.num_sparse = 120;
+  spec.sparse_avg_deg = 25.0;
+  return graph::make_planted_acd(spec, rng);
+}
+
+TEST(FailureInjection, StarvedBandwidthStillCorrectJustSlower) {
+  // B = 8 bits per link per round: every message must be chunked. The
+  // result must be identical in correctness, with G-rounds inflated.
+  const auto planted = small_mixture(5);
+  std::int64_t g_starved = 0, g_normal = 0;
+  for (const int bandwidth : {8, 0}) {
+    const auto cg = cluster::ClusterGraph::singleton(planted.g);
+    net::Ledger ledger(bandwidth > 0 ? bandwidth
+                                     : cg.default_bandwidth());
+    cluster::Runtime rt(cg, ledger);
+    const auto res =
+        lowdeg::color_cluster_graph(rt, tough_params(planted.g.n(), 7));
+    cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+    EXPECT_LE(res.max_bits_per_link_round, ledger.bandwidth());
+    if (bandwidth == 8) {
+      g_starved = res.g_rounds;
+    } else {
+      g_normal = res.g_rounds;
+    }
+  }
+  EXPECT_GT(g_starved, g_normal);
+}
+
+TEST(FailureInjection, BridgePathWorstCaseTopology) {
+  // All inter-cluster traffic of every cluster crosses two endpoints of a
+  // long path (Fig. 2's shape): dilation is paid, correctness is not.
+  const auto planted = small_mixture(7);
+  Rng rng(9);
+  cluster::ExpandSpec es;
+  es.shape = cluster::ClusterShape::kBridgePath;
+  es.size = 10;
+  const auto cg = cluster::ClusterGraph::expand(planted.g, es, rng);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  const auto res =
+      lowdeg::color_cluster_graph(rt, tough_params(planted.g.n(), 11));
+  cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+  EXPECT_EQ(res.dilation, 9);
+  EXPECT_GE(res.g_rounds, res.h_rounds * 9);
+}
+
+TEST(FailureInjection, LabelPermutationInvariance) {
+  // Relabeling vertices must not affect correctness (ID-priority rules
+  // must not depend on label structure).
+  const auto planted = small_mixture(13);
+  Rng rng(17);
+  const auto perm = rng.permutation(planted.g.n());
+  graph::Graph relabeled(planted.g.n());
+  for (const auto& [u, v] : planted.g.edges()) {
+    relabeled.add_edge(perm[static_cast<std::size_t>(u)],
+                       perm[static_cast<std::size_t>(v)]);
+  }
+  relabeled.finalize();
+  const auto cg = cluster::ClusterGraph::singleton(relabeled);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  const auto res =
+      lowdeg::color_cluster_graph(rt, tough_params(relabeled.n(), 19));
+  cluster::check_proper_total(relabeled, res.colors, res.num_colors);
+}
+
+class SeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweep, HighDegreePipelineNeverProducesImproperColorings) {
+  const int seed = GetParam();
+  Rng rng(1000 + seed);
+  graph::PlantedSpec spec;
+  spec.delta = 110;
+  spec.num_cliques = 3;
+  spec.anti_deg = seed % 3;  // rotate anti-degree, keeping parity valid
+  spec.external_deg = 6 + 2 * (seed % 4);
+  if ((spec.anti_deg % 2 == 1) &&
+      (spec.delta + 1 - spec.external_deg + spec.anti_deg) % 2 == 1) {
+    ++spec.anti_deg;
+  }
+  const auto planted = graph::make_planted_acd(spec, rng);
+  const auto cg = cluster::ClusterGraph::singleton(planted.g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  const auto res = color::color_high_degree(
+      rt, tough_params(planted.g.n(), static_cast<std::uint64_t>(seed)));
+  cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+  // The safety net may fire occasionally but must stay marginal.
+  EXPECT_LE(res.fallback_count, planted.g.n() / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FailureInjection, ManyParallelLinksDontConfuseDegrees) {
+  // 8 parallel links per H-edge: fingerprint dedup must keep estimates on
+  // the true H-degree, not the link count.
+  Rng rng(23);
+  const auto h = graph::gnm(200, 1200, rng);
+  cluster::ExpandSpec es;
+  es.shape = cluster::ClusterShape::kRandomTree;
+  es.size = 5;
+  es.links_per_edge = 8;
+  const auto cg = cluster::ClusterGraph::expand(h, es, rng);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  sketch::CountOptions opt;
+  opt.t = 1500;
+  const auto counts = sketch::approximate_neighborhood_counts(
+      rt, [](int, int) { return true; }, opt, rng);
+  int close = 0;
+  for (int v = 0; v < h.n(); ++v) {
+    if (std::abs(counts.estimate[static_cast<std::size_t>(v)] -
+                 h.degree(v)) <= 0.35 * std::max(1, h.degree(v))) {
+      ++close;
+    }
+  }
+  EXPECT_GT(close, static_cast<int>(0.85 * h.n()));
+}
+
+TEST(FailureInjection, ZeroEdgeAndSingletonGraphs) {
+  // Degenerate inputs: empty graph, single vertex, two isolated vertices.
+  for (const int n : {1, 2, 5}) {
+    graph::Graph g(n);
+    g.finalize();
+    const auto cg = cluster::ClusterGraph::singleton(g);
+    net::Ledger ledger(cg.default_bandwidth());
+    cluster::Runtime rt(cg, ledger);
+    const auto res = lowdeg::color_cluster_graph(rt, tough_params(n, 3));
+    cluster::check_proper_total(g, res.colors, res.num_colors);
+    EXPECT_EQ(res.num_colors, 1);
+  }
+}
+
+TEST(FailureInjection, DisconnectedConflictGraph) {
+  // Two planted blocks with no connection at all (separate components).
+  Rng rng(29);
+  graph::PlantedSpec spec;
+  spec.delta = 60;
+  spec.num_cliques = 2;
+  spec.anti_deg = 0;
+  spec.external_deg = 0;
+  spec.num_sparse = 0;
+  EXPECT_NO_THROW({
+    const auto planted = graph::make_planted_acd(spec, rng);
+    const auto cg = cluster::ClusterGraph::singleton(planted.g);
+    net::Ledger ledger(cg.default_bandwidth());
+    cluster::Runtime rt(cg, ledger);
+    const auto res = lowdeg::color_cluster_graph(
+        rt, tough_params(planted.g.n(), 31));
+    cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+  });
+}
+
+
+TEST(FailureInjection, GkFinisherSurvivesStarvedBandwidth) {
+  // Bandwidth of 8 bits/link/round: every fingerprint payload and class
+  // sweep gets chunked; GK must stay correct, only slower in G-rounds.
+  const auto planted = small_mixture(301);
+  const auto cg = cluster::ClusterGraph::singleton(planted.g);
+  net::Ledger starved(8);
+  cluster::Runtime rt(cg, starved);
+  auto params = tough_params(planted.g.n(), 303);
+  params.finisher = color::Params::Finisher::kGhaffariKuhn;
+  const auto res = lowdeg::color_low_degree(rt, params);
+  cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+  EXPECT_GT(res.g_rounds, res.h_rounds);
+}
+
+TEST(FailureInjection, GkFinisherOnBridgePathTopology) {
+  // The Fig. 2/3 adversarial layout under the full rounding ladder.
+  Rng rng(307);
+  const auto planted = small_mixture(311);
+  cluster::ExpandSpec es;
+  es.shape = cluster::ClusterShape::kBridgePath;
+  es.size = 4;
+  const auto cg = cluster::ClusterGraph::expand(planted.g, es, rng);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  auto params = tough_params(planted.g.n(), 313);
+  params.finisher = color::Params::Finisher::kGhaffariKuhn;
+  const auto res = lowdeg::color_low_degree(rt, params);
+  cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+}
+
+TEST(FailureInjection, RelaysUnderAdversarialSeedSweep) {
+  // Relay saturation must not depend on lucky sampling: 16 seeds on the
+  // same dense cabal with many anti-edges.
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    graph::PlantedSpec spec;
+    spec.delta = 72;
+    spec.num_cliques = 2;
+    spec.anti_deg = 6;
+    spec.external_deg = 2;
+    auto f = testing::make_planted_fixture(
+        spec, color::Params::defaults_for(160, seed), seed * 7 + 1);
+    const auto& members = f->st->dc.acd.members[0];
+    std::vector<std::pair<int, int>> pairs;
+    std::vector<char> used(static_cast<std::size_t>(f->st->h().n()), 0);
+    for (const int v : members) {
+      if (used[static_cast<std::size_t>(v)]) continue;
+      for (const int u : members) {
+        if (u == v || used[static_cast<std::size_t>(u)]) continue;
+        const auto& nb = f->st->h().neighbors(v);
+        if (!std::binary_search(nb.begin(), nb.end(), u)) {
+          pairs.emplace_back(v, u);
+          used[static_cast<std::size_t>(v)] = 1;
+          used[static_cast<std::size_t>(u)] = 1;
+          break;
+        }
+      }
+      if (pairs.size() >= 12) break;
+    }
+    if (pairs.empty()) continue;
+    const auto res = color::find_relays(*f->st, 0, pairs);
+    for (const int r : res.relay) EXPECT_GE(r, 0);
+  }
+}
+
+TEST(FailureInjection, PowerLawHubsAtTinyBandwidth) {
+  // Chung-Lu hub degrees far above the average + starved links: the
+  // sparse path and the chunking must absorb both.
+  Rng rng(331);
+  const auto g = graph::chung_lu(900, 10.0, 2.3, rng);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  net::Ledger starved(8);
+  cluster::Runtime rt(cg, starved);
+  const auto res = lowdeg::color_cluster_graph(
+      rt, tough_params(g.n(), 337));
+  cluster::check_proper_total(g, res.colors, res.num_colors);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,482 @@
+// Ghaffari-Kuhn finisher machinery (paper, Section 9.4 / Lemma 9.1):
+// candidate families (Eq. 18), weighted defective coloring (Lemma 9.6),
+// approximate rounding (Lemma 9.7, with the Lemma 9.4 estimator), and the
+// end-to-end (deg+1)-list finisher.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "cluster/validate.hpp"
+#include "gk/candidate_family.hpp"
+#include "gk/defective.hpp"
+#include "gk/gk.hpp"
+#include "gk/rounding.hpp"
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+
+namespace ccg {
+namespace {
+
+struct Harness {
+  graph::Graph g;
+  cluster::ClusterGraph cg;
+  std::unique_ptr<net::Ledger> ledger;
+  std::unique_ptr<cluster::Runtime> rt;
+  std::unique_ptr<color::State> st;
+};
+
+Harness make_harness(graph::Graph g, std::uint64_t seed,
+                     const std::function<void(color::Params&)>& tweak = {}) {
+  Harness h;
+  h.g = std::move(g);
+  h.cg = cluster::ClusterGraph::singleton(h.g);
+  h.ledger = std::make_unique<net::Ledger>(h.cg.default_bandwidth());
+  h.rt = std::make_unique<cluster::Runtime>(h.cg, *h.ledger);
+  auto params = color::Params::defaults_for(h.g.n(), seed);
+  if (tweak) tweak(params);
+  h.st = std::make_unique<color::State>(*h.rt, params);
+  return h;
+}
+
+std::vector<int> all_vertices(const graph::Graph& g) {
+  std::vector<int> s(static_cast<std::size_t>(g.n()));
+  std::iota(s.begin(), s.end(), 0);
+  return s;
+}
+
+std::vector<std::vector<int>> full_palette_lists(const color::State& st) {
+  std::vector<std::vector<int>> lists(
+      static_cast<std::size_t>(st.h().n()));
+  for (auto& l : lists) {
+    l.resize(static_cast<std::size_t>(st.num_colors()));
+    std::iota(l.begin(), l.end(), 0);
+  }
+  return lists;
+}
+
+// ---------------------------------------------------------------- family
+
+TEST(CandidateFamily, SizesAndIntersections) {
+  for (const auto& [q, s] : std::vector<std::pair<int, int>>{
+           {7, 2}, {64, 3}, {500, 4}, {4000, 4}, {100, 8}}) {
+    const gk::CandidateFamily fam(q, s);
+    EXPECT_GE(fam.set_size(), s * fam.degree_bound())
+        << "q=" << q << " s=" << s;
+    // field^tau >= q: distinct colors map to distinct polynomials.
+    double reach = 1;
+    for (int e = 0; e < fam.degree_bound(); ++e) reach *= fam.field();
+    EXPECT_GE(reach, q);
+    // Sets live in the universe and have the claimed size (no repeats).
+    const int probe = std::min(q, 40);
+    for (int c = 0; c < probe; ++c) {
+      std::set<int> elems;
+      for (int j = 0; j < fam.set_size(); ++j) {
+        const int e = fam.element(c, j);
+        ASSERT_GE(e, 0);
+        ASSERT_LT(e, fam.universe());
+        elems.insert(e);
+        EXPECT_TRUE(fam.contains(c, e));
+      }
+      EXPECT_EQ(static_cast<int>(elems.size()), fam.set_size());
+    }
+    // Pairwise intersections < tau (Eq. 18's near-disjointness).
+    for (int a = 0; a < probe; ++a) {
+      for (int b = a + 1; b < probe; ++b) {
+        int inter = 0;
+        for (int j = 0; j < fam.set_size(); ++j) {
+          if (fam.contains(b, fam.element(a, j))) ++inter;
+        }
+        EXPECT_LT(inter, fam.degree_bound())
+            << "q=" << q << " s=" << s << " colors " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(CandidateFamily, FixpointDoesNotShrink) {
+  // Near the O(s^2 tau^2) fixpoint the reduction must report no progress
+  // instead of cycling.
+  const gk::CandidateFamily fam(64, 8);
+  EXPECT_FALSE(fam.shrinks());
+}
+
+TEST(CandidateFamily, LargeInputShrinks) {
+  const gk::CandidateFamily fam(4000, 4);
+  EXPECT_TRUE(fam.shrinks());
+  EXPECT_LT(fam.universe(), 4000);
+}
+
+// ------------------------------------------------------------- defective
+
+TEST(Defective, InitialProperColoringIsProper) {
+  Rng rng(7);
+  auto h = make_harness(graph::gnm(600, 3600, rng), 11);
+  const auto S = all_vertices(h.g);
+  const auto [psi, space] = gk::initial_proper_coloring(*h.st, S);
+  ASSERT_EQ(psi.size(), S.size());
+  for (int i = 0; i < static_cast<int>(S.size()); ++i) {
+    EXPECT_GE(psi[static_cast<std::size_t>(i)], 0);
+    EXPECT_LT(psi[static_cast<std::size_t>(i)], space);
+  }
+  for (int i = 0; i < static_cast<int>(S.size()); ++i) {
+    for (const int u : h.g.neighbors(S[static_cast<std::size_t>(i)])) {
+      EXPECT_NE(psi[static_cast<std::size_t>(i)],
+                psi[static_cast<std::size_t>(u)]);
+    }
+  }
+}
+
+TEST(Defective, ReducesColorsWithBoundedDefect) {
+  Rng rng(13);
+  auto h = make_harness(graph::gnm(1500, 7500, rng), 17,
+                        [](color::Params& p) { p.gk_s_cap = 4; });
+  const auto S = all_vertices(h.g);
+  // Unit weights: relative defect = fraction of same-color neighbors.
+  const gk::EdgeWeight w = [](int, int) { return 1.0; };
+  std::vector<int> psi0(S.size());
+  std::iota(psi0.begin(), psi0.end(), 0);  // q0 = n distinct colors
+  const auto res = gk::weighted_defective_coloring(
+      *h.st, S, w, psi0, static_cast<int>(S.size()), 0.5);
+  EXPECT_GE(res.iterations, 1);
+  EXPECT_LT(res.num_colors, static_cast<int>(S.size()) / 4);
+  for (const int c : res.color_of) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, res.num_colors);
+  }
+  // Deterministic averaging bound: defect <= sum_i 1/s_i <= iters / s_cap.
+  const double defect = gk::measured_relative_defect(*h.st, S, w,
+                                                     res.color_of);
+  EXPECT_LE(defect, static_cast<double>(res.iterations) / 4.0 + 1e-9);
+}
+
+TEST(Defective, WeightedDefectRespectsHeavyEdges) {
+  // Weights concentrated on a known subset of edges: the heavy edges must
+  // end bichromatic (they dominate W_v, and psi0 is proper so carried
+  // defect is zero).
+  Rng rng(19);
+  auto h = make_harness(graph::gnm(800, 4800, rng), 23,
+                        [](color::Params& p) { p.gk_s_cap = 4; });
+  const auto S = all_vertices(h.g);
+  const gk::EdgeWeight w = [](int v, int u) {
+    return ((v + u) % 7 == 0) ? 100.0 : 1.0;
+  };
+  std::vector<int> psi0(S.size());
+  std::iota(psi0.begin(), psi0.end(), 0);
+  const auto res = gk::weighted_defective_coloring(
+      *h.st, S, w, psi0, static_cast<int>(S.size()), 0.5);
+  const double defect =
+      gk::measured_relative_defect(*h.st, S, w, res.color_of);
+  // A vertex with one heavy edge has total weight >= 100; tolerating
+  // defect 0.5 would allow the heavy edge to go monochromatic. It must
+  // not: the measured weighted defect stays far below the unweighted one.
+  EXPECT_LE(defect, 0.30);
+}
+
+TEST(Defective, ProperInputStaysZeroDefectWhenAtFixpoint) {
+  Rng rng(29);
+  auto h = make_harness(graph::gnm(200, 800, rng), 31);
+  const auto S = all_vertices(h.g);
+  const auto [psi0, q0] = gk::initial_proper_coloring(*h.st, S);
+  const gk::EdgeWeight w = [](int, int) { return 1.0; };
+  const auto res =
+      gk::weighted_defective_coloring(*h.st, S, w, psi0, q0, 0.5);
+  if (res.iterations == 0) {
+    EXPECT_EQ(gk::measured_relative_defect(*h.st, S, w, res.color_of), 0.0);
+  }
+}
+
+// -------------------------------------------------------------- rounding
+
+// Random fractional assignment over `labels` global labels, denominator
+// 2^b, supported on a random subset per vertex.
+std::vector<gk::LabelVec> random_assignment(int n, int labels, int b,
+                                            Rng& rng) {
+  std::vector<gk::LabelVec> lv(static_cast<std::size_t>(n));
+  for (auto& a : lv) {
+    const int k =
+        2 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+                std::max(1, labels - 2))));
+    std::vector<int> ids;
+    for (int l = 0; l < labels; ++l) ids.push_back(l);
+    for (int i = 0; i < k; ++i) {
+      const auto j = static_cast<std::size_t>(
+          i + static_cast<int>(rng.next_below(
+                  static_cast<std::uint64_t>(ids.size() - i))));
+      std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+    }
+    ids.resize(static_cast<std::size_t>(k));
+    a.ids = ids;
+    a.num.assign(static_cast<std::size_t>(k), 0);
+    // Random composition of 2^b into k non-negative parts.
+    int rest = 1 << b;
+    for (int i = 0; i + 1 < k; ++i) {
+      const int take = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(rest + 1)));
+      a.num[static_cast<std::size_t>(i)] = take;
+      rest -= take;
+    }
+    a.num[static_cast<std::size_t>(k - 1)] = rest;
+    for (int i = 0; i < k; ++i) {
+      a.y.push_back(1.0 / (1.0 + static_cast<double>(rng.next_below(8))));
+    }
+  }
+  return lv;
+}
+
+TEST(Rounding, StepPreservesMassAndHalvesDenominator) {
+  Rng rng(37);
+  auto h = make_harness(graph::gnm(300, 1500, rng), 41);
+  const auto S = all_vertices(h.g);
+  auto lv = random_assignment(h.g.n(), 5, 4, h.st->rng);
+  int denom = 4;
+  gk::rounding_step(*h.st, S, lv, denom, 0.5);
+  EXPECT_EQ(denom, 3);
+  for (const auto& a : lv) {
+    long long sum = 0;
+    for (const int k : a.num) {
+      EXPECT_GE(k, 0);
+      sum += k;
+    }
+    EXPECT_EQ(sum, 1LL << denom);
+  }
+}
+
+TEST(Rounding, FullLadderEndsIntegralWithBoundedCost) {
+  Rng rng(43);
+  auto h = make_harness(graph::gnm(400, 2400, rng), 47);
+  const auto S = all_vertices(h.g);
+  const int b = 4;
+  auto lv = random_assignment(h.g.n(), 6, b, h.st->rng);
+  int denom = b;
+  const double eps = 0.5;
+  double cost = gk::assignment_cost(*h.st, S, lv, denom);
+  while (denom > 0) {
+    gk::rounding_step(*h.st, S, lv, denom, eps);
+    const double next = gk::assignment_cost(*h.st, S, lv, denom);
+    // Lemma 9.7 shape: one step grows the cost by at most (1 + eps), up
+    // to the second-order same-class interaction the defect bounds.
+    EXPECT_LE(next, (1.0 + eps) * cost + 0.75 * std::max(1.0, cost));
+    cost = next;
+  }
+  for (const auto& a : lv) {
+    int ones = 0;
+    for (const int k : a.num) {
+      EXPECT_TRUE(k == 0 || k == 1);
+      ones += k;
+    }
+    EXPECT_EQ(ones, 1);
+  }
+}
+
+TEST(Rounding, MassNeverEntersZeroLabels) {
+  Rng rng(53);
+  auto h = make_harness(graph::gnm(200, 1000, rng), 59);
+  const auto S = all_vertices(h.g);
+  const int b = 5;
+  auto lv = random_assignment(h.g.n(), 4, b, h.st->rng);
+  std::vector<std::vector<char>> had_mass(lv.size());
+  for (std::size_t i = 0; i < lv.size(); ++i) {
+    for (const int k : lv[i].num) had_mass[i].push_back(k > 0 ? 1 : 0);
+  }
+  int denom = b;
+  while (denom > 0) gk::rounding_step(*h.st, S, lv, denom, 0.5);
+  for (std::size_t i = 0; i < lv.size(); ++i) {
+    for (std::size_t l = 0; l < lv[i].num.size(); ++l) {
+      if (!had_mass[i][l]) EXPECT_EQ(lv[i].num[l], 0);
+    }
+  }
+}
+
+TEST(Rounding, EstimatedWeightsModeKeepsInvariants) {
+  Rng rng(61);
+  auto h = make_harness(graph::gnm(150, 600, rng), 67,
+                        [](color::Params& p) {
+                          p.gk_estimated_weights = true;
+                          p.fingerprint_t = 64;
+                        });
+  const auto S = all_vertices(h.g);
+  auto lv = random_assignment(h.g.n(), 4, 3, h.st->rng);
+  int denom = 3;
+  while (denom > 0) gk::rounding_step(*h.st, S, lv, denom, 0.5);
+  for (const auto& a : lv) {
+    int ones = 0;
+    for (const int k : a.num) ones += k;
+    EXPECT_EQ(ones, 1);
+  }
+}
+
+TEST(Rounding, DuplicatedSumEstimatorTracksTruth) {
+  Rng rng(71);
+  for (const long long total : {10LL, 1000LL, 50000LL}) {
+    // Split the total into a few uneven duplication counts.
+    std::vector<long long> dups{total / 2, total / 3,
+                                total - total / 2 - total / 3};
+    double sum_rel = 0;
+    const int reps = 12;
+    for (int r = 0; r < reps; ++r) {
+      const double est = gk::estimate_duplicated_sum(dups, 512, rng);
+      sum_rel += std::abs(est - static_cast<double>(total)) /
+                 static_cast<double>(total);
+    }
+    EXPECT_LE(sum_rel / reps, 0.30) << "total=" << total;
+  }
+  EXPECT_EQ(gk::estimate_duplicated_sum({}, 64, rng), 0.0);
+  EXPECT_EQ(gk::estimate_duplicated_sum({0, 0}, 64, rng), 0.0);
+}
+
+// ------------------------------------------------------------- finisher
+
+TEST(GkFinisher, ColorsRandomGraphProperly) {
+  Rng rng(73);
+  auto h = make_harness(graph::gnm(900, 5400, rng), 79);
+  auto lists = full_palette_lists(*h.st);
+  const auto stats =
+      gk::list_color_components(*h.st, all_vertices(h.g), lists);
+  cluster::check_proper_total(h.g, h.st->phi.vec(), h.st->num_colors());
+  EXPECT_EQ(stats.fallback, 0);
+  EXPECT_GE(stats.levels, 1);
+  EXPECT_GE(stats.rounding_steps, stats.levels);
+}
+
+TEST(GkFinisher, CompleteGraphNeedsEveryColor) {
+  // K_24 with exact (deg+1)-lists: the hardest symmetric instance; the
+  // rounding ladder must assign all 24 colors bijectively.
+  auto h = make_harness(graph::complete(24), 83);
+  auto lists = full_palette_lists(*h.st);
+  gk::list_color_components(*h.st, all_vertices(h.g), lists);
+  cluster::check_proper_total(h.g, h.st->phi.vec(), h.st->num_colors());
+  std::set<int> used(h.st->phi.vec().begin(), h.st->phi.vec().end());
+  EXPECT_EQ(static_cast<int>(used.size()), 24);
+}
+
+TEST(GkFinisher, RespectsPartialColoringAndLists) {
+  // Pre-color a third of the graph; the finisher must extend without
+  // touching assigned colors and stay inside the provided lists.
+  Rng rng(89);
+  auto h = make_harness(graph::gnm(600, 3000, rng), 97);
+  std::vector<int> S;
+  for (int v = 0; v < h.g.n(); ++v) {
+    if (v % 3 == 0) {
+      // Greedy pre-coloring on every third vertex.
+      std::vector<char> used(static_cast<std::size_t>(h.st->num_colors()),
+                             0);
+      for (const int u : h.g.neighbors(v)) {
+        const int c = h.st->phi.get(u);
+        if (c >= 0) used[static_cast<std::size_t>(c)] = 1;
+      }
+      int c = 0;
+      while (used[static_cast<std::size_t>(c)]) ++c;
+      h.st->phi.set(v, c);
+    } else {
+      S.push_back(v);
+    }
+  }
+  const auto before = h.st->phi.vec();
+  auto lists = full_palette_lists(*h.st);
+  gk::list_color_components(*h.st, S, lists);
+  cluster::check_proper_total(h.g, h.st->phi.vec(), h.st->num_colors());
+  for (int v = 0; v < h.g.n(); ++v) {
+    if (before[static_cast<std::size_t>(v)] >= 0) {
+      EXPECT_EQ(h.st->phi.get(v), before[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(GkFinisher, TinyGraphEdgeCases) {
+  for (const int kind : {0, 1, 2, 3}) {
+    graph::Graph g = kind == 0   ? graph::path(2)
+                     : kind == 1 ? graph::cycle(5)
+                     : kind == 2 ? graph::complete(3)
+                                 : graph::path(1);
+    auto h = make_harness(std::move(g), 101 + kind);
+    auto lists = full_palette_lists(*h.st);
+    gk::list_color_components(*h.st, all_vertices(h.g), lists);
+    cluster::check_proper_total(h.g, h.st->phi.vec(), h.st->num_colors());
+  }
+}
+
+struct GkSweepCase {
+  int n;
+  int avg_deg;
+  std::uint64_t seed;
+};
+
+class GkSweep : public ::testing::TestWithParam<GkSweepCase> {};
+
+TEST_P(GkSweep, ProperWithNoFallback) {
+  const auto c = GetParam();
+  Rng rng(c.seed);
+  auto h = make_harness(
+      graph::gnm(c.n, static_cast<std::int64_t>(c.n) * c.avg_deg / 2, rng),
+      c.seed * 2 + 1);
+  auto lists = full_palette_lists(*h.st);
+  const auto stats =
+      gk::list_color_components(*h.st, all_vertices(h.g), lists);
+  cluster::check_proper_total(h.g, h.st->phi.vec(), h.st->num_colors());
+  EXPECT_EQ(stats.fallback, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GkSweep,
+    ::testing::Values(GkSweepCase{60, 6, 3}, GkSweepCase{250, 10, 5},
+                      GkSweepCase{250, 24, 7}, GkSweepCase{800, 8, 11},
+                      GkSweepCase{800, 16, 13}, GkSweepCase{1600, 12, 17}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_d" +
+             std::to_string(info.param.avg_deg) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+struct GkParamCase {
+  int chunk_cap;
+  double round_eps;
+  int s_cap;
+  bool estimated;
+};
+
+class GkParamSweep : public ::testing::TestWithParam<GkParamCase> {};
+
+TEST_P(GkParamSweep, LadderIsRobustToCalibration) {
+  // The calibration knobs move constants, never correctness: any chunk
+  // width, rounding budget, defective schedule cap, and weight mode must
+  // still produce a proper coloring from deg+1 lists without fallback.
+  const auto c = GetParam();
+  Rng rng(127);
+  auto h = make_harness(graph::gnm(400, 2800, rng), 131,
+                        [&c](color::Params& p) {
+                          p.gk_chunk_cap = c.chunk_cap;
+                          p.gk_round_eps = c.round_eps;
+                          p.gk_s_cap = c.s_cap;
+                          p.gk_estimated_weights = c.estimated;
+                          p.fingerprint_t = 64;
+                        });
+  auto lists = full_palette_lists(*h.st);
+  const auto stats =
+      gk::list_color_components(*h.st, all_vertices(h.g), lists);
+  cluster::check_proper_total(h.g, h.st->phi.vec(), h.st->num_colors());
+  EXPECT_EQ(stats.fallback, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Calibrations, GkParamSweep,
+    ::testing::Values(GkParamCase{2, 0.5, 8, false},
+                      GkParamCase{4, 0.5, 8, false},
+                      GkParamCase{8, 0.5, 8, false},
+                      GkParamCase{4, 0.25, 8, false},
+                      GkParamCase{4, 1.0, 8, false},
+                      GkParamCase{4, 0.5, 4, false},
+                      GkParamCase{4, 0.5, 16, false},
+                      GkParamCase{4, 0.5, 8, true}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return "K" + std::to_string(c.chunk_cap) + "_eps" +
+             std::to_string(static_cast<int>(c.round_eps * 100)) + "_s" +
+             std::to_string(c.s_cap) + (c.estimated ? "_est" : "_exact");
+    });
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,70 @@
+// Tests: DIMACS I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace ccg::graph {
+namespace {
+
+TEST(DimacsIo, RoundTrip) {
+  Rng rng(3);
+  const auto g = gnm(60, 300, rng);
+  std::stringstream ss;
+  write_dimacs(g, ss);
+  const auto back = read_dimacs(ss);
+  EXPECT_EQ(back.n(), g.n());
+  EXPECT_EQ(back.m(), g.m());
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_TRUE(back.has_edge(u, v));
+  }
+}
+
+TEST(DimacsIo, ParsesCommentsAndColKind) {
+  std::stringstream ss(
+      "c a comment\n"
+      "p col 3 2\n"
+      "e 1 2\n"
+      "c another comment\n"
+      "e 2 3\n");
+  const auto g = read_dimacs(ss);
+  EXPECT_EQ(g.n(), 3);
+  EXPECT_EQ(g.m(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(DimacsIo, RejectsMalformedInput) {
+  {
+    std::stringstream ss("e 1 2\n");  // edge before problem line
+    EXPECT_THROW(read_dimacs(ss), ContractViolation);
+  }
+  {
+    std::stringstream ss("p edge 2 1\ne 1 5\n");  // id out of range
+    EXPECT_THROW(read_dimacs(ss), ContractViolation);
+  }
+  {
+    std::stringstream ss("p edge 3 2\ne 1 2\n");  // count mismatch
+    EXPECT_THROW(read_dimacs(ss), ContractViolation);
+  }
+  {
+    std::stringstream ss("p edge 3 2\ne 1 2\ne 1 2\n");  // duplicate
+    EXPECT_THROW(read_dimacs(ss), ContractViolation);
+  }
+  {
+    std::stringstream ss("x nonsense\n");
+    EXPECT_THROW(read_dimacs(ss), ContractViolation);
+  }
+}
+
+TEST(DimacsIo, WriteColoringFormat) {
+  std::stringstream ss;
+  write_coloring({2, 0, 1}, ss);
+  EXPECT_EQ(ss.str(), "v 1 3\nv 2 1\nv 3 2\n");
+}
+
+}  // namespace
+}  // namespace ccg::graph

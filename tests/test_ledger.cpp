@@ -1,0 +1,72 @@
+// Unit tests: round/bandwidth ledger.
+#include <gtest/gtest.h>
+
+#include "net/ledger.hpp"
+
+namespace ccg::net {
+namespace {
+
+TEST(Ledger, BasicCharge) {
+  Ledger ledger(64);
+  ledger.charge(3, 32);
+  EXPECT_EQ(ledger.h_rounds(), 1);
+  EXPECT_EQ(ledger.g_rounds(), 3);  // one chunk
+  EXPECT_EQ(ledger.max_message_bits(), 32);
+  EXPECT_EQ(ledger.max_bits_per_link_round(), 32);
+}
+
+TEST(Ledger, ChunkingChargesExtraRounds) {
+  Ledger ledger(64);
+  ledger.charge(2, 200);  // ceil(200/64) = 4 chunks
+  EXPECT_EQ(ledger.h_rounds(), 1);
+  EXPECT_EQ(ledger.g_rounds(), 8);
+  EXPECT_EQ(ledger.max_message_bits(), 200);
+  // After chunking no link ever carries more than B bits per round.
+  EXPECT_EQ(ledger.max_bits_per_link_round(), 64);
+}
+
+TEST(Ledger, ZeroBitMessageStillCostsARound) {
+  Ledger ledger(64);
+  ledger.charge(1, 0);
+  EXPECT_EQ(ledger.g_rounds(), 1);
+}
+
+TEST(Ledger, Phases) {
+  Ledger ledger(32);
+  ledger.begin_phase("a");
+  ledger.charge(1, 10);
+  ledger.begin_phase("b");
+  ledger.charge(1, 20);
+  ledger.end_phase();
+  ledger.end_phase();
+  ledger.charge(1, 30);
+  ASSERT_EQ(ledger.phases().size(), 2u);
+  EXPECT_EQ(ledger.phases()[0].name, "b");
+  EXPECT_EQ(ledger.phases()[0].h_rounds, 1);
+  EXPECT_EQ(ledger.phases()[1].name, "a");
+  EXPECT_EQ(ledger.phases()[1].h_rounds, 2);  // includes nested b
+  EXPECT_EQ(ledger.h_rounds(), 3);
+  EXPECT_EQ(ledger.max_message_bits(), 30);
+}
+
+TEST(Ledger, EndPhaseWithoutBeginThrows) {
+  Ledger ledger(32);
+  EXPECT_THROW(ledger.end_phase(), ContractViolation);
+}
+
+TEST(Ledger, ChargeRepeat) {
+  Ledger ledger(32);
+  ledger.charge_repeat(5, 2, 16);
+  EXPECT_EQ(ledger.h_rounds(), 5);
+  EXPECT_EQ(ledger.g_rounds(), 10);
+}
+
+TEST(Ledger, GOnly) {
+  Ledger ledger(32);
+  ledger.charge_g_only(7);
+  EXPECT_EQ(ledger.h_rounds(), 0);
+  EXPECT_EQ(ledger.g_rounds(), 7);
+}
+
+}  // namespace
+}  // namespace ccg::net

@@ -1,0 +1,140 @@
+// Tests: colorful matching (Lemma 4.9) and fingerprint matching in cabals
+// (Section 6, Algorithm 7).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "color/matching.hpp"
+#include "helpers.hpp"
+
+namespace ccg::color {
+namespace {
+
+graph::PlantedSpec cabal_spec(int delta, int anti, int ext) {
+  graph::PlantedSpec spec;
+  spec.delta = delta;
+  spec.num_cliques = 3;
+  spec.anti_deg = anti;
+  spec.external_deg = ext;
+  return spec;
+}
+
+TEST(ColorfulMatching, BuildsReuseSlack) {
+  color::Params params;
+  params.seed = 3;
+  // Plenty of anti-edges: matching should reach the target quickly.
+  auto f = ccg::testing::make_planted_fixture(cabal_spec(80, 10, 12),
+                                              params, 17, 4.0);
+  auto& st = *f->st;
+  std::vector<int> ids{0, 1, 2};
+  const int target = 8;
+  const auto achieved =
+      colorful_matching(st, ids, [target](int) { return target; });
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_GE(achieved[i], target) << "clique " << ids[i];
+  }
+  cluster::check_proper_partial(st.h(), st.phi.vec());
+  // Every colored vertex shares its color with another member of its
+  // clique (reuse-only invariant of Lemma 4.9).
+  for (int v = 0; v < st.h().n(); ++v) {
+    if (!st.phi.colored(v)) continue;
+    const int k = st.dc.clique_of(v);
+    ASSERT_GE(k, 0);
+    EXPECT_GE(st.palettes[k].count(st.phi.get(v)), 2);
+    // No reserved color used.
+    EXPECT_GE(st.phi.get(v), st.dc.reserved_cap);
+  }
+}
+
+TEST(ColorfulMatching, SameColorPairsAreAntiEdges) {
+  color::Params params;
+  params.seed = 5;
+  auto f = ccg::testing::make_planted_fixture(cabal_spec(60, 6, 8), params,
+                                              19, 4.0);
+  auto& st = *f->st;
+  std::vector<int> ids{0, 1, 2};
+  colorful_matching(st, ids, [](int) { return 6; });
+  for (int k = 0; k < 3; ++k) {
+    std::map<int, std::vector<int>> by_color;
+    for (const int v : st.dc.acd.members[k]) {
+      if (st.phi.colored(v)) by_color[st.phi.get(v)].push_back(v);
+    }
+    for (const auto& [c, vs] : by_color) {
+      for (std::size_t i = 0; i < vs.size(); ++i) {
+        for (std::size_t j = i + 1; j < vs.size(); ++j) {
+          EXPECT_FALSE(st.h().has_edge(vs[i], vs[j]))
+              << "same color " << c << " on edge " << vs[i] << "," << vs[j];
+        }
+      }
+    }
+  }
+}
+
+TEST(FingerprintMatching, FindsValidAntiMatching) {
+  color::Params params;
+  params.seed = 7;
+  // Cabal regime: tiny anti-degree, tiny external degree.
+  auto f = ccg::testing::make_planted_fixture(cabal_spec(100, 2, 4),
+                                              params, 23, 8.0);
+  auto& st = *f->st;
+  const auto pairs = fingerprint_matching(st, 0);
+  EXPECT_GE(pairs.size(), 2u);
+  std::set<int> seen;
+  for (const auto& [u, w] : pairs) {
+    EXPECT_FALSE(st.h().has_edge(u, w));
+    EXPECT_EQ(st.dc.clique_of(u), 0);
+    EXPECT_EQ(st.dc.clique_of(w), 0);
+    EXPECT_TRUE(seen.insert(u).second) << "vertex " << u << " reused";
+    EXPECT_TRUE(seen.insert(w).second) << "vertex " << w << " reused";
+  }
+}
+
+TEST(FingerprintMatching, SizeCoversAntiDegree) {
+  // Lemma 6.2 gives a *lower bound* ~ tau * â_K / (4 eps); operationally
+  // Prop 4.15 needs M_K >= a_v for most vertices, i.e. matching >= anti
+  // here (every vertex has anti-degree exactly `anti`).
+  color::Params params;
+  params.seed = 9;
+  for (const int anti : {2, 6}) {
+    auto f = ccg::testing::make_planted_fixture(
+        cabal_spec(120, anti, 4), params, 29 + anti, 8.0);
+    const auto pairs = fingerprint_matching(*f->st, 0);
+    EXPECT_GE(pairs.size(), static_cast<std::size_t>(anti))
+        << "anti=" << anti;
+  }
+}
+
+TEST(FingerprintMatching, EmptyOnTrueClique) {
+  // A cabal with no anti-edges must yield an empty matching, not a bogus
+  // one.
+  color::Params params;
+  params.seed = 11;
+  auto f = ccg::testing::make_planted_fixture(cabal_spec(60, 0, 4), params,
+                                              31, 8.0);
+  const auto pairs = fingerprint_matching(*f->st, 0);
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(ColorAntiMatching, ColorsAllPairsProperly) {
+  color::Params params;
+  params.seed = 13;
+  auto f = ccg::testing::make_planted_fixture(cabal_spec(100, 2, 4),
+                                              params, 37, 8.0);
+  auto& st = *f->st;
+  const auto pairs = fingerprint_matching(st, 0);
+  ASSERT_GE(pairs.size(), 1u);
+  const int colored = color_anti_matching(st, pairs);
+  EXPECT_EQ(colored, static_cast<int>(pairs.size()));
+  cluster::check_proper_partial(st.h(), st.phi.vec());
+  for (const auto& [u, w] : pairs) {
+    EXPECT_TRUE(st.phi.colored(u));
+    EXPECT_EQ(st.phi.get(u), st.phi.get(w));
+    EXPECT_GE(st.phi.get(u), st.dc.reserved_cap);
+  }
+  // M_K equals the number of pairs (each color counted once extra).
+  EXPECT_EQ(st.palettes[0].repeats(), static_cast<int>(pairs.size()));
+}
+
+}  // namespace
+}  // namespace ccg::color

@@ -1,0 +1,243 @@
+// End-to-end tests: the Theorem 1.2 pipeline, the Theorem 1.1 pipeline,
+// the dispatcher, and the baselines.
+#include <gtest/gtest.h>
+
+#include "baseline/baselines.hpp"
+#include "cluster/validate.hpp"
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+#include "lowdeg/lowdeg.hpp"
+
+namespace ccg {
+namespace {
+
+color::Params pipeline_params(int n, std::uint64_t seed) {
+  auto p = color::Params::defaults_for(n, seed);
+  p.eps = 0.2;  // lenient detection margin for the planted specs below
+  p.use_fingerprint_acd = false;  // oracle ACD: fast, identical charges
+  p.measure_bits = false;
+  return p;
+}
+
+TEST(PipelineHighDegree, MixedInstanceColorsProperly) {
+  Rng rng(1);
+  graph::PlantedSpec spec;
+  spec.delta = 160;
+  spec.num_cliques = 4;
+  spec.anti_deg = 2;
+  spec.external_deg = 20;  // non-cabals (e + 2a + O(1) <= eps*Delta)
+  spec.num_sparse = 300;
+  spec.sparse_avg_deg = 40.0;
+  spec.external_to_sparse = 0.3;
+  const auto planted = graph::make_planted_acd(spec, rng);
+  const auto cg = cluster::ClusterGraph::singleton(planted.g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  const auto res = color::color_high_degree(
+      rt, pipeline_params(planted.g.n(), 11));
+  cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+  EXPECT_EQ(res.num_colors, planted.delta + 1);
+  EXPECT_EQ(res.num_cliques, 4);
+  EXPECT_GT(res.sparse_count, 0);
+  EXPECT_GT(res.h_rounds, 0);
+  // The safety net should handle at most a tiny fraction.
+  EXPECT_LE(res.fallback_count, planted.g.n() / 20);
+}
+
+TEST(PipelineHighDegree, CabalHeavyInstance) {
+  Rng rng(2);
+  graph::PlantedSpec spec;
+  spec.delta = 150;
+  spec.num_cliques = 4;
+  spec.anti_deg = 2;
+  spec.external_deg = 4;  // e_K < ell -> cabals
+  const auto planted = graph::make_planted_acd(spec, rng);
+  const auto cg = cluster::ClusterGraph::singleton(planted.g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  const auto res = color::color_high_degree(
+      rt, pipeline_params(planted.g.n(), 13));
+  cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+  EXPECT_EQ(res.num_cabals, 4);
+  EXPECT_LE(res.fallback_count, planted.g.n() / 20);
+}
+
+TEST(PipelineHighDegree, PureCliquesDeltaPlusOne) {
+  // (Delta+1)-cliques with zero external edges: H needs exactly Delta+1
+  // colors; the tightest case for the clique palette.
+  Rng rng(3);
+  graph::PlantedSpec spec;
+  spec.delta = 120;
+  spec.num_cliques = 3;
+  spec.anti_deg = 0;
+  spec.external_deg = 2;
+  const auto planted = graph::make_planted_acd(spec, rng);
+  const auto cg = cluster::ClusterGraph::singleton(planted.g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  const auto res = color::color_high_degree(
+      rt, pipeline_params(planted.g.n(), 17));
+  cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+}
+
+TEST(PipelineHighDegree, RunsOnExpandedClusters) {
+  Rng rng(4);
+  graph::PlantedSpec spec;
+  spec.delta = 120;
+  spec.num_cliques = 3;
+  spec.anti_deg = 2;
+  spec.external_deg = 12;
+  spec.num_sparse = 150;
+  spec.sparse_avg_deg = 30.0;
+  const auto planted = graph::make_planted_acd(spec, rng);
+  cluster::ExpandSpec es;
+  es.shape = cluster::ClusterShape::kRandomTree;
+  es.size = 4;
+  es.links_per_edge = 2;
+  const auto cg = cluster::ClusterGraph::expand(planted.g, es, rng);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  const auto res = color::color_high_degree(
+      rt, pipeline_params(planted.g.n(), 19));
+  cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+  // d > 0: G-rounds must strictly exceed H-rounds.
+  EXPECT_GT(res.g_rounds, res.h_rounds);
+  EXPECT_GT(res.dilation, 0);
+}
+
+TEST(PipelineLowDegree, LogarithmicRegime) {
+  Rng rng(5);
+  const auto g = graph::gnm(500, 2000, rng);  // Delta ~ O(log n)
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  const auto res =
+      lowdeg::color_low_degree(rt, pipeline_params(g.n(), 23));
+  cluster::check_proper_total(g, res.colors, res.num_colors);
+}
+
+TEST(PipelineLowDegree, PolylogRegimeWithStructure) {
+  Rng rng(6);
+  graph::PlantedSpec spec;
+  spec.delta = 60;
+  spec.num_cliques = 3;
+  spec.anti_deg = 2;
+  spec.external_deg = 10;
+  spec.num_sparse = 200;
+  spec.sparse_avg_deg = 20.0;
+  const auto planted = graph::make_planted_acd(spec, rng);
+  const auto cg = cluster::ClusterGraph::singleton(planted.g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  const auto res =
+      lowdeg::color_low_degree(rt, pipeline_params(planted.g.n(), 29));
+  cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+}
+
+TEST(Dispatcher, PicksPathByDelta) {
+  Rng rng(7);
+  auto params = pipeline_params(400, 31);
+  // Low-degree input.
+  const auto sparse_g = graph::gnm(400, 1200, rng);
+  {
+    const auto cg = cluster::ClusterGraph::singleton(sparse_g);
+    net::Ledger ledger(cg.default_bandwidth());
+    cluster::Runtime rt(cg, ledger);
+    EXPECT_LT(rt.delta(), params.delta_low(sparse_g.n()));
+    const auto res = lowdeg::color_cluster_graph(rt, params);
+    cluster::check_proper_total(sparse_g, res.colors, res.num_colors);
+  }
+  // High-degree input.
+  graph::PlantedSpec spec;
+  spec.delta = 200;
+  spec.num_cliques = 2;
+  spec.anti_deg = 0;
+  spec.external_deg = 8;
+  const auto planted = graph::make_planted_acd(spec, rng);
+  {
+    const auto cg = cluster::ClusterGraph::singleton(planted.g);
+    net::Ledger ledger(cg.default_bandwidth());
+    cluster::Runtime rt(cg, ledger);
+    EXPECT_GE(rt.delta(), params.delta_low(planted.g.n()));
+    const auto res = lowdeg::color_cluster_graph(rt, params);
+    cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+  }
+}
+
+TEST(Baselines, GreedyUsesAtMostDeltaPlusOne) {
+  Rng rng(8);
+  const auto g = graph::gnm(300, 2500, rng);
+  const auto colors = baseline::greedy_coloring(g);
+  cluster::check_proper_total(g, colors, g.max_degree() + 1);
+}
+
+TEST(Baselines, UniformTrialProper) {
+  Rng rng(9);
+  const auto g = graph::gnm(300, 1800, rng);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  const auto res = baseline::uniform_trial_baseline(rt, 5, 200);
+  cluster::check_proper_total(g, res.colors, res.num_colors);
+}
+
+TEST(Baselines, PaletteSparsificationProper) {
+  Rng rng(10);
+  const auto g = graph::gnm(300, 3000, rng);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  const auto res =
+      baseline::palette_sparsification_baseline(rt, 7, 1.0, 400);
+  cluster::check_proper_total(g, res.colors, res.num_colors);
+  // Lists are small: max message obeys the sparsified budget.
+  EXPECT_GT(res.h_rounds, 0);
+}
+
+
+TEST(PipelineEverythingOn, AllFidelityFlagsSimultaneously) {
+  // The maximum-fidelity configuration: fingerprint ACD (no oracle),
+  // measured bits, representative-set MCT, Ghaffari-Kuhn finisher — all
+  // paper machinery engaged in one run, on a mixed instance.
+  Rng rng(401);
+  graph::PlantedSpec spec;
+  spec.delta = 110;
+  spec.num_cliques = 3;
+  spec.anti_deg = 2;
+  spec.external_deg = 10;
+  spec.num_sparse = 220;
+  spec.sparse_avg_deg = 28.0;
+  const auto planted = graph::make_planted_acd(spec, rng);
+  const auto cg = cluster::ClusterGraph::singleton(planted.g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  auto params = color::Params::defaults_for(planted.g.n(), 409);
+  params.use_fingerprint_acd = true;
+  params.measure_bits = true;
+  params.use_representative_sets = true;
+  params.finisher = color::Params::Finisher::kGhaffariKuhn;
+  const auto res = lowdeg::color_cluster_graph(rt, params);
+  cluster::check_proper_total(planted.g, res.colors, res.num_colors);
+  EXPECT_LE(res.max_bits_per_link_round, ledger.bandwidth());
+}
+
+TEST(PipelineEverythingOn, EstimatedWeightsOnExpandedClusters) {
+  // Estimated GK weights + non-trivial cluster shapes together.
+  Rng rng(419);
+  const auto g = graph::gnm(700, 4200, rng);
+  cluster::ExpandSpec es;
+  es.shape = cluster::ClusterShape::kStar;
+  es.size = 3;
+  const auto cg = cluster::ClusterGraph::expand(g, es, rng);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  auto params = color::Params::defaults_for(g.n(), 421);
+  params.finisher = color::Params::Finisher::kGhaffariKuhn;
+  params.gk_estimated_weights = true;
+  params.fingerprint_t = 64;
+  const auto res = lowdeg::color_cluster_graph(rt, params);
+  cluster::check_proper_total(g, res.colors, res.num_colors);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,164 @@
+// Tests: put-aside sets (Lemma 4.18) and their coloring (Section 7).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "color/matching.hpp"
+#include "color/multicolor_trial.hpp"
+#include "color/putaside.hpp"
+#include "color/sync_trial.hpp"
+#include "helpers.hpp"
+
+namespace ccg::color {
+namespace {
+
+graph::PlantedSpec cabal_spec(int delta, int anti, int ext, int cliques) {
+  graph::PlantedSpec spec;
+  spec.delta = delta;
+  spec.num_cliques = cliques;
+  spec.anti_deg = anti;
+  spec.external_deg = ext;
+  return spec;
+}
+
+TEST(PutAside, SetsAreIndependentAndSized) {
+  color::Params params;
+  params.seed = 3;
+  auto f = ccg::testing::make_planted_fixture(cabal_spec(90, 2, 6, 4),
+                                              params, 41, 8.0);
+  auto& st = *f->st;
+  const std::vector<int> cabals{0, 1, 2, 3};
+  const int r = 10;
+  const auto res = compute_putaside(st, cabals, r);
+  ASSERT_EQ(res.sets.size(), 4u);
+  std::set<int> all;
+  for (std::size_t i = 0; i < res.sets.size(); ++i) {
+    EXPECT_EQ(res.sets[i].size(), static_cast<std::size_t>(r));
+    for (const int v : res.sets[i]) {
+      EXPECT_EQ(st.dc.clique_of(v), cabals[i]);
+      EXPECT_FALSE(st.phi.colored(v));
+      EXPECT_TRUE(all.insert(v).second);
+    }
+  }
+  // Lemma 4.18 (2): no edges between put-aside sets of different cabals.
+  for (std::size_t i = 0; i < res.sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < res.sets.size(); ++j) {
+      for (const int u : res.sets[i]) {
+        for (const int v : res.sets[j]) {
+          EXPECT_FALSE(st.h().has_edge(u, v))
+              << "edge between put-aside sets " << u << "-" << v;
+        }
+      }
+    }
+  }
+}
+
+// Drives one cabal to the state Proposition 4.19 assumes (only put-aside
+// vertices uncolored), then exercises ColorPutAsideSets.
+class PutAsideColoring : public ::testing::TestWithParam<int> {};
+
+TEST_P(PutAsideColoring, FinishesTheCabalProperly) {
+  const int anti = GetParam();
+  color::Params params;
+  params.seed = 100 + anti;
+  params.ls_factor = 1.0;
+  auto f = ccg::testing::make_planted_fixture(
+      cabal_spec(110, anti, 6, 3), params, 43 + anti, 8.0);
+  auto& st = *f->st;
+  const std::vector<int> cabals{0, 1, 2};
+
+  // Colorful matching so the clique palette outlasts |K| (anti > 0).
+  if (anti > 0) {
+    const auto pairs0 = fingerprint_matching(st, 0);
+    if (!pairs0.empty()) color_anti_matching(st, pairs0);
+    const auto pairs1 = fingerprint_matching(st, 1);
+    if (!pairs1.empty()) color_anti_matching(st, pairs1);
+    const auto pairs2 = fingerprint_matching(st, 2);
+    if (!pairs2.empty()) color_anti_matching(st, pairs2);
+  }
+
+  const int r = std::max(4, static_cast<int>(st.dc.ell));
+  const auto put = compute_putaside(st, cabals, r);
+
+  // SCT + reserved MCT: color everything except the put-aside sets.
+  std::vector<std::vector<int>> s_of(cabals.size());
+  for (std::size_t i = 0; i < cabals.size(); ++i) {
+    std::set<int> in_put(put.sets[i].begin(), put.sets[i].end());
+    for (const int v : st.uncolored_members(cabals[i])) {
+      if (!in_put.count(v)) s_of[i].push_back(v);
+    }
+  }
+  synchronized_color_trial(st, cabals, s_of);
+  std::vector<int> leftover;
+  for (const auto& s : s_of) {
+    for (const int v : s) {
+      if (!st.phi.colored(v)) leftover.push_back(v);
+    }
+  }
+  MctOptions opt;
+  opt.max_rounds = 48;
+  opt.slack = [&st](int v) { return std::max(1, st.dc.r_of(v) / 2); };
+  auto left = multicolor_trial(
+      st, leftover, reserved_set_sampler([&st](int v) { return st.dc.r_of(v); }),
+      opt);
+  if (!left.empty()) fallback_finish(st, left);
+
+  // Now only put-aside sets are uncolored; Proposition 4.19 applies.
+  int uncolored = 0;
+  for (int v = 0; v < st.h().n(); ++v) {
+    if (!st.phi.colored(v)) ++uncolored;
+  }
+  EXPECT_EQ(uncolored, static_cast<int>(cabals.size()) * r);
+
+  const int fallbacks_before = st.fallback_count;
+  const auto stats = color_putaside_sets(st, cabals, put.sets);
+  cluster::check_proper_total(st.h(), st.phi.vec(), st.num_colors());
+  EXPECT_EQ(stats.free_path_cliques + stats.donation_path_cliques +
+                (stats.fallbacks > 0 ? 1 : 0) >= 1,
+            true);
+  // The safety net should stay quiet (allow a small number).
+  EXPECT_LE(st.fallback_count - fallbacks_before, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AntiSweep, PutAsideColoring,
+                         ::testing::Values(0, 2, 4));
+
+TEST(Donation, DonationPathTriggersWhenPaletteTight) {
+  // Force the donation branch: ls_factor large makes ell_s exceed the
+  // palette surplus, so TryFreeColors is not available.
+  color::Params params;
+  params.seed = 777;
+  params.ls_factor = 6.0;   // ell_s well above r + (e - a) + M_K
+  params.block_factor = 4.0;
+  params.reserved_factor = 1.0;
+  auto f = ccg::testing::make_planted_fixture(
+      cabal_spec(220, 0, 4, 2), params, 53, 8.0);
+  auto& st = *f->st;
+  const std::vector<int> cabals{0, 1};
+  const int r = std::max(4, static_cast<int>(st.dc.ell));
+  const auto put = compute_putaside(st, cabals, r);
+
+  std::vector<std::vector<int>> s_of(cabals.size());
+  for (std::size_t i = 0; i < cabals.size(); ++i) {
+    std::set<int> in_put(put.sets[i].begin(), put.sets[i].end());
+    for (const int v : st.uncolored_members(cabals[i])) {
+      if (!in_put.count(v)) s_of[i].push_back(v);
+    }
+  }
+  synchronized_color_trial(st, cabals, s_of);
+  std::vector<int> leftover;
+  for (const auto& s : s_of) {
+    for (const int v : s) {
+      if (!st.phi.colored(v)) leftover.push_back(v);
+    }
+  }
+  if (!leftover.empty()) fallback_finish(st, leftover);
+
+  const auto stats = color_putaside_sets(st, cabals, put.sets);
+  cluster::check_proper_total(st.h(), st.phi.vec(), st.num_colors());
+  EXPECT_GT(stats.donation_path_cliques + stats.fallbacks, 0);
+  EXPECT_GT(stats.donated + stats.fallbacks + stats.free_colored, 0);
+}
+
+}  // namespace
+}  // namespace ccg::color
