@@ -1,0 +1,184 @@
+// Timed end-to-end pipeline benchmark: the wall-clock companion to
+// bench_main_theorem's round counts. Runs the planted high-degree mixture
+// sweep (E1's instances) plus the cabal-heavy variant under the timed
+// harness (warmup + repetitions) and a try_color_round microbenchmark,
+// then writes BENCH_pipeline.json so successive PRs have a perf
+// trajectory to regress against.
+//
+// Usage: bench_pipeline [out.json] [baseline.json]
+//   out.json       default BENCH_pipeline.json (cwd; run from the repo root)
+//   baseline.json  default bench/BENCH_baseline.json; when present, its
+//                  total_wall_ns is recorded alongside the fresh total and
+//                  the speedup ratio is computed.
+#include <string>
+#include <vector>
+
+#include "color/primitives.hpp"
+#include "util.hpp"
+
+using namespace ccg;
+
+namespace {
+
+struct InstanceRow {
+  std::string name;
+  int n = 0;
+  int delta = 0;
+  std::int64_t h_rounds = 0;
+  bench::TimedStats stats;
+};
+
+InstanceRow run_timed_pipeline(const std::string& name, int n_target,
+                               const bench::MixtureSpec& ms,
+                               std::uint64_t inst_seed,
+                               std::uint64_t param_seed, int warmup,
+                               int reps) {
+  const auto inst = bench::make_mixture(n_target, ms, inst_seed);
+  const auto cg = cluster::ClusterGraph::singleton(inst.planted.g);
+  const auto params = bench::bench_params(inst.n, param_seed);
+
+  InstanceRow row;
+  row.name = name;
+  row.n = inst.n;
+  color::Result last;
+  row.stats = bench::timed(
+      [&] {
+        net::Ledger ledger(cg.default_bandwidth());
+        cluster::Runtime rt(cg, ledger);
+        last = color::color_high_degree(rt, params);
+      },
+      warmup, reps, inst.n);
+  cluster::check_proper_total(inst.planted.g, last.colors, last.num_colors);
+  row.delta = last.num_colors - 1;
+  row.h_rounds = last.h_rounds;
+  return row;
+}
+
+bench::TimedStats run_try_color_micro(int warmup, int reps) {
+  Rng rng(6);
+  const auto g = graph::gnm(2000, 20000, rng);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  std::vector<int> all(static_cast<std::size_t>(g.n()));
+  for (int v = 0; v < g.n(); ++v) all[static_cast<std::size_t>(v)] = v;
+  const auto sampler = color::uniform_sampler(g.max_degree() + 1, 0);
+  constexpr int kRoundsPerRep = 20;
+  return bench::timed(
+      [&] {
+        color::State st(rt, color::Params::defaults_for(g.n(), 7));
+        for (int i = 0; i < kRoundsPerRep; ++i) {
+          color::try_color_round(st, all, sampler, 0.5);
+        }
+      },
+      warmup, reps,
+      static_cast<std::int64_t>(g.n()) * kRoundsPerRep);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pipeline.json";
+  const std::string baseline_path =
+      argc > 2 ? argv[2] : "bench/BENCH_baseline.json";
+  const int warmup = 1;
+  const int reps = 3;
+
+  bench::header("BENCH / timed pipeline",
+                "end-to-end wall-clock on the E1 mixture instances; "
+                "trajectory anchor for perf PRs");
+  bench::row({"instance", "n", "Delta", "H-rounds", "wall-ms", "ns/vertex"});
+
+  std::vector<InstanceRow> rows;
+  for (const int n_target : {2000, 4000, 8000, 16000}) {
+    bench::MixtureSpec ms;
+    ms.delta = 256;
+    ms.ext_deg = 24;
+    rows.push_back(run_timed_pipeline("mixture_n" + std::to_string(n_target),
+                                      n_target, ms, 7777 + n_target, 42,
+                                      warmup, reps));
+  }
+  for (const int n_target : {2000, 4000}) {
+    bench::MixtureSpec ms;
+    ms.delta = 256;
+    ms.ext_deg = 6;
+    ms.anti_deg = 2;
+    ms.sparse_fraction = 0.0;
+    rows.push_back(run_timed_pipeline("cabal_n" + std::to_string(n_target),
+                                      n_target, ms, 991 + n_target, 43,
+                                      warmup, reps));
+  }
+
+  double total_wall_ns = 0;
+  for (const auto& r : rows) {
+    total_wall_ns += r.stats.min_ns;
+    bench::row({r.name, bench::fmt(r.n), bench::fmt(r.delta),
+                bench::fmt(r.h_rounds), bench::fmt(r.stats.min_ns / 1e6),
+                bench::fmt(r.stats.ns_per_op())});
+  }
+
+  const auto micro = run_try_color_micro(warmup, reps);
+  bench::row({"try_color_round", "2000", "-", "-",
+              bench::fmt(micro.min_ns / 1e6),
+              bench::fmt(micro.ns_per_op())});
+
+  const double baseline_ns =
+      bench::json_number_field(baseline_path, "total_wall_ns");
+
+  bench::JsonWriter j;
+  j.begin_object();
+  j.key("bench").value("pipeline");
+  j.key("schema_version").value(1);
+  j.key("config")
+      .begin_object()
+      .key("warmup")
+      .value(warmup)
+      .key("reps")
+      .value(reps)
+      .key("estimator")
+      .value("min")
+      .end_object();
+  j.key("instances").begin_array();
+  for (const auto& r : rows) {
+    j.begin_object();
+    j.key("name").value(r.name);
+    j.key("n").value(r.n);
+    j.key("delta").value(r.delta);
+    j.key("h_rounds").value(r.h_rounds);
+    j.key("wall_ns").value(r.stats.min_ns);
+    j.key("mean_ns").value(r.stats.mean_ns);
+    j.key("max_ns").value(r.stats.max_ns);
+    j.key("ns_per_vertex").value(r.stats.ns_per_op());
+    j.end_object();
+  }
+  j.end_array();
+  j.key("micro").begin_array();
+  j.begin_object();
+  j.key("name").value("try_color_round");
+  j.key("ns_per_op").value(micro.ns_per_op());
+  j.key("wall_ns").value(micro.min_ns);
+  j.end_object();
+  j.end_array();
+  j.key("total_wall_ns").value(total_wall_ns);
+  if (baseline_ns > 0) {
+    j.key("baseline_total_wall_ns").value(baseline_ns);
+    j.key("speedup_vs_baseline").value(baseline_ns / total_wall_ns);
+  } else {
+    j.key("baseline_total_wall_ns").null();
+    j.key("speedup_vs_baseline").null();
+  }
+  j.end_object();
+
+  if (!j.write_file(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nBENCH JSON -> %s (total %.1f ms", out_path.c_str(),
+              total_wall_ns / 1e6);
+  if (baseline_ns > 0) {
+    std::printf(", baseline %.1f ms, speedup %.2fx", baseline_ns / 1e6,
+                baseline_ns / total_wall_ns);
+  }
+  std::printf(")\n");
+  return 0;
+}

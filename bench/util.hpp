@@ -1,10 +1,17 @@
 // Shared helpers for the experiment harness: instance builders, pipeline
-// runners, and fixed-width table printing. Each bench binary regenerates
-// one experiment row-set from DESIGN.md's experiment index and prints the
-// paper-claimed shape next to the measured series.
+// runners, fixed-width table printing, and the timed-measurement harness
+// (warmup + repetitions, ns/op, JSON emission) behind BENCH_pipeline.json.
+// Each bench binary regenerates one experiment row-set from DESIGN.md's
+// experiment index and prints the paper-claimed shape next to the measured
+// series.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -99,6 +106,156 @@ inline color::Params bench_params(int n, std::uint64_t seed,
   p.use_fingerprint_acd = full_stack;
   p.measure_bits = full_stack;
   return p;
+}
+
+// ---- timed measurement harness ----
+//
+// Wall-clock measurement with explicit warmup and repetition control. The
+// reported figure is the *minimum* over repetitions (least-noise estimator
+// for a deterministic workload); mean and max ride along for dispersion.
+struct TimedStats {
+  double min_ns = 0;
+  double mean_ns = 0;
+  double max_ns = 0;
+  int reps = 0;
+  std::int64_t ops = 1;  // work items per repetition, for ns/op
+
+  double ns_per_op() const {
+    return ops > 0 ? min_ns / static_cast<double>(ops) : min_ns;
+  }
+};
+
+template <class F>
+inline TimedStats timed(F&& fn, int warmup, int reps, std::int64_t ops = 1) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < warmup; ++i) fn();
+  TimedStats st;
+  st.reps = reps;
+  st.ops = ops;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    st.min_ns = (i == 0) ? ns : std::min(st.min_ns, ns);
+    st.max_ns = std::max(st.max_ns, ns);
+    st.mean_ns += ns;
+  }
+  if (reps > 0) st.mean_ns /= reps;
+  return st;
+}
+
+// ---- minimal JSON writer ----
+//
+// Enough JSON for the BENCH files: objects, arrays, numbers, strings,
+// null. Emits insertion-ordered keys, 2-space indentation.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(const std::string& k) {
+    comma();
+    indent();
+    out_ << '"' << k << "\": ";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    pre_value();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ << buf;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    pre_value();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(const std::string& v) {
+    pre_value();
+    out_ << '"' << v << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& null() {
+    pre_value();
+    out_ << "null";
+    return *this;
+  }
+
+  std::string str() const { return out_.str() + "\n"; }
+
+  bool write_file(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << str();
+    return static_cast<bool>(f);
+  }
+
+ private:
+  void pre_value() {
+    if (!pending_value_) {
+      comma();
+      indent();
+    }
+    pending_value_ = false;
+    first_ = false;
+  }
+  JsonWriter& open(char c) {
+    pre_value();
+    out_ << c;
+    ++depth_;
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    --depth_;
+    if (!first_) {
+      out_ << '\n';
+      indent_raw();
+    }
+    out_ << c;
+    first_ = false;
+    return *this;
+  }
+  void comma() {
+    if (!first_) out_ << ',';
+    out_ << '\n';
+  }
+  void indent() { indent_raw(); }
+  void indent_raw() {
+    for (int i = 0; i < depth_; ++i) out_ << "  ";
+  }
+
+  std::ostringstream out_;
+  int depth_ = 0;
+  bool first_ = true;
+  bool pending_value_ = false;
+};
+
+// Extracts `"key": <number>` from a JSON file; returns fallback when the
+// file or key is missing. Good enough to read back a committed BENCH
+// baseline without a JSON dependency.
+inline double json_number_field(const std::string& path,
+                                const std::string& key,
+                                double fallback = -1.0) {
+  std::ifstream f(path);
+  if (!f) return fallback;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return fallback;
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
 }
 
 }  // namespace ccg::bench

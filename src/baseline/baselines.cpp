@@ -40,7 +40,7 @@ color::Result uniform_trial_baseline(cluster::Runtime& rt,
   const auto sampler = color::uniform_sampler(st.num_colors(), 0);
   for (int r = 0; r < max_rounds && !s.empty(); ++r) {
     color::try_color_round(st, s, sampler, 0.8);
-    s = color::uncolored_of(st, s);
+    color::prune_colored(st, &s);
   }
   if (!s.empty()) color::fallback_finish(st, s);
   cluster::check_proper_total(st.h(), st.phi.vec(), st.num_colors());
@@ -98,7 +98,7 @@ color::Result palette_sparsification_baseline(cluster::Runtime& rt,
     // list (neighbors answer per announced color) — charged as pipelined
     // chunks on top of try_color_round's O(log n)-bit trial.
     st.rt->charge(1, list_size);
-    s = color::uncolored_of(st, s);
+    color::prune_colored(st, &s);
   }
   if (!s.empty()) color::fallback_finish(st, s);
   cluster::check_proper_total(st.h(), st.phi.vec(), st.num_colors());

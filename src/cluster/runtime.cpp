@@ -114,9 +114,7 @@ bool Runtime::verify_random_groups(const std::vector<int>& members,
 std::vector<int> Runtime::neighbors_where(
     int v, const std::function<bool(int)>& pred) const {
   std::vector<int> out;
-  for (const int u : h().neighbors(v)) {
-    if (pred(u)) out.push_back(u);
-  }
+  neighbors_where(v, pred, &out);
   return out;
 }
 

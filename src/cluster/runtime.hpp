@@ -92,6 +92,15 @@ class Runtime {
                             const std::vector<int>& group_of, int x) const;
 
   // Neighbors of v in H restricted to a membership predicate.
+  // Buffer-out + templated on the predicate: no std::function type
+  // erasure, no allocation when `out` is reused across calls.
+  template <class Pred>
+  void neighbors_where(int v, Pred&& pred, std::vector<int>* out) const {
+    out->clear();
+    for (const int u : h().neighbors(v)) {
+      if (pred(u)) out->push_back(u);
+    }
+  }
   std::vector<int> neighbors_where(
       int v, const std::function<bool(int)>& pred) const;
 

@@ -172,7 +172,8 @@ VirtualGraph VirtualGraph::distance2(const graph::Graph& g) {
   std::vector<int> roots(static_cast<std::size_t>(g.n()));
   for (int v = 0; v < g.n(); ++v) {
     auto& s = supports[static_cast<std::size_t>(v)];
-    s = g.neighbors(v);
+    const auto nb = g.neighbors(v);
+    s.assign(nb.begin(), nb.end());
     s.push_back(v);
     roots[static_cast<std::size_t>(v)] = v;  // star center -> c = 2
   }

@@ -21,6 +21,15 @@ int Coloring::uncolored_degree(const graph::Graph& h, int v) const {
   return d;
 }
 
+int Coloring::uncolored_neighbors(const graph::Graph& h, int v,
+                                  std::vector<int>* out) const {
+  out->clear();
+  for (const int u : h.neighbors(v)) {
+    if (!colored(u)) out->push_back(u);
+  }
+  return static_cast<int>(out->size());
+}
+
 void State::assign(int v, int c) {
   phi.set(v, c);
   const int k = dc.clique_of(v);
@@ -55,12 +64,17 @@ void State::init_palettes() {
 }
 
 std::vector<int> State::external_neighbors(int v) const {
-  const int kv = dc.clique_of(v);
   std::vector<int> out;
-  for (const int u : h().neighbors(v)) {
-    if (dc.clique_of(u) != kv) out.push_back(u);
-  }
+  external_neighbors(v, &out);
   return out;
+}
+
+void State::external_neighbors(int v, std::vector<int>* out) const {
+  out->clear();
+  const int kv = dc.clique_of(v);
+  for (const int u : h().neighbors(v)) {
+    if (dc.clique_of(u) != kv) out->push_back(u);
+  }
 }
 
 double State::x_proxy(int v) const {

@@ -9,6 +9,7 @@
 #include "cluster/validate.hpp"
 #include "color/clique_palette.hpp"
 #include "color/params.hpp"
+#include "color/scratch.hpp"
 #include "common/rng.hpp"
 
 namespace ccg::color {
@@ -39,6 +40,12 @@ class Coloring {
 
   // Number of uncolored neighbors of v.
   int uncolored_degree(const graph::Graph& h, int v) const;
+
+  // Buffer-out variant: writes the uncolored neighbors of v into `out`
+  // (cleared first) and returns their count. Reuse `out` across calls to
+  // stay allocation-free in steady state.
+  int uncolored_neighbors(const graph::Graph& h, int v,
+                          std::vector<int>* out) const;
 
  private:
   std::vector<int> color_;
@@ -78,6 +85,7 @@ struct State {
   DenseContext dc;
   std::vector<CliquePalette> palettes;  // per clique id
   Rng rng;
+  TrialScratch scratch;    // per-round trial scratch (see scratch.hpp)
   int fallback_count = 0;  // safety-net interventions (should be ~0)
   int retry_count = 0;     // phase-level retries after failed postconditions
 
@@ -86,6 +94,7 @@ struct State {
     // A fresh state has no dense structure: everything is sparse until
     // build_dense_context fills dc.
     dc.acd.clique_of.assign(static_cast<std::size_t>(runtime.h().n()), -1);
+    scratch.ensure_vertices(runtime.h().n());
   }
 
   const graph::Graph& h() const { return rt->h(); }
@@ -103,6 +112,8 @@ struct State {
   // External neighbors of dense v (N(v) \ K_v) — identity knowable at link
   // machines once clusters share their almost-clique id (Section 5.3).
   std::vector<int> external_neighbors(int v) const;
+  // Buffer-out variant (clears `out` first); reuse the buffer in hot loops.
+  void external_neighbors(int v, std::vector<int>* out) const;
 
   // x_v = |K| - (Delta+1) + ẽ_v, the anti-degree proxy (Eq. 3).
   double x_proxy(int v) const;

@@ -19,11 +19,17 @@ std::vector<int> colorful_matching(State& st,
   const int log_bits =
       2 * ceil_log2(static_cast<std::uint64_t>(std::max(2, h.n())));
 
+  auto& sc = st.scratch;
+  sc.ensure_vertices(h.n());
   std::vector<char> done(clique_ids.size(), 0);
+  // (clique, color)-keyed grouping buffer and per-bucket chosen list,
+  // reused across rounds.
+  std::vector<std::pair<std::int64_t, int>> keyed;
+  std::vector<int> chosen;
   for (int round = 0; round < st.params.matching_rounds; ++round) {
     bool all_done = true;
-    // Global candidate map for cross-clique conflict detection.
-    std::unordered_map<int, int> candidate;
+    // Global candidate table for cross-clique conflict detection.
+    sc.begin_round();
     for (std::size_t ki = 0; ki < clique_ids.size(); ++ki) {
       const int k = clique_ids[ki];
       if (st.palettes[static_cast<std::size_t>(k)].repeats() >= target(k)) {
@@ -37,24 +43,24 @@ std::vector<int> colorful_matching(State& st,
         const int c = prefix + static_cast<int>(st.rng.next_below(
                                    static_cast<std::uint64_t>(
                                        st.num_colors() - prefix)));
-        candidate.emplace(v, c);
+        sc.propose(v, c);
       }
     }
     if (all_done) break;
 
     // Drop candidates clashing with an external candidate or with any
     // colored neighbor (symmetric drop; conservative).
-    std::unordered_set<int> dropped;
-    for (const auto& [v, c] : candidate) {
+    sc.begin_vertex_marks();  // marks = dropped
+    for (const int v : sc.proposers()) {
+      const int c = sc.candidate(v);
       if (st.phi.neighbor_uses(h, v, c)) {
-        dropped.insert(v);
+        sc.mark_vertex(v);
         continue;
       }
       for (const int u : h.neighbors(v)) {
         if (st.dc.clique_of(u) == st.dc.clique_of(v)) continue;
-        const auto it = candidate.find(u);
-        if (it != candidate.end() && it->second == c) {
-          dropped.insert(v);
+        if (sc.candidate(u) == c) {
+          sc.mark_vertex(v);
           break;
         }
       }
@@ -63,30 +69,39 @@ std::vector<int> colorful_matching(State& st,
     // Per clique and per color: keep a maximal pairwise-non-adjacent even-
     // size subset of the same-color candidates; they all adopt the color
     // (used >= twice => every adopted vertex provides reuse slack).
-    std::unordered_map<std::int64_t, std::vector<int>> bucket;
-    for (const auto& [v, c] : candidate) {
-      if (dropped.count(v)) continue;
+    // Buckets materialize by sorting (clique * C + color, vertex) pairs.
+    keyed.clear();
+    for (const int v : sc.proposers()) {
+      if (sc.vertex_marked(v)) continue;
       const int k = st.dc.clique_of(v);
-      bucket[static_cast<std::int64_t>(k) * st.num_colors() + c].push_back(v);
+      keyed.emplace_back(
+          static_cast<std::int64_t>(k) * st.num_colors() + sc.candidate(v),
+          v);
     }
-    for (auto& [key, vs] : bucket) {
-      if (vs.size() < 2) continue;
-      std::sort(vs.begin(), vs.end());
-      std::vector<int> chosen;
-      for (const int v : vs) {
-        bool ok = true;
-        for (const int w : chosen) {
-          if (h.has_edge(v, w)) {
-            ok = false;
-            break;
+    std::sort(keyed.begin(), keyed.end());
+    for (std::size_t lo = 0; lo < keyed.size();) {
+      std::size_t hi = lo;
+      while (hi < keyed.size() && keyed[hi].first == keyed[lo].first) ++hi;
+      if (hi - lo >= 2) {
+        chosen.clear();
+        for (std::size_t i = lo; i < hi; ++i) {
+          const int v = keyed[i].second;
+          bool ok = true;
+          for (const int w : chosen) {
+            if (h.has_edge(v, w)) {
+              ok = false;
+              break;
+            }
           }
+          if (ok) chosen.push_back(v);
         }
-        if (ok) chosen.push_back(v);
+        if (chosen.size() % 2 == 1) chosen.pop_back();
+        if (chosen.size() >= 2) {
+          const int c = static_cast<int>(keyed[lo].first % st.num_colors());
+          for (const int v : chosen) st.assign(v, c);
+        }
       }
-      if (chosen.size() % 2 == 1) chosen.pop_back();
-      if (chosen.size() < 2) continue;
-      const int c = static_cast<int>(key % st.num_colors());
-      for (const int v : chosen) st.assign(v, c);
+      lo = hi;
     }
     st.rt->charge(2, log_bits);
   }
@@ -271,27 +286,29 @@ int color_anti_matching(State& st,
     todo[i] = static_cast<int>(i);
   }
   int colored = 0;
+  auto& sc = st.scratch;
+  sc.ensure_vertices(h.n());
+  std::vector<int> pair_cand(pairs.size(), -1);  // pair index -> color
+  std::vector<int> next;
   // Pair-level synchronized trials (Algorithm 6 step 3, with the random
   // groups of Lemma 4.4 relaying between the pair's endpoints).
   for (int round = 0; round < st.params.mct_max_rounds && !todo.empty();
        ++round) {
-    std::unordered_map<int, int> pair_cand;  // pair index -> color
+    // Vertex -> candidate color of its pair (scratch table), for
+    // cross-pair conflicts.
+    sc.begin_round();
     for (const int pi : todo) {
       const int c = prefix + static_cast<int>(st.rng.next_below(
                                  static_cast<std::uint64_t>(
                                      st.num_colors() - prefix)));
-      pair_cand.emplace(pi, c);
+      pair_cand[static_cast<std::size_t>(pi)] = c;
+      sc.propose(pairs[static_cast<std::size_t>(pi)].first, c);
+      sc.propose(pairs[static_cast<std::size_t>(pi)].second, c);
     }
-    // Vertex -> candidate color of its pair, for cross-pair conflicts.
-    std::unordered_map<int, int> vertex_cand;
-    for (const auto& [pi, c] : pair_cand) {
-      vertex_cand[pairs[static_cast<std::size_t>(pi)].first] = c;
-      vertex_cand[pairs[static_cast<std::size_t>(pi)].second] = c;
-    }
-    std::vector<int> next;
+    next.clear();
     for (const int pi : todo) {
       const auto& [a, b] = pairs[static_cast<std::size_t>(pi)];
-      const int c = pair_cand[pi];
+      const int c = pair_cand[static_cast<std::size_t>(pi)];
       bool ok = !st.phi.neighbor_uses(h, a, c) &&
                 !st.phi.neighbor_uses(h, b, c);
       if (ok) {
@@ -300,8 +317,7 @@ int color_anti_matching(State& st,
         const int my_id = std::min(a, b);
         for (const int endpoint : {a, b}) {
           for (const int u : h.neighbors(endpoint)) {
-            const auto it = vertex_cand.find(u);
-            if (it != vertex_cand.end() && it->second == c && u < my_id) {
+            if (sc.candidate(u) == c && u < my_id) {
               ok = false;
               break;
             }
@@ -318,7 +334,7 @@ int color_anti_matching(State& st,
       }
     }
     st.rt->charge(3, log_bits);
-    todo = std::move(next);
+    std::swap(todo, next);
   }
   CCG_CHECK_MSG(todo.empty(), "anti-matching pairs left uncolored");
   return colored;

@@ -3,9 +3,6 @@
 #include "color/primitives.hpp"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
-
 #include <memory>
 
 #include "common/mathutil.hpp"
@@ -23,46 +20,56 @@ std::vector<int> multicolor_trial(State& st, std::vector<int> S,
           ? opt.x_cap
           : 2 * std::max(1, ceil_log2(static_cast<std::uint64_t>(
                                 std::max(2, n))));
-  S = uncolored_of(st, S);
+  prune_colored(st, &S);
   int x = std::max(1, opt.x_init);
 
-  std::vector<char> active(static_cast<std::size_t>(n), 0);
+  auto& sc = st.scratch;
+  sc.ensure_vertices(n);
+  sc.ensure_colors(st.num_colors());
+  auto& set_buf = sc.sampled_set;
   for (int round = 0; round < opt.max_rounds && !S.empty(); ++round) {
-    for (const int v : S) active[static_cast<std::size_t>(v)] = 1;
+    // Active set + per-vertex tried-color sets live in the round scratch.
+    sc.begin_round();
+    for (const int v : S) sc.propose(v, 1);
 
     // Sampling phase: each active vertex derives its set from a fresh seed
     // (neighbors reconstruct it from the broadcast seed).
-    std::unordered_map<int, std::vector<int>> tried;
-    tried.reserve(S.size() * 2);
     int x_max_round = 1;
     for (const int v : S) {
       int xv = x;
       if (opt.slack) {
-        const int deg = active_degree(st, v, active);
+        int deg = 0;
+        for (const int u : h.neighbors(v)) {
+          if (sc.active(u)) ++deg;
+        }
         const int cap_by_slack =
             deg > 0 ? std::max(1, opt.slack(v) / deg) : x_cap;
         xv = std::min(xv, cap_by_slack);
       }
       xv = std::min(xv, x_cap);
       x_max_round = std::max(x_max_round, xv);
-      auto set = sampler(v, xv, st.rng);
-      if (!set.empty()) tried.emplace(v, std::move(set));
+      sampler(v, xv, st.rng, &set_buf);
+      if (!set_buf.empty()) {
+        sc.set_begin(v);
+        for (const int c : set_buf) sc.set_push(c);
+        sc.set_end(v);
+      }
     }
 
     // Adoption phase (Algorithm 16 step 3): adopt some c in X(v) ∩ L(v)
     // with c ∉ X(N(v)).
-    std::vector<std::pair<int, int>> adopted;
-    for (const auto& [v, set] : tried) {
+    auto& adopted = sc.adopted;
+    adopted.clear();
+    for (const int v : sc.proposers()) {
+      const auto set = sc.set_of(v);
+      if (set.empty()) continue;
       // Colors tried by neighbors this round.
-      std::unordered_set<int> blocked;
+      sc.begin_color_marks();
       for (const int u : h.neighbors(v)) {
-        const auto it = tried.find(u);
-        if (it != tried.end()) {
-          blocked.insert(it->second.begin(), it->second.end());
-        }
+        for (const int c : sc.set_of(u)) sc.mark_color(c);
       }
       for (const int c : set) {
-        if (blocked.count(c)) continue;
+        if (sc.color_marked(c)) continue;
         if (st.phi.neighbor_uses(h, v, c)) continue;
         adopted.emplace_back(v, c);
         break;
@@ -76,8 +83,7 @@ std::vector<int> multicolor_trial(State& st, std::vector<int> S,
         x_max_round;
     st.rt->charge(2, bits);
 
-    for (const int v : S) active[static_cast<std::size_t>(v)] = 0;
-    S = uncolored_of(st, S);
+    prune_colored(st, &S);
     x = std::min(x_cap, 2 * x);
   }
   return S;
@@ -85,29 +91,27 @@ std::vector<int> multicolor_trial(State& st, std::vector<int> S,
 
 SetSampler uniform_set_sampler(int num_colors, int prefix) {
   CCG_CHECK(prefix >= 0 && prefix < num_colors);
-  return [num_colors, prefix](int, int x, Rng& rng) {
-    std::vector<int> out;
-    out.reserve(static_cast<std::size_t>(x));
+  return [num_colors, prefix](int, int x, Rng& rng, std::vector<int>* out) {
+    out->clear();
+    out->reserve(static_cast<std::size_t>(x));
     for (int i = 0; i < x; ++i) {
-      out.push_back(prefix +
-                    static_cast<int>(rng.next_below(
-                        static_cast<std::uint64_t>(num_colors - prefix))));
+      out->push_back(prefix +
+                     static_cast<int>(rng.next_below(
+                         static_cast<std::uint64_t>(num_colors - prefix))));
     }
-    return out;
   };
 }
 
 SetSampler reserved_set_sampler(std::function<int(int)> r_of) {
-  return [r_of](int v, int x, Rng& rng) {
+  return [r_of](int v, int x, Rng& rng, std::vector<int>* out) {
+    out->clear();
     const int r = r_of(v);
-    std::vector<int> out;
-    if (r <= 0) return out;
-    out.reserve(static_cast<std::size_t>(x));
+    if (r <= 0) return;
+    out->reserve(static_cast<std::size_t>(x));
     for (int i = 0; i < x; ++i) {
-      out.push_back(
+      out->push_back(
           static_cast<int>(rng.next_below(static_cast<std::uint64_t>(r))));
     }
-    return out;
   };
 }
 
@@ -124,36 +128,34 @@ SetSampler representative_set_sampler(int num_colors, int prefix,
       universe, s, RepresentativeFamily::recommended_family_size(
                        universe, 1e-6),
       family_seed);
-  return [family, prefix](int, int x, Rng& rng) {
+  return [family, prefix](int, int x, Rng& rng, std::vector<int>* out) {
+    out->clear();
     const auto member = family->set(family->sample_index(rng));
-    std::vector<int> out;
-    out.reserve(static_cast<std::size_t>(x));
+    out->reserve(static_cast<std::size_t>(x));
     for (int i = 0; i < x; ++i) {
-      out.push_back(prefix +
-                    member[static_cast<std::size_t>(rng.next_below(
-                        static_cast<std::uint64_t>(member.size())))]);
+      out->push_back(prefix +
+                     member[static_cast<std::size_t>(rng.next_below(
+                         static_cast<std::uint64_t>(member.size())))]);
     }
-    return out;
   };
 }
 
 SetSampler clique_palette_set_sampler(State& st,
                                       std::function<int(int)> prefix_of) {
-  return [&st, prefix_of](int v, int x, Rng& rng) {
-    std::vector<int> out;
+  return [&st, prefix_of](int v, int x, Rng& rng, std::vector<int>* out) {
+    out->clear();
     const int k = st.dc.clique_of(v);
-    if (k < 0) return out;
+    if (k < 0) return;
     const auto& pal = st.palettes[static_cast<std::size_t>(k)];
     const int lo = prefix_of(v);
     const int free = pal.free_count(lo, pal.num_colors() - 1);
-    if (free <= 0) return out;
-    out.reserve(static_cast<std::size_t>(x));
+    if (free <= 0) return;
+    out->reserve(static_cast<std::size_t>(x));
     for (int i = 0; i < x; ++i) {
       const int idx = static_cast<int>(
           rng.next_below(static_cast<std::uint64_t>(free)));
-      out.push_back(pal.select_free(lo, pal.num_colors() - 1, idx));
+      out->push_back(pal.select_free(lo, pal.num_colors() - 1, idx));
     }
-    return out;
   };
 }
 

@@ -16,9 +16,12 @@
 
 namespace ccg::color {
 
-// Returns up to x candidate colors for v (duplicates allowed — sampling is
-// with replacement as in TryPseudorandomColors).
-using SetSampler = std::function<std::vector<int>(int v, int x, Rng& rng)>;
+// Writes up to x candidate colors for v into `out` (cleared first;
+// duplicates allowed — sampling is with replacement as in
+// TryPseudorandomColors). Buffer-out so the trial loop can reuse one
+// buffer across vertices and stay allocation-free in steady state.
+using SetSampler =
+    std::function<void(int v, int x, Rng& rng, std::vector<int>* out)>;
 
 struct MctOptions {
   int max_rounds = 64;

@@ -106,16 +106,16 @@ void color_outliers(State& st, const std::vector<int>& outliers) {
   mct.max_rounds = st.params.mct_max_rounds;
   const int slack = std::max(1, st.delta() / 4);
   mct.slack = [slack](int) { return slack; };
-  const auto set_sampler = [&st](int v, int x, Rng& rng) {
+  const auto set_sampler = [&st](int v, int x, Rng& rng,
+                                 std::vector<int>* out) {
+    out->clear();
     const int r = st.dc.r_of(v);
-    std::vector<int> out;
-    out.reserve(static_cast<std::size_t>(x));
+    out->reserve(static_cast<std::size_t>(x));
     for (int i = 0; i < x; ++i) {
-      out.push_back(r + static_cast<int>(rng.next_below(
-                            static_cast<std::uint64_t>(
-                                st.num_colors() - r))));
+      out->push_back(r + static_cast<int>(rng.next_below(
+                             static_cast<std::uint64_t>(
+                                 st.num_colors() - r))));
     }
-    return out;
   };
   auto left =
       multicolor_trial(st, uncolored_of(st, outliers), set_sampler, mct);

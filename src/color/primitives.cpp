@@ -1,7 +1,6 @@
 #include "color/primitives.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/mathutil.hpp"
 
@@ -10,28 +9,30 @@ namespace ccg::color {
 int try_color_round(State& st, const std::vector<int>& S,
                     const ColorSampler& sampler, double activation) {
   const auto& h = st.h();
-  // Sampling phase: all candidates drawn against the same snapshot.
-  std::unordered_map<int, int> candidate;  // vertex -> color
-  candidate.reserve(S.size() * 2);
+  auto& sc = st.scratch;
+  sc.ensure_vertices(h.n());
+  // Sampling phase: all candidates drawn against the same snapshot. The
+  // candidate table lives in the epoch-stamped scratch, so a round makes
+  // no heap allocations once the buffers hit their high-water capacity.
+  sc.begin_round();
   for (const int v : S) {
     if (st.phi.colored(v)) continue;
     if (!st.rng.next_bool(activation)) continue;
     const int c = sampler(v, st.rng);
-    if (c >= 0) candidate.emplace(v, c);
+    if (c >= 0) sc.propose(v, c);
   }
   // Adoption phase (Algorithm 17, step 4): keep c(v) iff it is free among
   // colored neighbors and no smaller-ID active neighbor picked it too.
-  std::vector<std::pair<int, int>> adopted;
-  for (const auto& [v, c] : candidate) {
+  auto& adopted = sc.adopted;
+  adopted.clear();
+  for (const int v : sc.proposers()) {
+    const int c = sc.candidate(v);
     bool ok = !st.phi.neighbor_uses(h, v, c);
     if (ok) {
       for (const int u : h.neighbors(v)) {
-        if (u < v) {
-          const auto it = candidate.find(u);
-          if (it != candidate.end() && it->second == c) {
-            ok = false;
-            break;
-          }
+        if (u < v && sc.candidate(u) == c) {
+          ok = false;
+          break;
         }
       }
     }
@@ -50,7 +51,7 @@ int try_color_rounds(State& st, std::vector<int> S,
   int total = 0;
   for (int r = 0; r < rounds && !S.empty(); ++r) {
     total += try_color_round(st, S, sampler, activation);
-    S = uncolored_of(st, S);
+    prune_colored(st, &S);
   }
   return total;
 }
@@ -80,19 +81,23 @@ ColorSampler clique_palette_sampler(State& st,
 
 std::vector<int> uncolored_of(const State& st, const std::vector<int>& S) {
   std::vector<int> out;
-  out.reserve(S.size());
-  for (const int v : S) {
-    if (!st.phi.colored(v)) out.push_back(v);
-  }
+  uncolored_of(st, S, &out);
   return out;
 }
 
-int active_degree(const State& st, int v, const std::vector<char>& active) {
-  int d = 0;
-  for (const int u : st.h().neighbors(v)) {
-    if (active[static_cast<std::size_t>(u)]) ++d;
+void uncolored_of(const State& st, const std::vector<int>& S,
+                  std::vector<int>* out) {
+  out->clear();
+  out->reserve(S.size());
+  for (const int v : S) {
+    if (!st.phi.colored(v)) out->push_back(v);
   }
-  return d;
+}
+
+void prune_colored(const State& st, std::vector<int>* S) {
+  S->erase(std::remove_if(S->begin(), S->end(),
+                          [&st](int v) { return st.phi.colored(v); }),
+           S->end());
 }
 
 }  // namespace ccg::color

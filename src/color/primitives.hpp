@@ -21,6 +21,7 @@ using ColorSampler = std::function<int(int v, Rng& rng)>;
 
 // One synchronized TryColor round over the uncolored vertices of S.
 // Charges 2 H-rounds of O(log n)-bit messages. Returns # newly colored.
+// Runs entirely on State::scratch: zero heap allocations in steady state.
 int try_color_round(State& st, const std::vector<int>& S,
                     const ColorSampler& sampler, double activation);
 
@@ -44,7 +45,12 @@ ColorSampler clique_palette_sampler(State& st,
 // Uncolored vertices of S (helper).
 std::vector<int> uncolored_of(const State& st, const std::vector<int>& S);
 
-// Uncolored degree of v counted within the uncolored subset flag array.
-int active_degree(const State& st, int v, const std::vector<char>& active);
+// Buffer-out variant of uncolored_of: fills `out` (cleared first). `out`
+// must not alias S. Reuse the buffer to stay allocation-free.
+void uncolored_of(const State& st, const std::vector<int>& S,
+                  std::vector<int>* out);
+
+// In-place variant: drops colored vertices from S, preserving order.
+void prune_colored(const State& st, std::vector<int>* S);
 
 }  // namespace ccg::color

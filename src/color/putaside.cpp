@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <map>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/mathutil.hpp"
 
@@ -45,35 +44,41 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
     idx_of_cabal[cabal_ids[i]] = i;
   }
 
+  auto& sc = st.scratch;
+  sc.ensure_vertices(h.n());
   for (int attempt = 0; attempt < 5; ++attempt) {
     result.attempts = attempt + 1;
-    // Sample candidates per cabal.
-    std::unordered_map<int, std::size_t> cand;  // vertex -> cabal index
+    // Sample candidates per cabal into the scratch table
+    // (vertex -> cabal index this round).
+    sc.begin_round();
     for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
       const auto eligible = eligible_members(st, cabal_ids[i]);
       const double p = std::min(
           0.5, 2.5 * r / std::max<std::size_t>(1, eligible.size()));
       for (const int v : eligible) {
-        if (st.rng.next_bool(p)) cand.emplace(v, i);
+        if (st.rng.next_bool(p)) sc.propose(v, static_cast<int>(i));
       }
     }
     // Cross-cabal conflicts resolved by ID priority: the smaller-ID
     // candidate survives (one exchange round; keeps the surviving sets
     // mutually independent while retiring only one endpoint per edge).
-    std::unordered_set<int> dropped;
-    for (const auto& [v, ci] : cand) {
+    sc.begin_vertex_marks();  // marks = dropped
+    for (const int v : sc.proposers()) {
+      const int ci = sc.candidate(v);
       for (const int u : h.neighbors(v)) {
         if (u >= v) continue;
-        const auto it = cand.find(u);
-        if (it != cand.end() && it->second != ci) {
-          dropped.insert(v);
+        const int cu = sc.candidate(u);
+        if (cu != TrialScratch::kNone && cu != ci) {
+          sc.mark_vertex(v);
           break;
         }
       }
     }
     std::vector<std::vector<int>> sets(cabal_ids.size());
-    for (const auto& [v, ci] : cand) {
-      if (!dropped.count(v)) sets[ci].push_back(v);
+    for (const int v : sc.proposers()) {
+      if (!sc.vertex_marked(v)) {
+        sets[static_cast<std::size_t>(sc.candidate(v))].push_back(v);
+      }
     }
     bool ok = true;
     for (auto& s : sets) {
@@ -92,25 +97,23 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
 
     // One-sided pruning may leave an edge from a *pruned-away* kept
     // candidate; verify independence of the final truncated sets and
-    // retry in the (rare) violating case.
-    std::unordered_set<int> in_putaside;
-    std::vector<std::size_t> cabal_of_put(
-        static_cast<std::size_t>(h.n()), SIZE_MAX);
-    for (std::size_t i = 0; i < sets.size(); ++i) {
-      for (const int v : sets[i]) {
-        in_putaside.insert(v);
-        cabal_of_put[static_cast<std::size_t>(v)] = i;
-      }
+    // retry in the (rare) violating case. Membership rides on the vertex
+    // marks; a put vertex's cabal index is its surviving candidate value.
+    sc.begin_vertex_marks();  // marks = in some put-aside set
+    for (const auto& s : sets) {
+      for (const int v : s) sc.mark_vertex(v);
     }
     bool independent = true;
-    for (const int v : in_putaside) {
-      for (const int u : h.neighbors(v)) {
-        if (in_putaside.count(u) &&
-            cabal_of_put[static_cast<std::size_t>(u)] !=
-                cabal_of_put[static_cast<std::size_t>(v)]) {
-          independent = false;
-          break;
+    for (const auto& s : sets) {
+      for (const int v : s) {
+        for (const int u : h.neighbors(v)) {
+          if (sc.vertex_marked(u) &&
+              sc.candidate(u) != sc.candidate(v)) {
+            independent = false;
+            break;
+          }
         }
+        if (!independent) break;
       }
       if (!independent) break;
     }
@@ -130,8 +133,8 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
       int exposed = 0;
       for (const int v : members) {
         for (const int u : h.neighbors(v)) {
-          if (in_putaside.count(u) &&
-              cabal_of_put[static_cast<std::size_t>(u)] != i) {
+          if (sc.vertex_marked(u) &&
+              sc.candidate(u) != static_cast<int>(i)) {
             ++exposed;
             break;
           }
@@ -148,14 +151,14 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
   // Deterministic fallback: greedy sequential selection across cabals,
   // skipping vertices adjacent to previously chosen put-aside vertices.
   ++st.fallback_count;
-  std::unordered_set<int> chosen;
+  sc.begin_vertex_marks();  // marks = chosen so far
   for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
     auto eligible = eligible_members(st, cabal_ids[i]);
     std::vector<int> mine;
     for (const int v : eligible) {
       bool clash = false;
       for (const int u : h.neighbors(v)) {
-        if (chosen.count(u) &&
+        if (sc.vertex_marked(u) &&
             st.dc.clique_of(u) != cabal_ids[i]) {
           clash = true;
           break;
@@ -168,7 +171,7 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
     }
     CCG_CHECK_MSG(static_cast<int>(mine.size()) == r,
                   "cannot form put-aside set in cabal " << cabal_ids[i]);
-    for (const int v : mine) chosen.insert(v);
+    for (const int v : mine) sc.mark_vertex(v);
     result.sets[i] = std::move(mine);
   }
   st.rt->charge(static_cast<int>(cabal_ids.size()), log_bits(st));
@@ -190,18 +193,22 @@ int try_free_colors(State& st, int k, const std::vector<int>& put,
   // ID order simulates the collision-free-hash disambiguation among the
   // <= r put-aside vertices of K (paper uses h_K collision-free on the
   // ell_s smallest palette colors; cost charged below).
-  std::unordered_set<int> taken;
+  auto& sc = st.scratch;
+  sc.ensure_colors(n_colors);
+  sc.begin_color_marks();  // marks = colors taken within K this step
+  auto& ext = sc.tmp_ext;
   for (const int u : put) {
     int got = -1;
+    st.external_neighbors(u, &ext);
     for (int s = 0; s < k_samples && got < 0; ++s) {
       const int idx = static_cast<int>(
           st.rng.next_below(static_cast<std::uint64_t>(window)));
       const int c = pal.select_free(0, n_colors - 1, idx);
-      if (c < 0 || taken.count(c)) continue;
+      if (c < 0 || sc.color_marked(c)) continue;
       // External conflicts only: put-aside sets are independent and K's
       // members don't use palette colors.
       bool ok = true;
-      for (const int w : st.external_neighbors(u)) {
+      for (const int w : ext) {
         if (st.phi.get(w) == c) {
           ok = false;
           break;
@@ -210,7 +217,7 @@ int try_free_colors(State& st, int k, const std::vector<int>& put,
       if (ok) got = c;
     }
     if (got >= 0) {
-      taken.insert(got);
+      sc.mark_color(got);
       st.assign(u, got);
       ++colored;
     } else {
@@ -333,16 +340,24 @@ DonationStats color_putaside_sets(State& st,
     if (!free_path[i]) donation_idx.push_back(i);
   }
   if (!donation_idx.empty()) {
+    auto& sc = st.scratch;
+    sc.ensure_vertices(h.n());
     // Vertices of any put-aside set (all cabals) — excluded from Q^pre.
-    std::unordered_set<int> put_union;
-    for (const auto& s : sets) put_union.insert(s.begin(), s.end());
+    // Vertex marks persist across the attempts below (nothing re-begins
+    // them until the next put-aside computation).
+    sc.begin_vertex_marks();
+    for (const auto& s : sets) {
+      for (const int v : s) sc.mark_vertex(v);
+    }
+    auto& ext = sc.tmp_ext;
 
     for (int attempt = 0; attempt < 5 && !donation_idx.empty(); ++attempt) {
       // Algorithm 9 steps 1-2: Q^pre then independent activation. The
       // activation rate plays the role of the paper's p = 50 ell_s^3 / b:
       // small enough that an external neighbor is rarely active too
-      // (p * e_v << 1), sized here from the measured ẽ_K.
-      std::unordered_map<int, std::size_t> active;  // vertex -> cabal index
+      // (p * e_v << 1), sized here from the measured ẽ_K. Activation goes
+      // through the scratch table (vertex -> cabal index this attempt).
+      sc.begin_round();
       for (const std::size_t i : donation_idx) {
         const int k = cabal_ids[i];
         const auto& pal = st.palettes[static_cast<std::size_t>(k)];
@@ -354,29 +369,33 @@ DonationStats color_putaside_sets(State& st,
           if (!st.phi.colored(v)) continue;
           if (pal.count(st.phi.get(v)) != 1) continue;  // unique colors only
           bool exposed = false;
-          for (const int u : st.external_neighbors(v)) {
-            if (put_union.count(u)) {
+          st.external_neighbors(v, &ext);
+          for (const int u : ext) {
+            if (sc.vertex_marked(u)) {
               exposed = true;
               break;
             }
           }
           if (exposed) continue;
-          if (st.rng.next_bool(p_active)) active.emplace(v, i);
+          if (st.rng.next_bool(p_active)) {
+            sc.propose(v, static_cast<int>(i));
+          }
         }
       }
       // Algorithm 9 step 3: drop active vertices with an active external
       // neighbor (any other cabal).
       std::vector<std::vector<int>> q(cabal_ids.size());
-      for (const auto& [v, ci] : active) {
+      for (const int v : sc.proposers()) {
+        const int ci = sc.candidate(v);
         bool clash = false;
         for (const int u : h.neighbors(v)) {
-          const auto it = active.find(u);
-          if (it != active.end() && it->second != ci) {
+          const int cu = sc.candidate(u);
+          if (cu != TrialScratch::kNone && cu != ci) {
             clash = true;
             break;
           }
         }
-        if (!clash) q[ci].push_back(v);
+        if (!clash) q[static_cast<std::size_t>(ci)].push_back(v);
       }
       st.rt->charge(3, log_bits(st));
 
@@ -413,13 +432,14 @@ DonationStats color_putaside_sets(State& st,
           }
           const auto& donors = plan.donors[static_cast<std::size_t>(idx)];
           int donor = -1;
+          st.external_neighbors(u, &ext);
           for (int s = 0; s < k_samples && donor < 0; ++s) {
             const int pick = static_cast<int>(st.rng.next_below(
                 static_cast<std::uint64_t>(donors.size())));
             const int v = donors[static_cast<std::size_t>(pick)];
             const int c_don = st.phi.get(v);
             bool ok = true;
-            for (const int w : st.external_neighbors(u)) {
+            for (const int w : ext) {
               if (st.phi.get(w) == c_don) {
                 ok = false;
                 break;

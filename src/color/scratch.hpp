@@ -1,0 +1,152 @@
+// Epoch-stamped per-vertex scratch space for synchronized trial rounds.
+//
+// Every trial primitive (TryColor, SCT, MCT, slack generation, put-aside)
+// needs a "candidate table" — a per-round partial map vertex -> value —
+// plus small per-round sets of vertices or colors. The seed built these
+// from std::unordered_map / std::unordered_set per round; this class
+// replaces them with flat arrays stamped by a round epoch, so a round
+// costs O(participants) with zero heap allocations in steady state:
+// begin_round() is O(1) (bump the epoch), and all per-round containers
+// reuse their high-water capacity.
+//
+// One State owns one TrialScratch. Primitives use it strictly within one
+// synchronized round: a later begin_round()/begin_vertex_marks()/
+// begin_color_marks() invalidates the respective previous round's data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ccg::color {
+
+class TrialScratch {
+ public:
+  static constexpr int kNone = -1;
+
+  // Grow the vertex-indexed arrays. No-op when already large enough, so
+  // calling it at the top of every round is free in steady state.
+  void ensure_vertices(int n) {
+    const auto sz = static_cast<std::size_t>(n);
+    if (epoch_of_.size() < sz) {
+      epoch_of_.resize(sz, 0);
+      value_.resize(sz, kNone);
+      set_begin_.resize(sz, 0);
+      set_end_.resize(sz, 0);
+      mark_epoch_of_.resize(sz, 0);
+    }
+  }
+  void ensure_colors(int num_colors) {
+    const auto sz = static_cast<std::size_t>(num_colors);
+    if (color_epoch_of_.size() < sz) color_epoch_of_.resize(sz, 0);
+  }
+
+  // ---- candidate table: per-round partial map vertex -> int ----
+
+  void begin_round() {
+    if (++epoch_ == 0) {  // wrapped: stamps from 2^32 rounds ago are stale
+      std::fill(epoch_of_.begin(), epoch_of_.end(), 0);
+      epoch_ = 1;
+    }
+    proposers_.clear();
+    pool_.clear();
+  }
+
+  bool active(int v) const {
+    return epoch_of_[static_cast<std::size_t>(v)] == epoch_;
+  }
+  // Insert or overwrite this round's value for v. First activation also
+  // clears v's color-set range.
+  void propose(int v, int value) {
+    const auto i = static_cast<std::size_t>(v);
+    if (epoch_of_[i] != epoch_) {
+      epoch_of_[i] = epoch_;
+      proposers_.push_back(v);
+      set_begin_[i] = set_end_[i] = 0;
+    }
+    value_[i] = value;
+  }
+  // This round's value for v, or kNone.
+  int candidate(int v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return epoch_of_[i] == epoch_ ? value_[i] : kNone;
+  }
+  // Vertices proposed this round, in insertion order.
+  const std::vector<int>& proposers() const { return proposers_; }
+
+  // ---- per-vertex color sets (multicolor trials) ----
+  //
+  // Sets live in one shared flat pool; build all sets first, then read
+  // them (the pool may reallocate while sets are still being appended).
+
+  void set_begin(int v) {
+    propose(v, 1);
+    set_begin_[static_cast<std::size_t>(v)] =
+        static_cast<std::int64_t>(pool_.size());
+  }
+  void set_push(int c) { pool_.push_back(c); }
+  void set_end(int v) {
+    set_end_[static_cast<std::size_t>(v)] =
+        static_cast<std::int64_t>(pool_.size());
+  }
+  std::span<const int> set_of(int v) const {
+    const auto i = static_cast<std::size_t>(v);
+    if (epoch_of_[i] != epoch_) return {};
+    return {pool_.data() + set_begin_[i],
+            static_cast<std::size_t>(set_end_[i] - set_begin_[i])};
+  }
+
+  // ---- vertex marks: per-round set membership, separate epoch ----
+
+  void begin_vertex_marks() {
+    if (++mark_epoch_ == 0) {
+      std::fill(mark_epoch_of_.begin(), mark_epoch_of_.end(), 0);
+      mark_epoch_ = 1;
+    }
+  }
+  void mark_vertex(int v) {
+    mark_epoch_of_[static_cast<std::size_t>(v)] = mark_epoch_;
+  }
+  bool vertex_marked(int v) const {
+    return mark_epoch_of_[static_cast<std::size_t>(v)] == mark_epoch_;
+  }
+
+  // ---- color marks: per-vertex blocked/taken color sets ----
+
+  void begin_color_marks() {
+    if (++color_epoch_ == 0) {
+      std::fill(color_epoch_of_.begin(), color_epoch_of_.end(), 0);
+      color_epoch_ = 1;
+    }
+  }
+  void mark_color(int c) {
+    color_epoch_of_[static_cast<std::size_t>(c)] = color_epoch_;
+  }
+  bool color_marked(int c) const {
+    return color_epoch_of_[static_cast<std::size_t>(c)] == color_epoch_;
+  }
+
+  // ---- reusable buffers (capacity persists across rounds) ----
+
+  std::vector<std::pair<int, int>> adopted;  // (vertex, color) per round
+  std::vector<int> tmp_ints;                 // short-lived id lists
+  std::vector<int> tmp_ext;                  // external-neighbor lists
+  std::vector<int> sampled_set;              // SetSampler output buffer
+
+ private:
+  std::uint32_t epoch_ = 0;
+  std::uint32_t mark_epoch_ = 0;
+  std::uint32_t color_epoch_ = 0;
+  std::vector<std::uint32_t> epoch_of_;
+  std::vector<int> value_;
+  std::vector<std::int64_t> set_begin_;
+  std::vector<std::int64_t> set_end_;
+  std::vector<int> pool_;
+  std::vector<std::uint32_t> mark_epoch_of_;
+  std::vector<std::uint32_t> color_epoch_of_;
+  std::vector<int> proposers_;
+};
+
+}  // namespace ccg::color

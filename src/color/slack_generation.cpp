@@ -1,7 +1,6 @@
 #include "color/slack_generation.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "common/mathutil.hpp"
@@ -14,25 +13,28 @@ int slack_generation(State& st) {
   const int prefix = st.dc.reserved_cap;
   CCG_CHECK(prefix < st.num_colors());
 
-  // Sampling: every non-cabal vertex, colored nobody yet.
-  std::unordered_map<int, int> candidate;
+  // Sampling: every non-cabal vertex, colored nobody yet. Candidates go
+  // through the epoch-stamped scratch table (no per-round allocations).
+  auto& sc = st.scratch;
+  sc.ensure_vertices(n);
+  sc.begin_round();
   for (int v = 0; v < n; ++v) {
     if (st.dc.in_cabal(v)) continue;
     if (!st.rng.next_bool(st.params.slack_activation)) continue;
     const int c =
         prefix + static_cast<int>(st.rng.next_below(
                      static_cast<std::uint64_t>(st.num_colors() - prefix)));
-    candidate.emplace(v, c);
+    sc.propose(v, c);
   }
   // Keep c(v) iff no neighbor sampled the same color (nothing else is
   // colored at this stage, so candidate-candidate conflicts are the only
   // ones; symmetric, no ID priority needed — both drop).
   int colored = 0;
-  for (const auto& [v, c] : candidate) {
+  for (const int v : sc.proposers()) {
+    const int c = sc.candidate(v);
     bool unique = true;
     for (const int u : h.neighbors(v)) {
-      const auto it = candidate.find(u);
-      if (it != candidate.end() && it->second == c) {
+      if (sc.candidate(u) == c) {
         unique = false;
         break;
       }

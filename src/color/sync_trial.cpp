@@ -1,7 +1,6 @@
 #include "color/sync_trial.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/hashing.hpp"
 #include "common/mathutil.hpp"
@@ -13,13 +12,21 @@ std::vector<SyncTrialResult> synchronized_color_trial(
     const std::vector<std::vector<int>>& S_of) {
   CCG_CHECK(clique_ids.size() == S_of.size());
   const auto& h = st.h();
+  auto& sc = st.scratch;
+  sc.ensure_vertices(h.n());
 
   // Phase 1 (parallel over cliques): enumerate S, draw the permutation
   // seed, fetch assigned colors. Nothing is adopted yet — candidates from
-  // different cliques must see a consistent snapshot.
-  std::unordered_map<int, int> candidate;  // vertex -> color
+  // different cliques must see a consistent snapshot. The candidate table
+  // is the epoch-stamped scratch (vertex -> color this round).
+  sc.begin_round();
   std::vector<SyncTrialResult> results(clique_ids.size());
+  // Clique id -> position in clique_ids, for the adoption tally.
+  auto& idx_of = sc.tmp_ints;
+  idx_of.assign(static_cast<std::size_t>(st.dc.acd.num_cliques), -1);
   for (std::size_t idx = 0; idx < clique_ids.size(); ++idx) {
+    idx_of[static_cast<std::size_t>(clique_ids[idx])] =
+        static_cast<int>(idx);
     const int k = clique_ids[idx];
     auto S = S_of[idx];
     if (S.empty()) continue;
@@ -40,7 +47,7 @@ std::vector<SyncTrialResult> synchronized_color_trial(
       const int pos = static_cast<int>(pi(i));
       const int c = pal.select_free(r, pal.num_colors() - 1, pos);
       CCG_CHECK(c >= 0);
-      candidate.emplace(S[i], c);
+      sc.propose(S[i], c);
     }
     results[idx].participated = static_cast<int>(S.size());
   }
@@ -49,31 +56,26 @@ std::vector<SyncTrialResult> synchronized_color_trial(
   // construction; a vertex drops only if an external neighbor already
   // holds its color or simultaneously tries it (symmetric drop — external
   // randomness may be adversarial, Lemma 4.13).
-  std::vector<std::pair<int, int>> adopted;
-  for (const auto& [v, c] : candidate) {
+  auto& adopted = sc.adopted;
+  adopted.clear();
+  for (const int v : sc.proposers()) {
+    const int c = sc.candidate(v);
     bool ok = true;
     const int kv = st.dc.clique_of(v);
     for (const int u : h.neighbors(v)) {
       if (st.dc.clique_of(u) == kv) continue;
-      if (st.phi.get(u) == c) {
-        ok = false;
-        break;
-      }
-      const auto it = candidate.find(u);
-      if (it != candidate.end() && it->second == c) {
+      if (st.phi.get(u) == c || sc.candidate(u) == c) {
         ok = false;
         break;
       }
     }
     if (ok) adopted.emplace_back(v, c);
   }
-  std::unordered_map<int, std::size_t> idx_of;
-  for (std::size_t idx = 0; idx < clique_ids.size(); ++idx) {
-    idx_of[clique_ids[idx]] = idx;
-  }
   for (const auto& [v, c] : adopted) {
     st.assign(v, c);
-    ++results[idx_of[st.dc.clique_of(v)]].colored;
+    ++results[static_cast<std::size_t>(
+                  idx_of[static_cast<std::size_t>(st.dc.clique_of(v))])]
+          .colored;
   }
 
   // Enumeration (prefix sums on a height-<=2 tree) + seed broadcast +

@@ -7,6 +7,7 @@ namespace ccg::graph {
 
 Graph Graph::from_edges(int n, const std::vector<std::pair<int, int>>& edges) {
   Graph g(n);
+  g.pending_.reserve(edges.size());
   for (const auto& [u, v] : edges) g.add_edge(u, v);
   g.finalize();
   return g;
@@ -16,28 +17,93 @@ void Graph::add_edge(int u, int v) {
   CCG_CHECK(!finalized_);
   CCG_CHECK(u >= 0 && u < n() && v >= 0 && v < n());
   CCG_CHECK_MSG(u != v, "self-loop");
-  adj_[static_cast<std::size_t>(u)].push_back(v);
-  adj_[static_cast<std::size_t>(v)].push_back(u);
+  pending_.emplace_back(static_cast<std::int32_t>(u),
+                        static_cast<std::int32_t>(v));
   ++m_;
 }
 
 void Graph::finalize() {
   if (finalized_) return;
-  for (std::size_t v = 0; v < adj_.size(); ++v) {
-    auto& a = adj_[v];
-    std::sort(a.begin(), a.end());
-    CCG_CHECK_MSG(std::adjacent_find(a.begin(), a.end()) == a.end(),
+  // Counting sort into the flat row array: degree pass, prefix sums, fill.
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : pending_) {
+    ++offsets_[static_cast<std::size_t>(u) + 1];
+    ++offsets_[static_cast<std::size_t>(v) + 1];
+  }
+  for (int v = 0; v < n_; ++v) {
+    offsets_[static_cast<std::size_t>(v) + 1] +=
+        offsets_[static_cast<std::size_t>(v)];
+  }
+  csr_.resize(static_cast<std::size_t>(2 * m_));
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : pending_) {
+    csr_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+    csr_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+
+  for (int v = 0; v < n_; ++v) {
+    const auto b = csr_.begin() + offsets_[static_cast<std::size_t>(v)];
+    const auto e = csr_.begin() + offsets_[static_cast<std::size_t>(v) + 1];
+    std::sort(b, e);
+    CCG_CHECK_MSG(std::adjacent_find(b, e) == e,
                   "duplicate edge at vertex " << v);
   }
+  // CSR arrays are complete; flip the flag before building the bitsets,
+  // which read back through degree()/neighbors().
   finalized_ = true;
+  build_bitsets();
+}
+
+void Graph::build_bitsets() {
+  bitset_row_.clear();
+  bits_.clear();
+  words_per_row_ = (static_cast<std::int64_t>(n_) + 63) / 64;
+  if (n_ == 0 || words_per_row_ == 0) return;
+  const std::int64_t max_rows =
+      kBitsetMemoryCapBytes / (8 * words_per_row_);
+  if (max_rows == 0) return;
+
+  std::vector<int> candidates;
+  for (int v = 0; v < n_; ++v) {
+    if (degree(v) >= kBitsetMinDegree) candidates.push_back(v);
+  }
+  if (candidates.empty()) return;
+  if (static_cast<std::int64_t>(candidates.size()) > max_rows) {
+    // Densest rows first; ties by id for determinism.
+    std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
+      const int da = degree(a), db = degree(b);
+      return da != db ? da > db : a < b;
+    });
+    candidates.resize(static_cast<std::size_t>(max_rows));
+  }
+
+  bitset_row_.assign(static_cast<std::size_t>(n_), -1);
+  bits_.assign(static_cast<std::size_t>(candidates.size()) *
+                   static_cast<std::size_t>(words_per_row_),
+               0);
+  for (std::size_t row = 0; row < candidates.size(); ++row) {
+    const int v = candidates[row];
+    bitset_row_[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(row);
+    auto* words = bits_.data() + row * static_cast<std::size_t>(words_per_row_);
+    for (const std::int32_t u : neighbors(v)) {
+      words[static_cast<std::size_t>(u) >> 6] |=
+          1ull << (static_cast<unsigned>(u) & 63);
+    }
+  }
 }
 
 bool Graph::has_edge(int u, int v) const {
   CCG_CHECK(finalized_);
-  const auto& a = adj_[static_cast<std::size_t>(u)];
-  const auto& b = adj_[static_cast<std::size_t>(v)];
+  if (has_bitset_row(u)) return bitset_test(u, v);
+  if (has_bitset_row(v)) return bitset_test(v, u);
+  const auto a = neighbors(u);
+  const auto b = neighbors(v);
   const auto& small = a.size() <= b.size() ? a : b;
-  const int target = a.size() <= b.size() ? v : u;
+  const std::int32_t target =
+      static_cast<std::int32_t>(a.size() <= b.size() ? v : u);
   return std::binary_search(small.begin(), small.end(), target);
 }
 

@@ -1,11 +1,17 @@
-// Simple undirected graph container.
+// Undirected graph container in CSR (compressed sparse row) layout.
 //
 // Used both for the communication network G (vertices = machines) and the
-// cluster graph H (vertices = clusters). Adjacency lists are kept sorted
-// after finalize() so edge queries are O(log deg).
+// cluster graph H (vertices = clusters). Edges accumulate in a staging
+// buffer during the build phase; finalize() packs them into one flat
+// int32 neighbor array plus an offsets array (sorted per row, duplicates
+// and self-loops rejected) and locks the structure. All queries run on the
+// flat arrays: neighbors(v) is a contiguous span, has_edge is O(1) via a
+// per-row adjacency bitset for dense rows (almost-clique regime) and
+// O(log deg) binary search otherwise.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -13,32 +19,62 @@
 
 namespace ccg::graph {
 
+// Read-only view over one CSR row. Range-for yields the neighbor ids in
+// ascending order, exactly like the former per-vertex sorted vector.
+using NeighborSpan = std::span<const std::int32_t>;
+
 class Graph {
  public:
   Graph() = default;
-  explicit Graph(int n) : adj_(static_cast<std::size_t>(n)) {}
+  explicit Graph(int n) : n_(n) {
+    CCG_CHECK(n >= 0);
+    offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  }
 
   static Graph from_edges(int n,
                           const std::vector<std::pair<int, int>>& edges);
 
-  // Build phase. Self-loops and duplicate edges are rejected at finalize().
+  // Build phase. Self-loops are rejected immediately; duplicate edges are
+  // rejected at finalize().
   void add_edge(int u, int v);
 
-  // Sorts adjacency lists and locks the structure. Must be called before
-  // any query. Idempotent.
+  // Packs the staging buffer into the CSR arrays, sorts each row, and
+  // locks the structure. Must be called before any query. Idempotent.
   void finalize();
 
-  int n() const { return static_cast<int>(adj_.size()); }
+  int n() const { return n_; }
   std::int64_t m() const { return m_; }
   bool finalized() const { return finalized_; }
 
-  const std::vector<int>& neighbors(int v) const {
-    return adj_[static_cast<std::size_t>(v)];
+  NeighborSpan neighbors(int v) const {
+    CCG_ASSERT(finalized_);
+    const std::int64_t b = offsets_[static_cast<std::size_t>(v)];
+    const std::int64_t e = offsets_[static_cast<std::size_t>(v) + 1];
+    return {csr_.data() + b, static_cast<std::size_t>(e - b)};
   }
   int degree(int v) const {
-    return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+    CCG_ASSERT(finalized_);
+    return static_cast<int>(offsets_[static_cast<std::size_t>(v) + 1] -
+                            offsets_[static_cast<std::size_t>(v)]);
   }
   bool has_edge(int u, int v) const;
+
+  // True iff v's row carries the O(1) adjacency bitset.
+  bool has_bitset_row(int v) const {
+    return !bitset_row_.empty() &&
+           bitset_row_[static_cast<std::size_t>(v)] >= 0;
+  }
+  // O(1) membership test against v's bitset row; only valid when
+  // has_bitset_row(v).
+  bool bitset_test(int v, int u) const {
+    const auto* words =
+        bits_.data() + static_cast<std::size_t>(
+                           bitset_row_[static_cast<std::size_t>(v)]) *
+                           static_cast<std::size_t>(words_per_row_);
+    return (words[static_cast<std::size_t>(u) >> 6] >>
+            (static_cast<unsigned>(u) & 63)) &
+           1u;
+  }
 
   int max_degree() const;
   bool is_connected() const;
@@ -55,9 +91,32 @@ class Graph {
       const std::vector<int>& keep) const;
 
  private:
-  std::vector<std::vector<int>> adj_;
+  void build_bitsets();
+
+  // Rows at least this dense get an adjacency bitset, subject to the
+  // memory cap below (densest rows win). 64 covers the almost-clique
+  // regime (degree ~ Delta) that matching.cpp hammers with has_edge.
+  static constexpr int kBitsetMinDegree = 64;
+  static constexpr std::int64_t kBitsetMemoryCapBytes = 32ll << 20;
+
+  int n_ = 0;
   std::int64_t m_ = 0;
   bool finalized_ = false;
+
+  // Build-phase staging; freed by finalize().
+  std::vector<std::pair<std::int32_t, std::int32_t>> pending_;
+
+  // CSR arrays (offsets_ has n_ + 1 entries — all zero until finalize(),
+  // so pre-finalize queries read empty rows, never out of bounds; csr_
+  // has 2m entries).
+  std::vector<std::int64_t> offsets_{0};
+  std::vector<std::int32_t> csr_;
+
+  // O(1) has_edge fast path: bitset_row_[v] indexes a words_per_row_-wide
+  // slice of bits_, or -1 when v has no bitset row.
+  std::vector<std::int32_t> bitset_row_;
+  std::vector<std::uint64_t> bits_;
+  std::int64_t words_per_row_ = 0;
 };
 
 }  // namespace ccg::graph

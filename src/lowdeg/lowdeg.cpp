@@ -118,7 +118,7 @@ std::vector<int> list_trial_rounds(State& st, std::vector<int> S,
   };
   for (int r = 0; r < rounds && !S.empty(); ++r) {
     color::try_color_round(st, S, sampler, activation);
-    S = color::uncolored_of(st, S);
+    color::prune_colored(st, &S);
     // Replenish dead lists (can only happen when neighbors ate every
     // learned color; bounded by the low-degree palette enumeration).
     // One parallel bitmap round per trial round when needed.
@@ -266,7 +266,7 @@ void reduce_learn_shatter_finish(State& st, std::vector<int> S,
   // Degree reduction: O(loglog n) plain TryColor rounds.
   color::try_color_rounds(st, S, reduce_src,
                           st.params.trycolor_activation, 2 * ll + 2);
-  S = color::uncolored_of(st, S);
+  color::prune_colored(st, &S);
   if (S.empty()) return;
 
   // Learn deg+1 colors, shatter, finish.
@@ -276,7 +276,7 @@ void reduce_learn_shatter_finish(State& st, std::vector<int> S,
   switch (st.params.finisher) {
     case color::Params::Finisher::kLinial:
       deterministic_finish(st, S, lists);
-      S = color::uncolored_of(st, S);
+      color::prune_colored(st, &S);
       break;
     case color::Params::Finisher::kGhaffariKuhn:
       if (!S.empty()) {
@@ -324,7 +324,7 @@ color::Result color_low_degree(cluster::Runtime& rt,
     switch (st.params.finisher) {
       case color::Params::Finisher::kLinial:
         deterministic_finish(st, left, lists);
-        left = color::uncolored_of(st, left);
+        color::prune_colored(st, &left);
         break;
       case color::Params::Finisher::kGhaffariKuhn:
         if (!left.empty()) {

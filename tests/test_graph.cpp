@@ -29,6 +29,87 @@ TEST(Graph, BasicOps) {
   EXPECT_TRUE(g.is_connected());
 }
 
+TEST(Graph, CsrEdgeRoundTrip) {
+  // from_edges -> edges() must reproduce the input as sorted (u < v)
+  // pairs, and every CSR row must be sorted and duplicate-free.
+  Rng rng(101);
+  const auto g = gnm(200, 1200, rng);
+  const auto edges = g.edges();
+  EXPECT_EQ(static_cast<std::int64_t>(edges.size()), g.m());
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  const auto g2 = Graph::from_edges(g.n(), edges);
+  EXPECT_EQ(g2.edges(), edges);
+  for (int v = 0; v < g.n(); ++v) {
+    const auto nb = g.neighbors(v);
+    EXPECT_EQ(static_cast<int>(nb.size()), g.degree(v));
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    EXPECT_EQ(std::adjacent_find(nb.begin(), nb.end()), nb.end());
+    for (const int u : nb) {
+      EXPECT_TRUE(u != v && u >= 0 && u < g.n());
+    }
+  }
+}
+
+TEST(Graph, HasEdgeMatchesBruteForce) {
+  // has_edge (bitset fast path and binary-search path alike) must agree
+  // with a dense adjacency matrix built independently.
+  Rng rng(102);
+  const auto g = gnm(120, 2500, rng);  // avg degree ~ 41, some rows >= 64
+  std::vector<std::vector<char>> adj(
+      static_cast<std::size_t>(g.n()),
+      std::vector<char>(static_cast<std::size_t>(g.n()), 0));
+  for (const auto& [u, v] : g.edges()) {
+    adj[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] = 1;
+    adj[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] = 1;
+  }
+  for (int u = 0; u < g.n(); ++u) {
+    for (int v = 0; v < g.n(); ++v) {
+      if (u == v) continue;
+      EXPECT_EQ(g.has_edge(u, v),
+                static_cast<bool>(
+                    adj[static_cast<std::size_t>(u)]
+                       [static_cast<std::size_t>(v)]))
+          << u << " " << v;
+    }
+  }
+}
+
+TEST(Graph, BitsetRowsCoverDenseVertices) {
+  // A clique row is far above the bitset threshold; the O(1) path must be
+  // active there and agree with membership.
+  const auto g = complete(80);
+  for (int v = 0; v < g.n(); ++v) {
+    ASSERT_TRUE(g.has_bitset_row(v));
+    for (int u = 0; u < g.n(); ++u) {
+      EXPECT_EQ(g.bitset_test(v, u), u != v);
+    }
+  }
+  // A sparse graph gets no bitset rows; queries still work.
+  Graph path(100);
+  for (int v = 0; v + 1 < 100; ++v) path.add_edge(v, v + 1);
+  path.finalize();
+  EXPECT_FALSE(path.has_bitset_row(0));
+  EXPECT_TRUE(path.has_edge(3, 4));
+  EXPECT_FALSE(path.has_edge(3, 5));
+}
+
+TEST(Graph, InducedSubgraphIdRemapInvariants) {
+  // Old ids map to [0, |keep|) in keep-order; adjacency is preserved
+  // exactly on the kept set.
+  Rng rng(103);
+  const auto g = gnm(60, 400, rng);
+  const std::vector<int> keep{3, 7, 11, 12, 30, 31, 32, 45, 59};
+  const auto [sub, old_id] = g.induced_subgraph(keep);
+  ASSERT_EQ(old_id, keep);
+  ASSERT_EQ(sub.n(), static_cast<int>(keep.size()));
+  for (int a = 0; a < sub.n(); ++a) {
+    for (int b = 0; b < sub.n(); ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(sub.has_edge(a, b), g.has_edge(old_id[a], old_id[b]));
+    }
+  }
+}
+
 TEST(Graph, SelfLoopRejected) {
   Graph g(2);
   EXPECT_THROW(g.add_edge(1, 1), ContractViolation);
