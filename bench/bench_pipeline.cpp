@@ -1,9 +1,11 @@
 // Timed end-to-end pipeline benchmark: the wall-clock companion to
 // bench_main_theorem's round counts. Runs the planted high-degree mixture
 // sweep (E1's instances) plus the cabal-heavy variant under the timed
-// harness (warmup + repetitions) and a try_color_round microbenchmark,
-// then writes BENCH_pipeline.json so successive PRs have a perf
-// trajectory to regress against.
+// harness (warmup + repetitions) at every thread count of the parallel
+// round engine, plus a try_color_round microbenchmark, then writes
+// BENCH_pipeline.json so successive PRs have a perf trajectory to regress
+// against. Colorings are bit-identical across thread counts (verified
+// here per instance), so the sweep measures the same work.
 //
 // Usage: bench_pipeline [out.json] [baseline.json]
 //   out.json       default BENCH_pipeline.json (cwd; run from the repo root)
@@ -11,6 +13,7 @@
 //                  total_wall_ns is recorded alongside the fresh total and
 //                  the speedup ratio is computed.
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "color/primitives.hpp"
@@ -20,12 +23,23 @@ using namespace ccg;
 
 namespace {
 
+const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+
+struct ThreadRow {
+  int threads = 0;
+  bench::TimedStats stats;
+};
+
 struct InstanceRow {
   std::string name;
   int n = 0;
   int delta = 0;
   std::int64_t h_rounds = 0;
-  bench::TimedStats stats;
+  std::vector<ThreadRow> by_threads;  // same order as kThreadCounts
+
+  const bench::TimedStats& at_one_thread() const {
+    return by_threads.front().stats;
+  }
 };
 
 InstanceRow run_timed_pipeline(const std::string& name, int n_target,
@@ -35,22 +49,38 @@ InstanceRow run_timed_pipeline(const std::string& name, int n_target,
                                int reps) {
   const auto inst = bench::make_mixture(n_target, ms, inst_seed);
   const auto cg = cluster::ClusterGraph::singleton(inst.planted.g);
-  const auto params = bench::bench_params(inst.n, param_seed);
 
   InstanceRow row;
   row.name = name;
   row.n = inst.n;
-  color::Result last;
-  row.stats = bench::timed(
-      [&] {
-        net::Ledger ledger(cg.default_bandwidth());
-        cluster::Runtime rt(cg, ledger);
-        last = color::color_high_degree(rt, params);
-      },
-      warmup, reps, inst.n);
-  cluster::check_proper_total(inst.planted.g, last.colors, last.num_colors);
-  row.delta = last.num_colors - 1;
-  row.h_rounds = last.h_rounds;
+  std::vector<int> reference_colors;
+  for (const int threads : kThreadCounts) {
+    auto params = bench::bench_params(inst.n, param_seed);
+    params.threads = threads;
+    color::Result last;
+    ThreadRow tr;
+    tr.threads = threads;
+    tr.stats = bench::timed(
+        [&] {
+          net::Ledger ledger(cg.default_bandwidth());
+          cluster::Runtime rt(cg, ledger);
+          last = color::color_high_degree(rt, params);
+        },
+        warmup, reps, inst.n);
+    cluster::check_proper_total(inst.planted.g, last.colors,
+                                last.num_colors);
+    if (threads == 1) {
+      reference_colors = last.colors;
+      row.delta = last.num_colors - 1;
+      row.h_rounds = last.h_rounds;
+    } else if (last.colors != reference_colors) {
+      std::fprintf(stderr,
+                   "FATAL: %s not bit-identical at threads=%d\n",
+                   name.c_str(), threads);
+      std::exit(1);
+    }
+    row.by_threads.push_back(tr);
+  }
   return row;
 }
 
@@ -83,11 +113,15 @@ int main(int argc, char** argv) {
       argc > 2 ? argv[2] : "bench/BENCH_baseline.json";
   const int warmup = 1;
   const int reps = 3;
+  const int hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
 
   bench::header("BENCH / timed pipeline",
-                "end-to-end wall-clock on the E1 mixture instances; "
-                "trajectory anchor for perf PRs");
-  bench::row({"instance", "n", "Delta", "H-rounds", "wall-ms", "ns/vertex"});
+                "end-to-end wall-clock on the E1 mixture instances at "
+                "threads in {1,2,4,8}; trajectory anchor for perf PRs");
+  std::printf("hardware threads: %d\n", hw_threads);
+  bench::row({"instance", "n", "Delta", "H-rounds", "t=1 ms", "t=2 ms",
+              "t=4 ms", "t=8 ms"});
 
   std::vector<InstanceRow> rows;
   for (const int n_target : {2000, 4000, 8000, 16000}) {
@@ -109,18 +143,27 @@ int main(int argc, char** argv) {
                                       warmup, reps));
   }
 
-  double total_wall_ns = 0;
+  // Totals per thread count (min estimator, matching the schema-v1 total).
+  std::vector<double> total_by_threads(kThreadCounts.size(), 0.0);
+  std::vector<double> total_mean_by_threads(kThreadCounts.size(), 0.0);
   for (const auto& r : rows) {
-    total_wall_ns += r.stats.min_ns;
-    bench::row({r.name, bench::fmt(r.n), bench::fmt(r.delta),
-                bench::fmt(r.h_rounds), bench::fmt(r.stats.min_ns / 1e6),
-                bench::fmt(r.stats.ns_per_op())});
+    std::vector<std::string> cells = {r.name, bench::fmt(r.n),
+                                      bench::fmt(r.delta),
+                                      bench::fmt(r.h_rounds)};
+    for (std::size_t t = 0; t < kThreadCounts.size(); ++t) {
+      total_by_threads[t] += r.by_threads[t].stats.min_ns;
+      total_mean_by_threads[t] += r.by_threads[t].stats.mean_ns;
+      cells.push_back(bench::fmt(r.by_threads[t].stats.min_ns / 1e6));
+    }
+    bench::row(cells);
   }
+  const double total_wall_ns = total_by_threads.front();
+  const double total_mean_ns = total_mean_by_threads.front();
 
   const auto micro = run_try_color_micro(warmup, reps);
   bench::row({"try_color_round", "2000", "-", "-",
-              bench::fmt(micro.min_ns / 1e6),
-              bench::fmt(micro.ns_per_op())});
+              bench::fmt(micro.min_ns / 1e6), "-", "-", "-"});
+  std::printf("try_color_round: %.2f ns/op\n", micro.ns_per_op());
 
   const double baseline_ns =
       bench::json_number_field(baseline_path, "total_wall_ns");
@@ -128,7 +171,7 @@ int main(int argc, char** argv) {
   bench::JsonWriter j;
   j.begin_object();
   j.key("bench").value("pipeline");
-  j.key("schema_version").value(1);
+  j.key("schema_version").value(2);
   j.key("config")
       .begin_object()
       .key("warmup")
@@ -137,7 +180,12 @@ int main(int argc, char** argv) {
       .value(reps)
       .key("estimator")
       .value("min")
-      .end_object();
+      .key("hardware_threads")
+      .value(hw_threads)
+      .key("thread_counts")
+      .begin_array();
+  for (const int t : kThreadCounts) j.value(t);
+  j.end_array().end_object();
   j.key("instances").begin_array();
   for (const auto& r : rows) {
     j.begin_object();
@@ -145,10 +193,20 @@ int main(int argc, char** argv) {
     j.key("n").value(r.n);
     j.key("delta").value(r.delta);
     j.key("h_rounds").value(r.h_rounds);
-    j.key("wall_ns").value(r.stats.min_ns);
-    j.key("mean_ns").value(r.stats.mean_ns);
-    j.key("max_ns").value(r.stats.max_ns);
-    j.key("ns_per_vertex").value(r.stats.ns_per_op());
+    j.key("wall_ns").value(r.at_one_thread().min_ns);
+    j.key("mean_ns").value(r.at_one_thread().mean_ns);
+    j.key("max_ns").value(r.at_one_thread().max_ns);
+    j.key("ns_per_vertex").value(r.at_one_thread().ns_per_op());
+    j.key("by_threads").begin_array();
+    for (const auto& tr : r.by_threads) {
+      j.begin_object();
+      j.key("threads").value(tr.threads);
+      j.key("wall_ns").value(tr.stats.min_ns);
+      j.key("mean_ns").value(tr.stats.mean_ns);
+      j.key("max_ns").value(tr.stats.max_ns);
+      j.end_object();
+    }
+    j.end_array();
     j.end_object();
   }
   j.end_array();
@@ -159,7 +217,18 @@ int main(int argc, char** argv) {
   j.key("wall_ns").value(micro.min_ns);
   j.end_object();
   j.end_array();
+  j.key("by_threads_total").begin_array();
+  for (std::size_t t = 0; t < kThreadCounts.size(); ++t) {
+    j.begin_object();
+    j.key("threads").value(kThreadCounts[t]);
+    j.key("total_wall_ns").value(total_by_threads[t]);
+    j.key("total_mean_ns").value(total_mean_by_threads[t]);
+    j.key("speedup_vs_t1").value(total_wall_ns / total_by_threads[t]);
+    j.end_object();
+  }
+  j.end_array();
   j.key("total_wall_ns").value(total_wall_ns);
+  j.key("total_mean_ns").value(total_mean_ns);
   if (baseline_ns > 0) {
     j.key("baseline_total_wall_ns").value(baseline_ns);
     j.key("speedup_vs_baseline").value(baseline_ns / total_wall_ns);
@@ -173,10 +242,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
     return 1;
   }
-  std::printf("\nBENCH JSON -> %s (total %.1f ms", out_path.c_str(),
+  std::printf("\nBENCH JSON -> %s (t=1 total %.1f ms", out_path.c_str(),
               total_wall_ns / 1e6);
+  for (std::size_t t = 1; t < kThreadCounts.size(); ++t) {
+    std::printf(", t=%d %.2fx", kThreadCounts[t],
+                total_wall_ns / total_by_threads[t]);
+  }
   if (baseline_ns > 0) {
-    std::printf(", baseline %.1f ms, speedup %.2fx", baseline_ns / 1e6,
+    std::printf("; baseline %.1f ms, speedup %.2fx", baseline_ns / 1e6,
                 baseline_ns / total_wall_ns);
   }
   std::printf(")\n");

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for BENCH_pipeline.json.
+
+Compares a freshly measured pipeline bench against a reference JSON and
+fails (exit 1) when the end-to-end mean regresses past the threshold:
+
+    fresh_total_mean > threshold * reference_total
+
+Both totals are mean-estimator figures compared like-with-like: each
+side prefers ``total_mean_ns`` (schema v2), falls back to summing
+per-instance ``mean_ns`` (schema v1 carries those too), and the
+reference finally falls back to ``total_wall_ns`` for minimal JSONs.
+
+CI runs this against the pre-CSR seed baseline with --normalize-micro:
+when both JSONs carry the try_color_round micro figure, the reference
+total is scaled by fresh_micro/ref_micro, a same-binary machine-speed
+proxy that cancels most of the runner-vs-reference-machine speed gap
+(the residual confound is intentional changes to the primitive itself,
+which shift the gate by their own small ratio). Locally, point it at a
+previous BENCH_pipeline.json for a tight same-machine gate:
+
+    python3 bench/check_regression.py fresh.json BENCH_pipeline.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def total_mean_ns(doc: dict) -> float:
+    if isinstance(doc.get("total_mean_ns"), (int, float)):
+        return float(doc["total_mean_ns"])
+    instances = doc.get("instances", [])
+    if instances and all("mean_ns" in r for r in instances):
+        return float(sum(r["mean_ns"] for r in instances))
+    raise KeyError("no total_mean_ns / per-instance mean_ns in JSON")
+
+
+def reference_total_ns(doc: dict) -> float:
+    try:
+        return total_mean_ns(doc)  # like-with-like: mean vs mean
+    except KeyError:
+        pass
+    total = doc.get("total_wall_ns")
+    if not isinstance(total, (int, float)) or total <= 0:
+        raise KeyError("no usable total in reference JSON")
+    return float(total)
+
+
+def micro_ns_per_op(doc: dict) -> float | None:
+    for row in doc.get("micro", []):
+        if row.get("name") == "try_color_round":
+            value = row.get("ns_per_op")
+            if isinstance(value, (int, float)) and value > 0:
+                return float(value)
+    return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="freshly measured BENCH_pipeline.json")
+    ap.add_argument("reference", help="reference JSON with total_wall_ns")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=1.15,
+        help="fail when fresh mean > threshold * reference (default 1.15)",
+    )
+    ap.add_argument(
+        "--normalize-micro",
+        action="store_true",
+        help="scale the reference total by the try_color_round micro "
+        "ratio (machine-speed proxy for cross-machine CI gating)",
+    )
+    args = ap.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(args.reference) as f:
+        reference = json.load(f)
+
+    fresh_ns = total_mean_ns(fresh)
+    ref_ns = reference_total_ns(reference)
+    if args.normalize_micro:
+        fresh_micro = micro_ns_per_op(fresh)
+        ref_micro = micro_ns_per_op(reference)
+        if fresh_micro and ref_micro:
+            scale = fresh_micro / ref_micro
+            ref_ns *= scale
+            print(
+                f"machine normalization: micro {ref_micro:.2f} -> "
+                f"{fresh_micro:.2f} ns/op, reference scaled x{scale:.3f}"
+            )
+        else:
+            print("machine normalization requested but micro figures "
+                  "missing; comparing raw totals")
+    ratio = fresh_ns / ref_ns
+    verdict = "OK" if ratio <= args.threshold else "REGRESSION"
+    print(
+        f"bench gate: fresh mean {fresh_ns / 1e6:.1f} ms vs reference "
+        f"{ref_ns / 1e6:.1f} ms -> ratio {ratio:.3f} "
+        f"(threshold {args.threshold:.2f}) {verdict}"
+    )
+    by_threads = fresh.get("by_threads_total", [])
+    for row in by_threads:
+        print(
+            f"  threads={row['threads']}: total "
+            f"{row['total_wall_ns'] / 1e6:.1f} ms "
+            f"(speedup vs t=1: {row.get('speedup_vs_t1', 0):.2f}x)"
+        )
+    return 0 if ratio <= args.threshold else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,8 @@ int usage() {
       "               [--distance k]  (color G^k as a virtual graph)\n"
       "               [--edge-coloring]  (color the line graph)\n"
       "               [--finisher {randomized|linial|gk}]\n"
+      "               [--threads t]  (parallel round engine; 0 = hardware,\n"
+      "                               output identical for every t)\n"
       "               [--repsets] [--seed s] [--verbose]\n");
   return 2;
 }
@@ -138,6 +140,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "H: n=%d m=%lld Delta=%d\n", g.n(),
                static_cast<long long>(g.m()), g.max_degree());
 
+  const int threads = args.num("threads", 1);
   auto params = color::Params::defaults_for(g.n(), seed + 1);
   const auto fin = args.str("finisher", "randomized");
   params.finisher = fin == "linial" ? color::Params::Finisher::kLinial
@@ -145,11 +148,13 @@ int main(int argc, char** argv) {
                         ? color::Params::Finisher::kGhaffariKuhn
                         : color::Params::Finisher::kRandomizedList;
   params.use_representative_sets = args.has("repsets");
+  params.threads = threads;
 
   // Virtual-graph modes first: they define their own base network.
   if (args.has("edge-coloring")) {
     const auto enc = cluster::make_line_graph(g);
     params = color::Params::defaults_for(enc.vg.h().n(), seed + 1);
+    params.threads = threads;
     const auto res = lowdeg::color_virtual_graph(enc.vg, params);
     print_json(res.base, enc.vg.h().n(),
                enc.vg.representation().n_machines(), enc.vg.dilation(),
@@ -160,6 +165,7 @@ int main(int argc, char** argv) {
     const auto vg =
         cluster::VirtualGraph::distance_k(g, args.num("distance", 2));
     params = color::Params::defaults_for(vg.h().n(), seed + 1);
+    params.threads = threads;
     const auto res = lowdeg::color_virtual_graph(vg, params);
     print_json(res.base, vg.h().n(), vg.representation().n_machines(),
                vg.dilation(), vg.congestion());

@@ -28,6 +28,8 @@
 #include "common/mathutil.hpp"
 #include "common/repsets.hpp"
 #include "common/rng.hpp"
+#include "exec/parallel_round.hpp"
+#include "exec/pool.hpp"
 #include "gk/gk.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"

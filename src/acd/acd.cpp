@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/mathutil.hpp"
+#include "exec/parallel_round.hpp"
 #include "graph/stats.hpp"
 #include "sketch/approx_count.hpp"
 
@@ -57,22 +58,39 @@ AcdResult attempt(cluster::Runtime& rt, const AcdParams& params, Rng& rng) {
     // once per row and probing N(v) against the stamps costs
     // O(deg u + sum_v deg v) per row instead of a sorted merge per edge —
     // the dominant cost of the whole pipeline at Delta ~ n^Omega(1).
-    std::vector<int> stamp(static_cast<std::size_t>(n), -1);
-    union_est.reserve(edges.size());
-    int cur_u = -1;
-    for (const auto& [u, v] : edges) {
-      if (u != cur_u) {
-        cur_u = u;
-        for (const int w : h.neighbors(u)) {
-          stamp[static_cast<std::size_t>(w)] = u;
+    // Sharded over edge ranges by the round engine when one is supplied:
+    // each worker keeps a private stamp array (a shard that starts
+    // mid-row simply re-stamps that row), and union_est slots are
+    // per-edge disjoint, so the result is partition-independent.
+    union_est.resize(edges.size());
+    const auto stamp_rows = [&](std::vector<int>& stamp, std::int64_t b,
+                                std::int64_t e) {
+      int cur_u = -1;
+      for (std::int64_t idx = b; idx < e; ++idx) {
+        const auto& [u, v] = edges[static_cast<std::size_t>(idx)];
+        if (u != cur_u) {
+          cur_u = u;
+          for (const int w : h.neighbors(u)) {
+            stamp[static_cast<std::size_t>(w)] = u;
+          }
         }
+        int common = 0;
+        for (const int w : h.neighbors(v)) {
+          common += (stamp[static_cast<std::size_t>(w)] == u);
+        }
+        union_est[static_cast<std::size_t>(idx)] =
+            h.degree(u) + h.degree(v) - common;
       }
-      int common = 0;
-      for (const int w : h.neighbors(v)) {
-        common += (stamp[static_cast<std::size_t>(w)] == u);
-      }
-      union_est.push_back(h.degree(u) + h.degree(v) - common);
-    }
+    };
+    std::vector<std::vector<int>> stamps(
+        static_cast<std::size_t>(params.par ? params.par->workers() : 1));
+    exec::shards_or_inline(
+        params.par, static_cast<std::int64_t>(edges.size()),
+        [&](int w, std::int64_t b, std::int64_t e) {
+          auto& stamp = stamps[static_cast<std::size_t>(w)];
+          stamp.assign(static_cast<std::size_t>(n), -1);
+          stamp_rows(stamp, b, e);
+        });
     rt.charge(3, 2 * params.t + 16);
   }
 
@@ -220,7 +238,7 @@ bool verify_almost_cliques(const graph::Graph& h, const AcdResult& acd,
 
 DenseInfo annotate_dense(cluster::Runtime& rt, const AcdResult& acd,
                          double ell, int t, bool use_fingerprints,
-                         Rng& rng) {
+                         Rng& rng, exec::ParallelRound* par) {
   const auto& h = rt.h();
   const int n = h.n();
   DenseInfo info;
@@ -244,15 +262,21 @@ DenseInfo annotate_dense(cluster::Runtime& rt, const AcdResult& acd,
       }
     }
   } else {
-    for (int v = 0; v < n; ++v) {
-      const int kv = acd.clique_of[static_cast<std::size_t>(v)];
-      if (kv < 0) continue;
-      int ext = 0;
-      for (const int u : h.neighbors(v)) {
-        if (acd.clique_of[static_cast<std::size_t>(u)] != kv) ++ext;
-      }
-      info.ext_est[static_cast<std::size_t>(v)] = ext;
-    }
+    // Exact per-vertex external degrees: independent CSR-row scans with
+    // per-vertex disjoint writes, sharded by the round engine if present.
+    exec::shards_or_inline(
+        par, n, [&](int, std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i) {
+            const int v = static_cast<int>(i);
+            const int kv = acd.clique_of[static_cast<std::size_t>(v)];
+            if (kv < 0) continue;
+            int ext = 0;
+            for (const int u : h.neighbors(v)) {
+              if (acd.clique_of[static_cast<std::size_t>(u)] != kv) ++ext;
+            }
+            info.ext_est[static_cast<std::size_t>(v)] = ext;
+          }
+        });
     rt.charge(1, 2 * t + 16);
   }
 

@@ -24,6 +24,10 @@
 #include "cluster/runtime.hpp"
 #include "common/rng.hpp"
 
+namespace ccg::exec {
+class ParallelRound;
+}  // namespace ccg::exec
+
 namespace ccg::acd {
 
 struct AcdParams {
@@ -32,6 +36,10 @@ struct AcdParams {
   int t = 96;          // fingerprint width for all estimates
   bool use_fingerprints = true;  // false -> exact oracle mode (same cost)
   bool measure_bits = true;
+  // Optional round engine: parallelizes the oracle union-size stamp loop
+  // (the pipeline's dominant per-edge cost) over CSR rows. Results are
+  // identical with or without it.
+  exec::ParallelRound* par = nullptr;
 };
 
 struct AcdResult {
@@ -74,6 +82,6 @@ struct DenseInfo {
 // classifies cabals against the threshold ell (paper: Theta(log^1.1 n)).
 DenseInfo annotate_dense(cluster::Runtime& rt, const AcdResult& acd,
                          double ell, int t, bool use_fingerprints,
-                         Rng& rng);
+                         Rng& rng, exec::ParallelRound* par = nullptr);
 
 }  // namespace ccg::acd

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include <memory>
+
 #include "acd/acd.hpp"
 #include "cluster/runtime.hpp"
 #include "cluster/validate.hpp"
@@ -11,6 +13,7 @@
 #include "color/params.hpp"
 #include "color/scratch.hpp"
 #include "common/rng.hpp"
+#include "exec/parallel_round.hpp"
 
 namespace ccg::color {
 
@@ -86,15 +89,44 @@ struct State {
   std::vector<CliquePalette> palettes;  // per clique id
   Rng rng;
   TrialScratch scratch;    // per-round trial scratch (see scratch.hpp)
+  std::unique_ptr<exec::ParallelRound> par;  // round engine (Params::threads)
+  ScratchPool wscratch;    // pool-owned per-worker scratch set
   int fallback_count = 0;  // safety-net interventions (should be ~0)
   int retry_count = 0;     // phase-level retries after failed postconditions
 
   State(cluster::Runtime& runtime, const Params& p)
-      : rt(&runtime), params(p), phi(runtime.h().n()), rng(p.seed) {
+      : rt(&runtime),
+        params(p),
+        phi(runtime.h().n()),
+        rng(p.seed),
+        par(std::make_unique<exec::ParallelRound>(p.threads)) {
     // A fresh state has no dense structure: everything is sparse until
     // build_dense_context fills dc.
     dc.acd.clique_of.assign(static_cast<std::size_t>(runtime.h().n()), -1);
     scratch.ensure_vertices(runtime.h().n());
+    scratch.ensure_workers(par->workers());
+    wscratch.ensure_workers(par->workers());
+    trial_base_ = mix64(mix64(p.seed ^ kStreamRngTag) ^ trial_round_);
+  }
+
+  // ---- counter-based draw streams for parallelized rounds ----
+  //
+  // Each synchronized round calls bump_trial_round() once; every
+  // participating entity (vertex in TryColor/SlackGeneration/MCT, clique
+  // in SCT) then draws exclusively from its private trial_rng stream.
+  // Derivation is a pure function of (seed, round, entity), so workers
+  // can evaluate shards in any order — or no threads at all — and produce
+  // the same bits.
+  // trial_rng(e) == stream_rng(params.seed, trial_round_, e); the first
+  // two words of the key chain depend only on (seed, round), so they are
+  // hashed once per round here and the per-entity path pays one mix64
+  // plus the generator seeding.
+  void bump_trial_round() {
+    ++trial_round_;
+    trial_base_ = mix64(mix64(params.seed ^ kStreamRngTag) ^ trial_round_);
+  }
+  Rng trial_rng(std::uint64_t entity) const {
+    return Rng(mix64(trial_base_ ^ entity));
   }
 
   const graph::Graph& h() const { return rt->h(); }
@@ -120,6 +152,10 @@ struct State {
 
   // Members of clique k that are uncolored.
   std::vector<int> uncolored_members(int k) const;
+
+ private:
+  std::uint64_t trial_round_ = 0;  // synchronized-round counter (streams)
+  std::uint64_t trial_base_ = 0;   // cached mix of (seed, round)
 };
 
 // Safety net: color every remaining uncolored vertex by local-minimum

@@ -24,58 +24,89 @@ std::vector<int> multicolor_trial(State& st, std::vector<int> S,
   int x = std::max(1, opt.x_init);
 
   auto& sc = st.scratch;
+  auto& par = *st.par;
   sc.ensure_vertices(n);
   sc.ensure_colors(st.num_colors());
-  auto& set_buf = sc.sampled_set;
+  sc.ensure_workers(par.workers());
+  const int num_colors = st.num_colors();
   for (int round = 0; round < opt.max_rounds && !S.empty(); ++round) {
-    // Active set + per-vertex tried-color sets live in the round scratch.
+    const auto total = static_cast<std::int64_t>(S.size());
+    // Active set lives in the round scratch; stamp it first so the
+    // sampling phase sees every participant's activation (the fork/join
+    // barrier between the two shard passes is the snapshot boundary).
     sc.begin_round();
-    for (const int v : S) sc.propose(v, 1);
+    st.bump_trial_round();
+    par.shards(total, [&](int, std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        sc.propose_at(S[static_cast<std::size_t>(i)], 1);
+      }
+    });
 
-    // Sampling phase: each active vertex derives its set from a fresh seed
-    // (neighbors reconstruct it from the broadcast seed).
-    int x_max_round = 1;
-    for (const int v : S) {
-      int xv = x;
-      if (opt.slack) {
-        int deg = 0;
-        for (const int u : h.neighbors(v)) {
-          if (sc.active(u)) ++deg;
+    // Sampling phase (parallel shards): each active vertex derives its
+    // set from its private counter-based stream (neighbors reconstruct it
+    // from the broadcast seed) into its worker's color-set pool.
+    par.reset_acc(1);
+    par.shards(total, [&](int w, std::int64_t b, std::int64_t e) {
+      auto& ws = st.wscratch.at(w);
+      std::int64_t x_max_local = 1;
+      for (std::int64_t i = b; i < e; ++i) {
+        const int v = S[static_cast<std::size_t>(i)];
+        int xv = x;
+        if (opt.slack) {
+          int deg = 0;
+          for (const int u : h.neighbors(v)) {
+            if (sc.active(u)) ++deg;
+          }
+          const int cap_by_slack =
+              deg > 0 ? std::max(1, opt.slack(v) / deg) : x_cap;
+          xv = std::min(xv, cap_by_slack);
         }
-        const int cap_by_slack =
-            deg > 0 ? std::max(1, opt.slack(v) / deg) : x_cap;
-        xv = std::min(xv, cap_by_slack);
+        xv = std::min(xv, x_cap);
+        x_max_local = std::max<std::int64_t>(x_max_local, xv);
+        Rng rng = st.trial_rng(static_cast<std::uint64_t>(v));
+        sampler(v, xv, rng, &ws.set_buf);
+        if (!ws.set_buf.empty()) {
+          sc.set_begin(v, w);
+          for (const int c : ws.set_buf) sc.set_push(c, w);
+          sc.set_end(v, w);
+        }
       }
-      xv = std::min(xv, x_cap);
-      x_max_round = std::max(x_max_round, xv);
-      sampler(v, xv, st.rng, &set_buf);
-      if (!set_buf.empty()) {
-        sc.set_begin(v);
-        for (const int c : set_buf) sc.set_push(c);
-        sc.set_end(v);
-      }
-    }
+      par.acc(w) = std::max(par.acc(w), x_max_local);
+    });
+    const int x_max_round = static_cast<int>(std::max<std::int64_t>(
+        1, par.acc_max()));
 
-    // Adoption phase (Algorithm 16 step 3): adopt some c in X(v) ∩ L(v)
-    // with c ∉ X(N(v)).
-    auto& adopted = sc.adopted;
-    adopted.clear();
-    for (const int v : sc.proposers()) {
-      const auto set = sc.set_of(v);
-      if (set.empty()) continue;
-      // Colors tried by neighbors this round.
-      sc.begin_color_marks();
-      for (const int u : h.neighbors(v)) {
-        for (const int c : sc.set_of(u)) sc.mark_color(c);
+    // Adoption phase (Algorithm 16 step 3; parallel shards): adopt some
+    // c in X(v) ∩ L(v) with c ∉ X(N(v)). The blocked-color marks are a
+    // vertex-scoped temporary, so each worker uses its own ColorMarks.
+    auto& verdicts = sc.verdicts;
+    verdicts.resize(S.size());
+    par.shards(total, [&](int w, std::int64_t b, std::int64_t e) {
+      auto& marks = st.wscratch.at(w).marks;
+      marks.ensure(num_colors);
+      for (std::int64_t i = b; i < e; ++i) {
+        const int v = S[static_cast<std::size_t>(i)];
+        const auto set = sc.set_of(v);
+        int pick = -1;
+        if (!set.empty()) {
+          // Colors tried by neighbors this round.
+          marks.begin();
+          for (const int u : h.neighbors(v)) {
+            for (const int c : sc.set_of(u)) marks.mark(c);
+          }
+          for (const int c : set) {
+            if (marks.marked(c)) continue;
+            if (st.phi.neighbor_uses(h, v, c)) continue;
+            pick = c;
+            break;
+          }
+        }
+        verdicts[static_cast<std::size_t>(i)] = pick;
       }
-      for (const int c : set) {
-        if (sc.color_marked(c)) continue;
-        if (st.phi.neighbor_uses(h, v, c)) continue;
-        adopted.emplace_back(v, c);
-        break;
-      }
+    });
+    for (std::size_t i = 0; i < S.size(); ++i) {
+      if (verdicts[i] >= 0) st.assign(S[i], verdicts[i]);
     }
-    for (const auto& [v, c] : adopted) st.assign(v, c);
 
     // Seed broadcast (O(log n) bits) + per-tried-color response bitmap.
     const int bits =

@@ -17,6 +17,12 @@ namespace ccg::color {
 struct Params {
   std::uint64_t seed = 1;
 
+  // Worker threads for the parallel round engine (src/exec). 1 runs every
+  // round inline; <= 0 selects the hardware concurrency. Colorings are
+  // bit-identical for every value (counter-based per-(seed, round, vertex)
+  // RNG streams; see common/rng.hpp stream_rng).
+  int threads = 1;
+
   // --- decomposition ---
   double eps = 0.08;       // ACD epsilon (paper: 1/2000)
   int fingerprint_t = 96;  // fingerprint width for all estimates

@@ -21,12 +21,13 @@ void build_dense_context(State& st) {
   ap.t = st.params.fingerprint_t;
   ap.use_fingerprints = st.params.use_fingerprint_acd;
   ap.measure_bits = st.params.measure_bits;
+  ap.par = st.par.get();
   st.dc.acd = acd::compute_acd(*st.rt, ap, st.rng);
 
   st.dc.ell = st.params.ell(n);
-  st.dc.info = acd::annotate_dense(*st.rt, st.dc.acd, st.dc.ell,
-                                   st.params.fingerprint_t,
-                                   st.params.use_fingerprint_acd, st.rng);
+  st.dc.info = acd::annotate_dense(
+      *st.rt, st.dc.acd, st.dc.ell, st.params.fingerprint_t,
+      st.params.use_fingerprint_acd, st.rng, st.par.get());
 
   st.dc.reserved_cap = st.params.reserved_cap(st.delta());
   st.dc.reserved.resize(static_cast<std::size_t>(st.dc.acd.num_cliques));

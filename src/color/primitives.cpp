@@ -10,39 +10,62 @@ int try_color_round(State& st, const std::vector<int>& S,
                     const ColorSampler& sampler, double activation) {
   const auto& h = st.h();
   auto& sc = st.scratch;
+  auto& par = *st.par;
   sc.ensure_vertices(h.n());
-  // Sampling phase: all candidates drawn against the same snapshot. The
-  // candidate table lives in the epoch-stamped scratch, so a round makes
-  // no heap allocations once the buffers hit their high-water capacity.
+  const auto total = static_cast<std::int64_t>(S.size());
+  // Sampling phase (parallel shards): every vertex draws from its private
+  // counter-based stream and stamps its candidate — per-vertex disjoint
+  // writes against the same snapshot, so shard boundaries cannot change
+  // the outcome. The candidate table lives in the epoch-stamped scratch,
+  // so a round makes no heap allocations once the buffers hit their
+  // high-water capacity (single-worker shards run inline).
   sc.begin_round();
-  for (const int v : S) {
-    if (st.phi.colored(v)) continue;
-    if (!st.rng.next_bool(activation)) continue;
-    const int c = sampler(v, st.rng);
-    if (c >= 0) sc.propose(v, c);
-  }
-  // Adoption phase (Algorithm 17, step 4): keep c(v) iff it is free among
-  // colored neighbors and no smaller-ID active neighbor picked it too.
-  auto& adopted = sc.adopted;
-  adopted.clear();
-  for (const int v : sc.proposers()) {
-    const int c = sc.candidate(v);
-    bool ok = !st.phi.neighbor_uses(h, v, c);
-    if (ok) {
-      for (const int u : h.neighbors(v)) {
-        if (u < v && sc.candidate(u) == c) {
-          ok = false;
-          break;
+  st.bump_trial_round();
+  par.shards(total, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const int v = S[static_cast<std::size_t>(i)];
+      if (st.phi.colored(v)) continue;
+      Rng rng = st.trial_rng(static_cast<std::uint64_t>(v));
+      if (!rng.next_bool(activation)) continue;
+      const int c = sampler(v, rng);
+      if (c >= 0) sc.propose_at(v, c);
+    }
+  });
+  // Adoption phase (Algorithm 17, step 4; parallel shards): keep c(v) iff
+  // it is free among colored neighbors and no smaller-ID active neighbor
+  // picked it too — a pure read of the frozen candidate table, written
+  // into per-position verdict slots.
+  auto& verdicts = sc.verdicts;
+  verdicts.resize(S.size());
+  par.shards(total, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const int v = S[static_cast<std::size_t>(i)];
+      const int c = sc.candidate(v);
+      bool ok = c >= 0 && !st.phi.neighbor_uses(h, v, c);
+      if (ok) {
+        for (const int u : h.neighbors(v)) {
+          if (u < v && sc.candidate(u) == c) {
+            ok = false;
+            break;
+          }
         }
       }
+      verdicts[static_cast<std::size_t>(i)] = ok ? c : -1;
     }
-    if (ok) adopted.emplace_back(v, c);
+  });
+  // Commit (sequential, in S order): palette updates are O(adopted) and
+  // not thread-safe; nothing random happens past this point.
+  int adopted = 0;
+  for (std::size_t i = 0; i < S.size(); ++i) {
+    if (verdicts[i] >= 0) {
+      st.assign(S[i], verdicts[i]);
+      ++adopted;
+    }
   }
-  for (const auto& [v, c] : adopted) st.assign(v, c);
   // Candidate broadcast + accept/reject echo: 2 H-rounds, O(log n) bits.
   st.rt->charge(2, 2 * ceil_log2(static_cast<std::uint64_t>(
                         std::max(2, st.h().n()))));
-  return static_cast<int>(adopted.size());
+  return adopted;
 }
 
 int try_color_rounds(State& st, std::vector<int> S,

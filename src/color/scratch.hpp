@@ -12,15 +12,75 @@
 // One State owns one TrialScratch. Primitives use it strictly within one
 // synchronized round: a later begin_round()/begin_vertex_marks()/
 // begin_color_marks() invalidates the respective previous round's data.
+//
+// The parallel round engine (exec/parallel_round.hpp) shares the
+// vertex-indexed tables across workers — stamping is per-vertex disjoint,
+// so concurrent propose_at() calls on distinct vertices race on nothing —
+// while anything append-shaped or vertex-scoped-temporary (sampler output
+// buffers, MCT color-set storage, per-vertex blocked-color marks) moves to
+// a per-worker WorkerScratch owned by the pool-sized ScratchPool below.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 
 namespace ccg::color {
+
+// Epoch-stamped per-color set membership, one instance per worker: the
+// MultiColorTrial verdict phase marks the colors tried by v's neighbors,
+// which is a vertex-scoped temporary and cannot share one array across
+// workers.
+class ColorMarks {
+ public:
+  void ensure(int num_colors) {
+    const auto sz = static_cast<std::size_t>(num_colors);
+    if (epoch_of_.size() < sz) epoch_of_.resize(sz, 0);
+  }
+  void begin() {
+    if (++epoch_ == 0) {
+      std::fill(epoch_of_.begin(), epoch_of_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+  void mark(int c) { epoch_of_[static_cast<std::size_t>(c)] = epoch_; }
+  bool marked(int c) const {
+    return epoch_of_[static_cast<std::size_t>(c)] == epoch_;
+  }
+
+ private:
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> epoch_of_;
+};
+
+// Buffers a single worker owns for the duration of a parallel phase.
+struct WorkerScratch {
+  std::vector<int> set_buf;   // SetSampler / neighbor-list output buffer
+  std::vector<int> tmp;       // short-lived id lists (per-clique S copies)
+  ColorMarks marks;           // per-vertex blocked-color set (MCT verdicts)
+  std::vector<std::pair<int, int>> adopted;  // shard-local (vertex, color)
+};
+
+// The pool-owned per-worker scratch set: State sizes it to the round
+// engine's worker count once, and phases index it by the worker id their
+// shard callback receives. Capacity persists across rounds like every
+// other scratch buffer.
+class ScratchPool {
+ public:
+  void ensure_workers(int workers) {
+    if (static_cast<int>(ws_.size()) < workers) {
+      ws_.resize(static_cast<std::size_t>(workers));
+    }
+  }
+  int workers() const { return static_cast<int>(ws_.size()); }
+  WorkerScratch& at(int w) { return ws_[static_cast<std::size_t>(w)]; }
+
+ private:
+  std::vector<WorkerScratch> ws_;
+};
 
 class TrialScratch {
  public:
@@ -35,12 +95,20 @@ class TrialScratch {
       value_.resize(sz, kNone);
       set_begin_.resize(sz, 0);
       set_end_.resize(sz, 0);
+      set_home_.resize(sz, 0);
       mark_epoch_of_.resize(sz, 0);
     }
   }
   void ensure_colors(int num_colors) {
     const auto sz = static_cast<std::size_t>(num_colors);
     if (color_epoch_of_.size() < sz) color_epoch_of_.resize(sz, 0);
+  }
+  // Size the per-worker color-set pools (MCT sampling phase). Worker 0
+  // always exists, so sequential call sites need no setup.
+  void ensure_workers(int workers) {
+    if (static_cast<int>(pools_.size()) < workers) {
+      pools_.resize(static_cast<std::size_t>(workers));
+    }
   }
 
   // ---- candidate table: per-round partial map vertex -> int ----
@@ -51,7 +119,7 @@ class TrialScratch {
       epoch_ = 1;
     }
     proposers_.clear();
-    pool_.clear();
+    for (auto& pool : pools_) pool.clear();
   }
 
   bool active(int v) const {
@@ -62,9 +130,20 @@ class TrialScratch {
   void propose(int v, int value) {
     const auto i = static_cast<std::size_t>(v);
     if (epoch_of_[i] != epoch_) {
-      epoch_of_[i] = epoch_;
       proposers_.push_back(v);
+    }
+    propose_at(v, value);
+  }
+  // Parallel-path activation: identical stamping minus the shared
+  // proposers list. Workers own disjoint vertex shards, so concurrent
+  // calls on distinct vertices are race-free; commit loops iterate the
+  // caller's own S instead of proposers().
+  void propose_at(int v, int value) {
+    const auto i = static_cast<std::size_t>(v);
+    if (epoch_of_[i] != epoch_) {
+      epoch_of_[i] = epoch_;
       set_begin_[i] = set_end_[i] = 0;
+      set_home_[i] = 0;
     }
     value_[i] = value;
   }
@@ -78,23 +157,30 @@ class TrialScratch {
 
   // ---- per-vertex color sets (multicolor trials) ----
   //
-  // Sets live in one shared flat pool; build all sets first, then read
-  // them (the pool may reallocate while sets are still being appended).
+  // Sets live in per-worker flat pools (worker 0 for sequential callers);
+  // build all sets first, then read them (a pool may reallocate while its
+  // worker is still appending). The vertex must already be active this
+  // round; set_home_ records which pool holds its range.
 
-  void set_begin(int v) {
-    propose(v, 1);
-    set_begin_[static_cast<std::size_t>(v)] =
-        static_cast<std::int64_t>(pool_.size());
+  void set_begin(int v, int w = 0) {
+    CCG_ASSERT(active(v));
+    const auto i = static_cast<std::size_t>(v);
+    set_home_[i] = w;
+    set_begin_[i] =
+        static_cast<std::int64_t>(pools_[static_cast<std::size_t>(w)].size());
   }
-  void set_push(int c) { pool_.push_back(c); }
-  void set_end(int v) {
+  void set_push(int c, int w = 0) {
+    pools_[static_cast<std::size_t>(w)].push_back(c);
+  }
+  void set_end(int v, int w = 0) {
     set_end_[static_cast<std::size_t>(v)] =
-        static_cast<std::int64_t>(pool_.size());
+        static_cast<std::int64_t>(pools_[static_cast<std::size_t>(w)].size());
   }
   std::span<const int> set_of(int v) const {
     const auto i = static_cast<std::size_t>(v);
     if (epoch_of_[i] != epoch_) return {};
-    return {pool_.data() + set_begin_[i],
+    const auto& pool = pools_[static_cast<std::size_t>(set_home_[i])];
+    return {pool.data() + set_begin_[i],
             static_cast<std::size_t>(set_end_[i] - set_begin_[i])};
   }
 
@@ -130,10 +216,9 @@ class TrialScratch {
 
   // ---- reusable buffers (capacity persists across rounds) ----
 
-  std::vector<std::pair<int, int>> adopted;  // (vertex, color) per round
-  std::vector<int> tmp_ints;                 // short-lived id lists
-  std::vector<int> tmp_ext;                  // external-neighbor lists
-  std::vector<int> sampled_set;              // SetSampler output buffer
+  std::vector<int> tmp_ints;  // short-lived id lists
+  std::vector<int> tmp_ext;   // external-neighbor lists
+  std::vector<int> verdicts;  // per-position adopt color / -1 (commit input)
 
  private:
   std::uint32_t epoch_ = 0;
@@ -143,7 +228,8 @@ class TrialScratch {
   std::vector<int> value_;
   std::vector<std::int64_t> set_begin_;
   std::vector<std::int64_t> set_end_;
-  std::vector<int> pool_;
+  std::vector<std::int32_t> set_home_;
+  std::vector<std::vector<int>> pools_{1, std::vector<int>{}};
   std::vector<std::uint32_t> mark_epoch_of_;
   std::vector<std::uint32_t> color_epoch_of_;
   std::vector<int> proposers_;

@@ -13,33 +13,54 @@ int slack_generation(State& st) {
   const int prefix = st.dc.reserved_cap;
   CCG_CHECK(prefix < st.num_colors());
 
-  // Sampling: every non-cabal vertex, colored nobody yet. Candidates go
-  // through the epoch-stamped scratch table (no per-round allocations).
+  // Sampling (parallel shards over all CSR rows): every non-cabal vertex
+  // draws activation + color from its private counter-based stream.
+  // Candidates go through the epoch-stamped scratch table (no per-round
+  // allocations, per-vertex disjoint writes).
   auto& sc = st.scratch;
+  auto& par = *st.par;
   sc.ensure_vertices(n);
   sc.begin_round();
-  for (int v = 0; v < n; ++v) {
-    if (st.dc.in_cabal(v)) continue;
-    if (!st.rng.next_bool(st.params.slack_activation)) continue;
-    const int c =
-        prefix + static_cast<int>(st.rng.next_below(
-                     static_cast<std::uint64_t>(st.num_colors() - prefix)));
-    sc.propose(v, c);
-  }
+  st.bump_trial_round();
+  const int num_colors = st.num_colors();
+  par.shards(n, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const int v = static_cast<int>(i);
+      if (st.dc.in_cabal(v)) continue;
+      Rng rng = st.trial_rng(static_cast<std::uint64_t>(v));
+      if (!rng.next_bool(st.params.slack_activation)) continue;
+      const int c =
+          prefix + static_cast<int>(rng.next_below(
+                       static_cast<std::uint64_t>(num_colors - prefix)));
+      sc.propose_at(v, c);
+    }
+  });
   // Keep c(v) iff no neighbor sampled the same color (nothing else is
   // colored at this stage, so candidate-candidate conflicts are the only
-  // ones; symmetric, no ID priority needed — both drop).
-  int colored = 0;
-  for (const int v : sc.proposers()) {
-    const int c = sc.candidate(v);
-    bool unique = true;
-    for (const int u : h.neighbors(v)) {
-      if (sc.candidate(u) == c) {
-        unique = false;
-        break;
+  // ones; symmetric, no ID priority needed — both drop). Verdicts are a
+  // pure read of the frozen candidate table; commit is sequential.
+  auto& verdicts = sc.verdicts;
+  verdicts.resize(static_cast<std::size_t>(n));
+  par.shards(n, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const int v = static_cast<int>(i);
+      const int c = sc.candidate(v);
+      bool unique = c >= 0;
+      if (unique) {
+        for (const int u : h.neighbors(v)) {
+          if (sc.candidate(u) == c) {
+            unique = false;
+            break;
+          }
+        }
       }
+      verdicts[static_cast<std::size_t>(i)] = unique ? c : -1;
     }
-    if (unique) {
+  });
+  int colored = 0;
+  for (int v = 0; v < n; ++v) {
+    const int c = verdicts[static_cast<std::size_t>(v)];
+    if (c >= 0) {
       st.assign(v, c);
       ++colored;
     }

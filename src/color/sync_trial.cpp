@@ -13,13 +13,17 @@ std::vector<SyncTrialResult> synchronized_color_trial(
   CCG_CHECK(clique_ids.size() == S_of.size());
   const auto& h = st.h();
   auto& sc = st.scratch;
+  auto& par = *st.par;
   sc.ensure_vertices(h.n());
 
-  // Phase 1 (parallel over cliques): enumerate S, draw the permutation
-  // seed, fetch assigned colors. Nothing is adopted yet — candidates from
-  // different cliques must see a consistent snapshot. The candidate table
-  // is the epoch-stamped scratch (vertex -> color this round).
+  // Phase 1 (parallel over cliques — they are vertex-disjoint, so the
+  // candidate stamps never collide): enumerate S, derive the permutation
+  // seed from the clique's counter-based stream, fetch assigned colors.
+  // Nothing is adopted yet — candidates from different cliques must see a
+  // consistent snapshot. The candidate table is the epoch-stamped scratch
+  // (vertex -> color this round).
   sc.begin_round();
+  st.bump_trial_round();
   std::vector<SyncTrialResult> results(clique_ids.size());
   // Clique id -> position in clique_ids, for the adoption tally.
   auto& idx_of = sc.tmp_ints;
@@ -27,55 +31,78 @@ std::vector<SyncTrialResult> synchronized_color_trial(
   for (std::size_t idx = 0; idx < clique_ids.size(); ++idx) {
     idx_of[static_cast<std::size_t>(clique_ids[idx])] =
         static_cast<int>(idx);
-    const int k = clique_ids[idx];
-    auto S = S_of[idx];
-    if (S.empty()) continue;
-    auto& pal = st.palettes[static_cast<std::size_t>(k)];
-    const int r = st.dc.reserved[static_cast<std::size_t>(k)];
-    const int avail = pal.free_count(r, pal.num_colors() - 1);
-    if (static_cast<int>(S.size()) > avail) {
-      // Lemma 4.12 rules this out w.h.p.; trim deterministically (counted
-      // as a retry-shaped deviation).
-      std::sort(S.begin(), S.end());
-      S.resize(static_cast<std::size_t>(std::max(0, avail)));
-      ++st.retry_count;
-    }
-    if (S.empty()) continue;
-    std::sort(S.begin(), S.end());  // enumeration order (prefix sums)
-    const FeistelPermutation pi(S.size(), st.rng.next_u64());
-    for (std::size_t i = 0; i < S.size(); ++i) {
-      const int pos = static_cast<int>(pi(i));
-      const int c = pal.select_free(r, pal.num_colors() - 1, pos);
-      CCG_CHECK(c >= 0);
-      sc.propose(S[i], c);
-    }
-    results[idx].participated = static_cast<int>(S.size());
   }
+  par.reset_acc(0);  // per-worker retry tallies
+  par.shards(static_cast<std::int64_t>(clique_ids.size()),
+             [&](int w, std::int64_t b, std::int64_t e) {
+    auto& ws = st.wscratch.at(w);
+    for (std::int64_t idx = b; idx < e; ++idx) {
+      const int k = clique_ids[static_cast<std::size_t>(idx)];
+      auto& S = ws.tmp;
+      S.assign(S_of[static_cast<std::size_t>(idx)].begin(),
+               S_of[static_cast<std::size_t>(idx)].end());
+      if (S.empty()) continue;
+      const auto& pal = st.palettes[static_cast<std::size_t>(k)];
+      const int r = st.dc.reserved[static_cast<std::size_t>(k)];
+      const int avail = pal.free_count(r, pal.num_colors() - 1);
+      if (static_cast<int>(S.size()) > avail) {
+        // Lemma 4.12 rules this out w.h.p.; trim deterministically
+        // (counted as a retry-shaped deviation).
+        std::sort(S.begin(), S.end());
+        S.resize(static_cast<std::size_t>(std::max(0, avail)));
+        ++par.acc(w);
+      }
+      if (S.empty()) continue;
+      std::sort(S.begin(), S.end());  // enumeration order (prefix sums)
+      const FeistelPermutation pi(
+          S.size(), st.trial_rng(static_cast<std::uint64_t>(k)).next_u64());
+      for (std::size_t i = 0; i < S.size(); ++i) {
+        const int pos = static_cast<int>(pi(i));
+        const int c = pal.select_free(r, pal.num_colors() - 1, pos);
+        CCG_CHECK(c >= 0);
+        sc.propose_at(S[i], c);
+      }
+      results[static_cast<std::size_t>(idx)].participated =
+          static_cast<int>(S.size());
+    }
+  });
+  st.retry_count += static_cast<int>(par.acc_sum());
 
-  // Phase 2: resolve conflicts. Within a clique, colors are distinct by
-  // construction; a vertex drops only if an external neighbor already
-  // holds its color or simultaneously tries it (symmetric drop — external
-  // randomness may be adversarial, Lemma 4.13).
-  auto& adopted = sc.adopted;
-  adopted.clear();
-  for (const int v : sc.proposers()) {
-    const int c = sc.candidate(v);
-    bool ok = true;
-    const int kv = st.dc.clique_of(v);
-    for (const int u : h.neighbors(v)) {
-      if (st.dc.clique_of(u) == kv) continue;
-      if (st.phi.get(u) == c || sc.candidate(u) == c) {
-        ok = false;
-        break;
+  // Phase 2 (parallel over cliques): resolve conflicts. Within a clique,
+  // colors are distinct by construction; a vertex drops only if an
+  // external neighbor already holds its color or simultaneously tries it
+  // (symmetric drop — external randomness may be adversarial, Lemma 4.13).
+  // Adoptions are per-vertex independent, so workers collect shard-local
+  // lists; the commit below applies them in worker order — assign() and
+  // the tallies commute, so the final state is partition-independent.
+  for (int w = 0; w < par.workers(); ++w) st.wscratch.at(w).adopted.clear();
+  par.shards(static_cast<std::int64_t>(clique_ids.size()),
+             [&](int w, std::int64_t b, std::int64_t e) {
+    auto& adopted = st.wscratch.at(w).adopted;
+    for (std::int64_t idx = b; idx < e; ++idx) {
+      const int kv = clique_ids[static_cast<std::size_t>(idx)];
+      for (const int v : S_of[static_cast<std::size_t>(idx)]) {
+        const int c = sc.candidate(v);
+        if (c < 0) continue;  // trimmed out in phase 1
+        bool ok = true;
+        for (const int u : h.neighbors(v)) {
+          if (st.dc.clique_of(u) == kv) continue;
+          if (st.phi.get(u) == c || sc.candidate(u) == c) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) adopted.emplace_back(v, c);
       }
     }
-    if (ok) adopted.emplace_back(v, c);
-  }
-  for (const auto& [v, c] : adopted) {
-    st.assign(v, c);
-    ++results[static_cast<std::size_t>(
-                  idx_of[static_cast<std::size_t>(st.dc.clique_of(v))])]
-          .colored;
+  });
+  for (int w = 0; w < par.workers(); ++w) {
+    for (const auto& [v, c] : st.wscratch.at(w).adopted) {
+      st.assign(v, c);
+      ++results[static_cast<std::size_t>(
+                    idx_of[static_cast<std::size_t>(st.dc.clique_of(v))])]
+            .colored;
+    }
   }
 
   // Enumeration (prefix sums on a height-<=2 tree) + seed broadcast +

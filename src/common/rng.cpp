@@ -90,6 +90,18 @@ int Rng::next_geometric(double lambda) {
 
 Rng Rng::split() { return Rng(next_u64() ^ 0xD1B54A32D192ED03ULL); }
 
+Rng stream_rng(std::uint64_t seed, std::uint64_t round,
+               std::uint64_t entity) {
+  // Three chained SplitMix64 finalizers give full avalanche per key word;
+  // the leading constant separates this key space from plain Rng(seed)
+  // seeding. mix64 is a bijection, so for a fixed (seed, round) distinct
+  // entities can never collide.
+  std::uint64_t h = mix64(seed ^ kStreamRngTag);
+  h = mix64(h ^ round);
+  h = mix64(h ^ entity);
+  return Rng(h);
+}
+
 std::vector<int> Rng::permutation(int n) {
   std::vector<int> p(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = i;

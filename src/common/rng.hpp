@@ -23,6 +23,23 @@ std::uint64_t splitmix64(std::uint64_t& state);
 // Stateless mix of a key; handy to derive per-entity seeds.
 std::uint64_t mix64(std::uint64_t x);
 
+class Rng;
+
+// Key-space separator for stream_rng; exposed so hot paths can cache the
+// (seed, round)-dependent prefix of the key chain and still produce bits
+// identical to stream_rng (see State::trial_rng).
+inline constexpr std::uint64_t kStreamRngTag = 0x6C62272E07BB0142ULL;
+
+// Counter-based stream derivation: an independent generator for every
+// (seed, round, entity) triple. Unlike Rng::split(), which advances shared
+// state and therefore forces a draw *order*, stream_rng is a pure function
+// of its key — any worker thread can materialize any vertex's stream at
+// any time and get the same bits. This is what makes the parallel round
+// engine (exec/parallel_round.hpp) bit-identical for every thread count:
+// each synchronized round bumps the round counter, and each participating
+// vertex (or clique) draws exclusively from stream_rng(seed, round, id).
+Rng stream_rng(std::uint64_t seed, std::uint64_t round, std::uint64_t entity);
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);

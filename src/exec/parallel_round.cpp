@@ -1,0 +1,27 @@
+#include "exec/parallel_round.hpp"
+
+#include <algorithm>
+
+namespace ccg::exec {
+
+ParallelRound::ParallelRound(int threads) : pool_(threads) {
+  acc_.assign(static_cast<std::size_t>(pool_.workers()), Slot{});
+}
+
+void ParallelRound::reset_acc(std::int64_t v) {
+  for (auto& slot : acc_) slot.v = v;
+}
+
+std::int64_t ParallelRound::acc_sum() const {
+  std::int64_t total = 0;
+  for (const auto& slot : acc_) total += slot.v;
+  return total;
+}
+
+std::int64_t ParallelRound::acc_max() const {
+  std::int64_t best = acc_.empty() ? 0 : acc_.front().v;
+  for (const auto& slot : acc_) best = std::max(best, slot.v);
+  return best;
+}
+
+}  // namespace ccg::exec

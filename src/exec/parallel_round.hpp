@@ -1,0 +1,89 @@
+// ParallelRound — the deterministic multi-threaded round driver.
+//
+// Every parallelized phase of the coloring pipeline follows the same
+// two-phase-commit shape:
+//
+//   1. propose  (parallel shards): each vertex draws from its private
+//      counter-based RNG stream (common/rng.hpp stream_rng) and stamps a
+//      tentative value into the shared epoch-stamped scratch — writes are
+//      per-vertex disjoint, so no locks sit on the hot path;
+//   2. verdict  (parallel shards): against the now-frozen candidate
+//      table, each vertex decides adopt/drop into its own verdict slot;
+//   3. commit   (sequential): the caller applies verdicts in input order
+//      (palette updates are cheap and not thread-safe).
+//
+// The fork/join barrier between phases provides the happens-before edges;
+// because shard boundaries never influence which stream a vertex draws
+// from or which verdict it computes, the result is bit-identical for any
+// worker count, including 1 — where shards() runs inline with zero
+// allocation and zero synchronization.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/pool.hpp"
+
+namespace ccg::exec {
+
+class ParallelRound {
+ public:
+  // threads <= 0 selects hardware concurrency; 1 (the default everywhere)
+  // runs every shard inline on the calling thread.
+  explicit ParallelRound(int threads = 1);
+
+  int workers() const { return pool_.workers(); }
+
+  // Fork/join body(worker, begin, end) over a static chunking of
+  // [0, total). Allocation-free at every worker count: single-worker
+  // pools call body inline, multi-worker pools pass the stack lambda
+  // through the pool's raw-callable path (no std::function).
+  template <class Body>
+  void shards(std::int64_t total, Body&& body) {
+    if (pool_.workers() == 1) {
+      if (total > 0) body(0, std::int64_t{0}, total);
+      return;
+    }
+    using B = std::remove_reference_t<Body>;
+    pool_.for_shards(
+        total,
+        [](void* ctx, int w, std::int64_t b, std::int64_t e) {
+          (*static_cast<B*>(ctx))(w, b, e);
+        },
+        const_cast<void*>(
+            static_cast<const void*>(std::addressof(body))));
+  }
+
+  // Per-worker accumulator slots for deterministic reductions (retry
+  // counts, per-round x_max, ...). Each worker writes only acc(w); the
+  // caller reduces after the join. Slots are cache-line padded.
+  void reset_acc(std::int64_t v = 0);
+  std::int64_t& acc(int w) { return acc_[static_cast<std::size_t>(w)].v; }
+  std::int64_t acc_sum() const;
+  std::int64_t acc_max() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::int64_t v = 0;
+  };
+
+  ThreadPool pool_;
+  std::vector<Slot> acc_;
+};
+
+// Run body over [0, total): through `par` when present, inline otherwise.
+// Lets pool-optional code paths (e.g. the ACD oracle) share one body.
+template <class Body>
+inline void shards_or_inline(ParallelRound* par, std::int64_t total,
+                             Body&& body) {
+  if (par) {
+    par->shards(total, std::forward<Body>(body));
+  } else if (total > 0) {
+    body(0, std::int64_t{0}, total);
+  }
+}
+
+}  // namespace ccg::exec

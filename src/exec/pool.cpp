@@ -1,0 +1,96 @@
+#include "exec/pool.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ccg::exec {
+
+int ThreadPool::resolve(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int workers) : workers_(resolve(workers)) {
+  errors_.assign(static_cast<std::size_t>(workers_), nullptr);
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(int w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    RawShardFn fn = nullptr;
+    void* ctx = nullptr;
+    std::int64_t total = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_;
+      ctx = job_ctx_;
+      total = total_;
+    }
+    const auto [begin, end] = shard_bounds(total, workers_, w);
+    try {
+      if (begin < end) fn(ctx, w, begin, end);
+    } catch (...) {
+      errors_[static_cast<std::size_t>(w)] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::for_shards(std::int64_t total, RawShardFn fn, void* ctx) {
+  CCG_CHECK(total >= 0);
+  if (total == 0) return;
+  if (workers_ == 1) {
+    fn(ctx, 0, 0, total);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CCG_CHECK_MSG(job_ == nullptr, "nested for_shards on one pool");
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+    job_ = fn;
+    job_ctx_ = ctx;
+    total_ = total;
+    pending_ = workers_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  const auto [begin, end] = shard_bounds(total, workers_, 0);
+  try {
+    if (begin < end) fn(ctx, 0, begin, end);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    job_ctx_ = nullptr;
+  }
+  for (const auto& err : errors_) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace ccg::exec

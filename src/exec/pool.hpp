@@ -1,0 +1,97 @@
+// Persistent worker pool for the parallel round engine.
+//
+// The paper's algorithm is a synchronized round model: within one round,
+// every vertex acts independently on the previous round's state. That is
+// exactly fork/join parallelism over CSR rows, so the pool exposes one
+// primitive: for_shards(total, fn) splits [0, total) into one contiguous
+// chunk per worker (chunked static sharding — chunk boundaries are a pure
+// function of (total, workers), never of timing) and runs fn(worker,
+// begin, end) on each, returning only when every chunk finished.
+//
+// Threads are spawned once and parked on a condition variable between
+// rounds; a pipeline run performs thousands of fork/joins, so the pool is
+// persistent rather than per-round. Exceptions thrown inside a shard
+// (CCG_CHECK contract violations included) are captured per worker and
+// rethrown on the calling thread after the join — lowest worker index
+// first, so the surfaced error is deterministic too.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccg::exec {
+
+class ThreadPool {
+ public:
+  using ShardFn =
+      std::function<void(int worker, std::int64_t begin, std::int64_t end)>;
+  // Raw-callable form: no std::function materialization, so callers that
+  // fork/join thousands of times per run (ParallelRound::shards) stay
+  // allocation-free on the multi-threaded path too. `ctx` must outlive
+  // the call (for_shards is synchronous, so a stack lambda works).
+  using RawShardFn = void (*)(void* ctx, int worker, std::int64_t begin,
+                              std::int64_t end);
+
+  // workers <= 0 selects the hardware concurrency. A 1-worker pool spawns
+  // no threads: for_shards degenerates to one inline call.
+  explicit ThreadPool(int workers = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return workers_; }
+
+  // Fork/join over [0, total): worker w runs fn(ctx, w, begin_w, end_w)
+  // on its static chunk. Blocks until all chunks are done; the caller's
+  // thread executes chunk 0.
+  void for_shards(std::int64_t total, RawShardFn fn, void* ctx);
+
+  // Convenience overload for std::function callers (tests, one-off
+  // call sites where the per-call allocation does not matter).
+  void for_shards(std::int64_t total, const ShardFn& fn) {
+    for_shards(
+        total,
+        [](void* ctx, int w, std::int64_t b, std::int64_t e) {
+          (*static_cast<const ShardFn*>(ctx))(w, b, e);
+        },
+        const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
+  // workers <= 0 -> hardware concurrency (at least 1).
+  static int resolve(int requested);
+
+ private:
+  void worker_loop(int w);
+
+  int workers_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  RawShardFn job_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::int64_t total_ = 0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;
+};
+
+// Static chunk of [0, total) assigned to worker w out of `workers`.
+inline std::pair<std::int64_t, std::int64_t> shard_bounds(std::int64_t total,
+                                                          int workers,
+                                                          int w) {
+  const std::int64_t chunk = (total + workers - 1) / workers;
+  const std::int64_t begin = std::min<std::int64_t>(total, w * chunk);
+  const std::int64_t end = std::min<std::int64_t>(total, begin + chunk);
+  return {begin, end};
+}
+
+}  // namespace ccg::exec

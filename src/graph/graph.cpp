@@ -23,6 +23,11 @@ void Graph::add_edge(int u, int v) {
 }
 
 void Graph::finalize() {
+  // Idempotent: a second finalize() is a no-op, never a partial rebuild —
+  // the parallel round engine shards over CSR rows and must never observe
+  // a half-built structure (pending_ was already freed; re-running the
+  // counting sort would wipe the CSR). add_edge() after finalize() is a
+  // contract violation for the same reason.
   if (finalized_) return;
   // Counting sort into the flat row array: degree pass, prefix sums, fill.
   offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
@@ -108,6 +113,7 @@ bool Graph::has_edge(int u, int v) const {
 }
 
 int Graph::max_degree() const {
+  CCG_CHECK(finalized_);
   int d = 0;
   for (int v = 0; v < n(); ++v) d = std::max(d, degree(v));
   return d;
@@ -144,6 +150,7 @@ bool Graph::is_connected() const {
 }
 
 std::vector<std::pair<int, int>> Graph::edges() const {
+  CCG_CHECK(finalized_);
   std::vector<std::pair<int, int>> out;
   out.reserve(static_cast<std::size_t>(m_));
   for (int u = 0; u < n(); ++u) {

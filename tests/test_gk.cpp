@@ -286,7 +286,9 @@ TEST(Rounding, MassNeverEntersZeroLabels) {
   while (denom > 0) gk::rounding_step(*h.st, S, lv, denom, 0.5);
   for (std::size_t i = 0; i < lv.size(); ++i) {
     for (std::size_t l = 0; l < lv[i].num.size(); ++l) {
-      if (!had_mass[i][l]) EXPECT_EQ(lv[i].num[l], 0);
+      if (!had_mass[i][l]) {
+        EXPECT_EQ(lv[i].num[l], 0);
+      }
     }
   }
 }

@@ -29,6 +29,50 @@ TEST(Graph, BasicOps) {
   EXPECT_TRUE(g.is_connected());
 }
 
+TEST(Graph, FinalizeIsIdempotent) {
+  // Regression for the parallel round engine: finalize() must never
+  // partially rebuild an already-locked CSR (the staging buffer is gone),
+  // so a second call is a strict no-op.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  EXPECT_FALSE(g.finalized());
+  g.finalize();
+  EXPECT_TRUE(g.finalized());
+  const auto edges_before = g.edges();
+  g.finalize();  // no-op
+  g.finalize();  // still a no-op
+  EXPECT_TRUE(g.finalized());
+  EXPECT_EQ(g.edges(), edges_before);
+  EXPECT_EQ(g.m(), 3);
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(Graph, AddEdgeAfterFinalizeIsContractViolation) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_THROW(g.add_edge(2, 3), ContractViolation);
+  // The failed call must not have corrupted the locked structure.
+  EXPECT_EQ(g.m(), 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(2, 3));
+}
+
+TEST(Graph, QueriesBeforeFinalizeAreContractViolations) {
+  // A half-built graph must be loudly unusable, not quietly empty: the
+  // always-on checks cover the queries the coloring phases shard over.
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.has_edge(0, 1), ContractViolation);
+  EXPECT_THROW(g.edges(), ContractViolation);
+  EXPECT_THROW(g.max_degree(), ContractViolation);
+  g.finalize();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.max_degree(), 1);
+}
+
 TEST(Graph, CsrEdgeRoundTrip) {
   // from_edges -> edges() must reproduce the input as sorted (u < v)
   // pairs, and every CSR row must be sorted and duplicate-free.

@@ -21,6 +21,11 @@ namespace {
 std::atomic<long long> g_alloc_count{0};
 }  // namespace
 
+// The global replacement pairs new with malloc on purpose (count + fall
+// through); GCC's -Wmismatched-new-delete can't see that the operators
+// are replaced consistently, so silence it for the definitions only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t size) {
   ++g_alloc_count;
   void* p = std::malloc(size);
@@ -37,22 +42,28 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace ccg::color {
 namespace {
 
-// The seed's try_color_round, verbatim modulo the container: candidate
-// table in an unordered_map, fresh vectors every round.
+// The seed's try_color_round, verbatim modulo the container (candidate
+// table in an unordered_map, fresh vectors every round) and the draw
+// source: like the parallel engine, each vertex draws from its private
+// counter-based (seed, round, vertex) stream, so the reference stays
+// bit-comparable to the sharded implementation at any thread count.
 int reference_try_color_round(State& st, const std::vector<int>& S,
                               const ColorSampler& sampler,
                               double activation) {
   const auto& h = st.h();
+  st.bump_trial_round();
   std::unordered_map<int, int> candidate;  // vertex -> color
   candidate.reserve(S.size() * 2);
   for (const int v : S) {
     if (st.phi.colored(v)) continue;
-    if (!st.rng.next_bool(activation)) continue;
-    const int c = sampler(v, st.rng);
+    Rng rng = st.trial_rng(static_cast<std::uint64_t>(v));
+    if (!rng.next_bool(activation)) continue;
+    const int c = sampler(v, rng);
     if (c >= 0) candidate.emplace(v, c);
   }
   std::vector<std::pair<int, int>> adopted;
