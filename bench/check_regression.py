@@ -16,8 +16,12 @@ when both JSONs carry the try_color_round micro figure, the reference
 total is scaled by fresh_micro/ref_micro, a same-binary machine-speed
 proxy that cancels most of the runner-vs-reference-machine speed gap
 (the residual confound is intentional changes to the primitive itself,
-which shift the gate by their own small ratio). Locally, point it at a
-previous BENCH_pipeline.json for a tight same-machine gate:
+which shift the gate by their own small ratio). When --normalize-micro
+is requested but either JSON lacks the micro figure, the script FAILS
+(exit 2) rather than silently gating on raw, machine-speed-confounded
+totals; pass --allow-unnormalized to opt into the raw comparison.
+Locally, point it at a previous BENCH_pipeline.json for a tight
+same-machine gate:
 
     python3 bench/check_regression.py fresh.json BENCH_pipeline.json
 """
@@ -72,6 +76,14 @@ def main() -> int:
         help="scale the reference total by the try_color_round micro "
         "ratio (machine-speed proxy for cross-machine CI gating)",
     )
+    ap.add_argument(
+        "--allow-unnormalized",
+        action="store_true",
+        help="with --normalize-micro: fall back to comparing raw totals "
+        "when a micro figure is missing, instead of failing (a raw "
+        "cross-machine comparison gates on machine speed, not on the "
+        "code, so the fallback must be opted into explicitly)",
+    )
     args = ap.parse_args()
 
     with open(args.fresh) as f:
@@ -92,8 +104,27 @@ def main() -> int:
                 f"{fresh_micro:.2f} ns/op, reference scaled x{scale:.3f}"
             )
         else:
-            print("machine normalization requested but micro figures "
-                  "missing; comparing raw totals")
+            missing = [
+                name
+                for name, value in (("fresh", fresh_micro),
+                                    ("reference", ref_micro))
+                if not value
+            ]
+            if not args.allow_unnormalized:
+                print(
+                    "ERROR: --normalize-micro requested but the "
+                    f"try_color_round micro figure is missing from: "
+                    f"{', '.join(missing)} JSON. An unnormalized "
+                    "cross-machine gate passes/fails on machine speed "
+                    "alone; pass --allow-unnormalized to compare raw "
+                    "totals anyway."
+                )
+                return 2
+            print(
+                f"machine normalization requested but micro figures "
+                f"missing ({', '.join(missing)}); comparing raw totals "
+                "(--allow-unnormalized)"
+            )
     ratio = fresh_ns / ref_ns
     verdict = "OK" if ratio <= args.threshold else "REGRESSION"
     print(

@@ -97,48 +97,70 @@ int fallback_finish(State& st, const std::vector<int>& vertices) {
   // no uncolored listed neighbor with smaller id picks its smallest free
   // color. Each round costs O(1) H-rounds of O(log n)-bit messages (the
   // free color is found by neighbor-assisted binary search, Section 1.1).
+  //
+  // Rounds run as verdict (parallel shards) -> commit (sequential): both
+  // the local-minimum test and the smallest-free-color search read only
+  // the frozen coloring of the previous round, so decisions are
+  // per-vertex independent; worker-order concatenation of the shard-local
+  // lists preserves input order (static shard bounds), making every round
+  // worker-count independent. No randomness is involved.
+  const auto& h = st.h();
+  auto& sc = st.scratch;
+  auto& par = *st.par;
+  sc.ensure_vertices(h.n());
   std::vector<int> todo;
   for (const int v : vertices) {
     if (!st.phi.colored(v)) todo.push_back(v);
   }
   int colored_here = 0;
-  const auto& h = st.h();
-  std::vector<char> in_todo(static_cast<std::size_t>(h.n()), 0);
-  for (const int v : todo) in_todo[static_cast<std::size_t>(v)] = 1;
+  sc.begin_vertex_marks();  // marks = participating vertices
+  for (const int v : todo) sc.mark_vertex(v);
+  std::vector<int> next;
   while (!todo.empty()) {
-    std::vector<int> next;
-    std::vector<std::pair<int, int>> decided;
-    for (const int v : todo) {
-      // Priority only against *participating* uncolored vertices; other
-      // uncolored vertices (e.g. put-aside sets awaiting a later phase)
-      // must not block progress.
-      bool local_min = true;
-      for (const int u : h.neighbors(v)) {
-        if (u < v && in_todo[static_cast<std::size_t>(u)] &&
-            !st.phi.colored(u)) {
-          local_min = false;
-          break;
-        }
-      }
-      if (!local_min) {
-        next.push_back(v);
-        continue;
-      }
-      int c = -1;
-      for (int cand = 0; cand < st.num_colors(); ++cand) {
-        if (!st.phi.neighbor_uses(h, v, cand)) {
-          c = cand;
-          break;
-        }
-      }
-      CCG_CHECK_MSG(c >= 0, "no free color in fallback; graph violates "
-                            "Delta+1 colorability assumption");
-      decided.emplace_back(v, c);
+    for (int w = 0; w < par.workers(); ++w) {
+      st.wscratch.at(w).adopted.clear();
+      st.wscratch.at(w).kept.clear();
     }
-    for (const auto& [v, c] : decided) {
-      st.assign(v, c);
-      ++st.fallback_count;
-      ++colored_here;
+    par.shards(static_cast<std::int64_t>(todo.size()),
+               [&](int w, std::int64_t b, std::int64_t e) {
+      auto& ws = st.wscratch.at(w);
+      for (std::int64_t i = b; i < e; ++i) {
+        const int v = todo[static_cast<std::size_t>(i)];
+        // Priority only against *participating* uncolored vertices; other
+        // uncolored vertices (e.g. put-aside sets awaiting a later phase)
+        // must not block progress.
+        bool local_min = true;
+        for (const int u : h.neighbors(v)) {
+          if (u < v && sc.vertex_marked(u) && !st.phi.colored(u)) {
+            local_min = false;
+            break;
+          }
+        }
+        if (!local_min) {
+          ws.kept.push_back(v);
+          continue;
+        }
+        int c = -1;
+        for (int cand = 0; cand < st.num_colors(); ++cand) {
+          if (!st.phi.neighbor_uses(h, v, cand)) {
+            c = cand;
+            break;
+          }
+        }
+        CCG_CHECK_MSG(c >= 0, "no free color in fallback; graph violates "
+                              "Delta+1 colorability assumption");
+        ws.adopted.emplace_back(v, c);
+      }
+    });
+    next.clear();
+    for (int w = 0; w < par.workers(); ++w) {
+      for (const auto& [v, c] : st.wscratch.at(w).adopted) {
+        st.assign(v, c);
+        ++st.fallback_count;
+        ++colored_here;
+      }
+      auto& kept = st.wscratch.at(w).kept;
+      next.insert(next.end(), kept.begin(), kept.end());
     }
     // Binary search for a free color: O(log Delta) H-rounds of O(log n)
     // bits (Section 1.1's neighbor-assisted search).
@@ -146,7 +168,7 @@ int fallback_finish(State& st, const std::vector<int>& vertices) {
                                  std::max(2, st.delta())))),
                   2 * ceil_log2(static_cast<std::uint64_t>(
                           std::max(2, st.h().n()))));
-    todo = std::move(next);
+    std::swap(todo, next);
   }
   return colored_here;
 }

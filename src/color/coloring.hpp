@@ -112,8 +112,12 @@ struct State {
   // ---- counter-based draw streams for parallelized rounds ----
   //
   // Each synchronized round calls bump_trial_round() once; every
-  // participating entity (vertex in TryColor/SlackGeneration/MCT, clique
-  // in SCT) then draws exclusively from its private trial_rng stream.
+  // participating entity (vertex in TryColor/SlackGeneration/MCT/
+  // matching/put-aside, clique in SCT, pair in the anti-matching, trial
+  // in the fingerprint matching) then draws exclusively from its private
+  // trial_rng stream. A phase where the same entity draws in two
+  // sub-phases (e.g. put-aside activation then donor sampling) bumps the
+  // round between them, so the sub-phase streams stay independent.
   // Derivation is a pure function of (seed, round, entity), so workers
   // can evaluate shards in any order — or no threads at all — and produce
   // the same bits.
@@ -163,6 +167,9 @@ struct State {
 // situations (|L(v)| >= 1 whenever uncolored degree allows), charging
 // O(log Delta) bits per round. Increments state.fallback_count per vertex
 // colored this way. Returns the number of vertices it colored.
+// Deterministic (no randomness); rounds run as verdict (parallel shards)
+// -> commit (sequential), bit-identical for every Params::threads value.
+// Claims the vertex marks of st.scratch for its whole run.
 int fallback_finish(State& st, const std::vector<int>& vertices);
 
 }  // namespace ccg::color

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdint>
 
 #include "common/hashing.hpp"
 #include "common/mathutil.hpp"
@@ -16,66 +15,90 @@ std::vector<int> colorful_matching(State& st,
                                    const std::function<int(int)>& target) {
   const auto& h = st.h();
   const int prefix = st.dc.reserved_cap;
+  const int span = st.num_colors() - prefix;
+  CCG_CHECK(span > 0);
   const int log_bits =
       2 * ceil_log2(static_cast<std::uint64_t>(std::max(2, h.n())));
 
   auto& sc = st.scratch;
+  auto& par = *st.par;
   sc.ensure_vertices(h.n());
   std::vector<char> done(clique_ids.size(), 0);
+  // Flat participant list per round (shard domain), plus the
   // (clique, color)-keyed grouping buffer and per-bucket chosen list,
-  // reused across rounds.
+  // all reused across rounds.
+  auto& participants = sc.tmp_ints;
   std::vector<std::pair<std::int64_t, int>> keyed;
   std::vector<int> chosen;
   for (int round = 0; round < st.params.matching_rounds; ++round) {
-    bool all_done = true;
-    // Global candidate table for cross-clique conflict detection.
-    sc.begin_round();
+    // Enumerate this round's participants: uncolored members of cliques
+    // still short of their target (sequential; no randomness).
+    participants.clear();
     for (std::size_t ki = 0; ki < clique_ids.size(); ++ki) {
       const int k = clique_ids[ki];
       if (st.palettes[static_cast<std::size_t>(k)].repeats() >= target(k)) {
         done[ki] = 1;
       }
       if (done[ki]) continue;
-      all_done = false;
       for (const int v : st.dc.acd.members[static_cast<std::size_t>(k)]) {
-        if (st.phi.colored(v)) continue;
-        if (!st.rng.next_bool(0.5)) continue;
-        const int c = prefix + static_cast<int>(st.rng.next_below(
-                                   static_cast<std::uint64_t>(
-                                       st.num_colors() - prefix)));
-        sc.propose(v, c);
+        if (!st.phi.colored(v)) participants.push_back(v);
       }
     }
-    if (all_done) break;
+    if (participants.empty()) break;
+    const auto total = static_cast<std::int64_t>(participants.size());
 
-    // Drop candidates clashing with an external candidate or with any
-    // colored neighbor (symmetric drop; conservative).
-    sc.begin_vertex_marks();  // marks = dropped
-    for (const int v : sc.proposers()) {
-      const int c = sc.candidate(v);
-      if (st.phi.neighbor_uses(h, v, c)) {
-        sc.mark_vertex(v);
-        continue;
+    // Propose (parallel shards): every participant draws activation and a
+    // candidate color from its private counter-based stream and stamps the
+    // shared candidate table — per-vertex disjoint writes, so shard
+    // boundaries cannot change the outcome.
+    sc.begin_round();
+    st.bump_trial_round();
+    par.shards(total, [&](int, std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const int v = participants[static_cast<std::size_t>(i)];
+        Rng rng = st.trial_rng(static_cast<std::uint64_t>(v));
+        if (!rng.next_bool(0.5)) continue;
+        const int c = prefix + static_cast<int>(rng.next_below(
+                                   static_cast<std::uint64_t>(span)));
+        sc.propose_at(v, c);
       }
-      for (const int u : h.neighbors(v)) {
-        if (st.dc.clique_of(u) == st.dc.clique_of(v)) continue;
-        if (sc.candidate(u) == c) {
-          sc.mark_vertex(v);
-          break;
+    });
+
+    // Verdict (parallel shards): drop candidates clashing with a colored
+    // neighbor or with an external candidate on the same color (symmetric
+    // drop; conservative) — a pure read of the frozen candidate table.
+    auto& verdicts = sc.verdicts;
+    verdicts.resize(participants.size());
+    par.shards(total, [&](int, std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const int v = participants[static_cast<std::size_t>(i)];
+        const int c = sc.candidate(v);
+        bool ok = c != TrialScratch::kNone && !st.phi.neighbor_uses(h, v, c);
+        if (ok) {
+          for (const int u : h.neighbors(v)) {
+            if (st.dc.clique_of(u) == st.dc.clique_of(v)) continue;
+            if (sc.candidate(u) == c) {
+              ok = false;
+              break;
+            }
+          }
         }
+        verdicts[static_cast<std::size_t>(i)] = ok ? c : -1;
       }
-    }
+    });
 
-    // Per clique and per color: keep a maximal pairwise-non-adjacent even-
-    // size subset of the same-color candidates; they all adopt the color
-    // (used >= twice => every adopted vertex provides reuse slack).
-    // Buckets materialize by sorting (clique * C + color, vertex) pairs.
+    // Commit (sequential): per clique and per color, keep a maximal
+    // pairwise-non-adjacent even-size subset of the same-color survivors;
+    // they all adopt the color (used >= twice => every adopted vertex
+    // provides reuse slack). Buckets materialize by sorting
+    // (clique * C + color, vertex) pairs.
     keyed.clear();
-    for (const int v : sc.proposers()) {
-      if (sc.vertex_marked(v)) continue;
-      const int k = st.dc.clique_of(v);
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      if (verdicts[i] < 0) continue;
+      const int v = participants[i];
       keyed.emplace_back(
-          static_cast<std::int64_t>(k) * st.num_colors() + sc.candidate(v),
+          static_cast<std::int64_t>(st.dc.clique_of(v)) * st.num_colors() +
+              verdicts[i],
           v);
     }
     std::sort(keyed.begin(), keyed.end());
@@ -140,129 +163,163 @@ std::vector<std::pair<int, int>> fingerprint_matching(
   const int k_trials = std::max(
       8, static_cast<int>(std::lround(st.params.cabal_matching_kfactor *
                                       std::log2(std::max(4, n)))));
+  const auto szu = static_cast<std::size_t>(sz);
+  const auto ktu = static_cast<std::size_t>(k_trials);
 
-  std::unordered_map<int, int> local_id;  // vertex -> position in members
-  for (int i = 0; i < sz; ++i) local_id[members[static_cast<std::size_t>(i)]] = i;
+  auto& sc = st.scratch;
+  auto& par = *st.par;
+  auto& fp = sc.fp;
+  sc.ensure_vertices(n);
 
-  // Step 2: every member samples k_trials geometric variables; the clique
-  // maximum Y_K and per-vertex neighborhood maxima Y_v are aggregated on
-  // BFS trees. Costs: one aggregation of a k_trials-wide fingerprint,
-  // charged with its measured encoded size.
-  std::vector<std::vector<int>> x(static_cast<std::size_t>(sz));
-  for (auto& xs : x) {
-    xs.resize(static_cast<std::size_t>(k_trials));
-    for (auto& val : xs) val = st.rng.next_geometric_half();
-  }
+  // Vertex -> position in members via the epoch-stamped candidate table
+  // (the paper derives local ids from prefix sums in O(1) rounds).
+  sc.begin_round();
+  for (int i = 0; i < sz; ++i) sc.propose_at(members[static_cast<std::size_t>(i)], i);
+
+  // Step 2 (parallel shards): every member fills its row of k_trials
+  // geometric draws from its private counter-based stream; rows are
+  // per-member disjoint, so shard boundaries cannot change the bits.
+  fp.x.resize(szu * ktu);
+  st.bump_trial_round();
+  par.shards(sz, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const int v = members[static_cast<std::size_t>(i)];
+      Rng rng = st.trial_rng(static_cast<std::uint64_t>(v));
+      int* row = fp.x.data() + static_cast<std::size_t>(i) * ktu;
+      for (int t = 0; t < k_trials; ++t) row[t] = rng.next_geometric_half();
+    }
+  });
+
+  // Clique maximum Y_K, aggregated on BFS trees in the model; one
+  // deterministic sequential reduction here, charged with its measured
+  // encoded size.
   sketch::Fingerprint yk = sketch::empty_fingerprint(k_trials);
   for (int i = 0; i < sz; ++i) {
+    const int* row = fp.x.data() + static_cast<std::size_t>(i) * ktu;
     for (int t = 0; t < k_trials; ++t) {
       yk.maxima[static_cast<std::size_t>(t)] =
-          std::max(yk.maxima[static_cast<std::size_t>(t)],
-                   x[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)]);
+          std::max(yk.maxima[static_cast<std::size_t>(t)], row[t]);
     }
   }
   if (charge) st.rt->charge(3, std::max(1, sketch::encoded_bits(yk)));
 
-  // Per-vertex in-clique neighborhood maxima.
-  std::vector<std::vector<int>> yv(
-      static_cast<std::size_t>(sz),
-      std::vector<int>(static_cast<std::size_t>(k_trials), -1));
-  for (int i = 0; i < sz; ++i) {
-    const int v = members[static_cast<std::size_t>(i)];
-    for (const int u : h.neighbors(v)) {
-      const auto it = local_id.find(u);
-      if (it == local_id.end()) continue;
-      const auto& xu = x[static_cast<std::size_t>(it->second)];
-      auto& yvi = yv[static_cast<std::size_t>(i)];
-      for (int t = 0; t < k_trials; ++t) {
-        yvi[static_cast<std::size_t>(t)] =
-            std::max(yvi[static_cast<std::size_t>(t)],
-                     xu[static_cast<std::size_t>(t)]);
+  // Per-vertex in-clique neighborhood maxima Y_v (parallel shards): row i
+  // is written by exactly one shard against the frozen local-id table.
+  fp.yv.resize(szu * ktu);
+  par.shards(sz, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      int* row = fp.yv.data() + static_cast<std::size_t>(i) * ktu;
+      std::fill(row, row + k_trials, -1);
+      const int v = members[static_cast<std::size_t>(i)];
+      for (const int u : h.neighbors(v)) {
+        const int li = sc.candidate(u);
+        if (li == TrialScratch::kNone) continue;
+        const int* xu = fp.x.data() + static_cast<std::size_t>(li) * ktu;
+        for (int t = 0; t < k_trials; ++t) row[t] = std::max(row[t], xu[t]);
       }
     }
-  }
+  });
 
   // Steps 3-4: local ids via prefix sums (O(1) rounds) and trial filtering
-  // via O(k_trials)-bit aggregated bitmaps.
+  // via O(k_trials)-bit aggregated bitmaps. Unique-maximum detection is
+  // per-trial disjoint (parallel shards over trials).
   if (charge) st.rt->charge(4, k_trials);
-  std::vector<int> argmax(static_cast<std::size_t>(k_trials), -1);
-  std::vector<bool> unique_max(static_cast<std::size_t>(k_trials), false);
-  for (int t = 0; t < k_trials; ++t) {
-    int count = 0, arg = -1;
-    for (int i = 0; i < sz; ++i) {
-      if (x[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)] ==
-          yk.maxima[static_cast<std::size_t>(t)]) {
-        ++count;
-        arg = i;
+  fp.argmax.resize(ktu);
+  par.shards(k_trials, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t t = b; t < e; ++t) {
+      int count = 0, arg = -1;
+      for (int i = 0; i < sz; ++i) {
+        if (fp.x[static_cast<std::size_t>(i) * ktu +
+                 static_cast<std::size_t>(t)] ==
+            yk.maxima[static_cast<std::size_t>(t)]) {
+          ++count;
+          arg = i;
+        }
       }
+      fp.argmax[static_cast<std::size_t>(t)] = count == 1 ? arg : -1;
     }
-    unique_max[static_cast<std::size_t>(t)] = (count == 1);
-    argmax[static_cast<std::size_t>(t)] = (count == 1) ? arg : -1;
-  }
+  });
 
-  std::unordered_set<int> used_as_max;
-  std::vector<int> trial_u(static_cast<std::size_t>(k_trials), -1);
-  std::vector<std::vector<int>> trial_anti(
-      static_cast<std::size_t>(k_trials));
+  // Conditions (b)-(c) are sequential by nature: a trial's eligibility
+  // depends on which members earlier trials consumed as unique maxima.
+  fp.used_as_max.assign(szu, 0);
+  fp.trial_u.resize(ktu);
   for (int t = 0; t < k_trials; ++t) {
-    if (!unique_max[static_cast<std::size_t>(t)]) continue;
-    const int ui = argmax[static_cast<std::size_t>(t)];
+    fp.trial_u[static_cast<std::size_t>(t)] = -1;
+    const int ui = fp.argmax[static_cast<std::size_t>(t)];
     // Condition (c): u_i must not have been a unique maximum before.
-    if (used_as_max.count(ui)) continue;
+    if (ui < 0 || fp.used_as_max[static_cast<std::size_t>(ui)]) continue;
     // A_i: members (other than u_i) whose neighborhood max differs from
-    // the clique max — each detects an anti-edge to u_i.
-    std::vector<int> anti;
-    for (int i = 0; i < sz; ++i) {
+    // the clique max — each detects an anti-edge to u_i. Condition (b)
+    // needs A_i non-empty.
+    bool any_anti = false;
+    for (int i = 0; i < sz && !any_anti; ++i) {
       if (i == ui) continue;
-      if (yv[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)] !=
+      if (fp.yv[static_cast<std::size_t>(i) * ktu +
+                static_cast<std::size_t>(t)] !=
           yk.maxima[static_cast<std::size_t>(t)]) {
-        anti.push_back(i);
+        any_anti = true;
       }
     }
-    if (anti.empty()) continue;  // condition (b)
-    used_as_max.insert(ui);
-    trial_u[static_cast<std::size_t>(t)] = ui;
-    trial_anti[static_cast<std::size_t>(t)] = std::move(anti);
+    if (!any_anti) continue;
+    fp.used_as_max[static_cast<std::size_t>(ui)] = 1;
+    fp.trial_u[static_cast<std::size_t>(t)] = ui;
   }
 
-  // Steps 7-9: per-trial min-wise hash selects the anti-neighbor w_i.
-  // Hash description: O(log|K| * log 1/eps) bits broadcast per group.
+  // Steps 7-9 (parallel shards over trials): the per-trial min-wise hash,
+  // derived from the trial's private counter-based stream, selects the
+  // anti-neighbor w_i. Hash description: O(log|K| * log 1/eps) bits.
   if (charge) {
     st.rt->charge(3, 4 * ceil_log2(static_cast<std::uint64_t>(
                            std::max(2, sz))));
   }
-  std::vector<int> trial_w(static_cast<std::size_t>(k_trials), -1);
-  for (int t = 0; t < k_trials; ++t) {
-    if (trial_u[static_cast<std::size_t>(t)] < 0) continue;
-    MinWiseHash hash(static_cast<std::uint64_t>(std::max(2, sz)), 0.5,
-                     st.rng);
-    const auto& anti = trial_anti[static_cast<std::size_t>(t)];
-    int best = anti.front();
-    std::uint64_t best_h = hash(static_cast<std::uint64_t>(best));
-    for (const int i : anti) {
-      const auto hi = hash(static_cast<std::uint64_t>(i));
-      if (hi < best_h || (hi == best_h && i < best)) {
-        best = i;
-        best_h = hi;
+  st.bump_trial_round();
+  fp.trial_w.resize(ktu);
+  par.shards(k_trials, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t t = b; t < e; ++t) {
+      fp.trial_w[static_cast<std::size_t>(t)] = -1;
+      const int ui = fp.trial_u[static_cast<std::size_t>(t)];
+      if (ui < 0) continue;
+      Rng rng = st.trial_rng(static_cast<std::uint64_t>(t));
+      MinWiseHash hash(static_cast<std::uint64_t>(std::max(2, sz)), 0.5,
+                       rng);
+      int best = -1;
+      std::uint64_t best_h = 0;
+      for (int i = 0; i < sz; ++i) {
+        if (i == ui) continue;
+        if (fp.yv[static_cast<std::size_t>(i) * ktu +
+                  static_cast<std::size_t>(t)] ==
+            yk.maxima[static_cast<std::size_t>(t)]) {
+          continue;  // no anti-edge detected to u_i
+        }
+        const auto hi = hash(static_cast<std::uint64_t>(i));
+        if (best < 0 || hi < best_h || (hi == best_h && i < best)) {
+          best = i;
+          best_h = hi;
+        }
       }
+      fp.trial_w[static_cast<std::size_t>(t)] = best;
     }
-    trial_w[static_cast<std::size_t>(t)] = best;
-  }
+  });
 
   // Step 10: discard trials whose unique max was sampled as an
-  // anti-neighbor elsewhere.
-  std::unordered_set<int> sampled_w(trial_w.begin(), trial_w.end());
-  // Step 11: each w keeps a single trial.
-  std::unordered_set<int> w_seen;
+  // anti-neighbor elsewhere. Step 11: each w keeps a single trial.
+  // (Sequential commit in trial order.)
+  fp.sampled_w.assign(szu, 0);
+  for (int t = 0; t < k_trials; ++t) {
+    const int wi = fp.trial_w[static_cast<std::size_t>(t)];
+    if (wi >= 0) fp.sampled_w[static_cast<std::size_t>(wi)] = 1;
+  }
+  fp.w_seen.assign(szu, 0);
   std::vector<std::pair<int, int>> matching;
   if (charge) st.rt->charge(2, k_trials);
   for (int t = 0; t < k_trials; ++t) {
-    const int ui = trial_u[static_cast<std::size_t>(t)];
-    const int wi = trial_w[static_cast<std::size_t>(t)];
+    const int ui = fp.trial_u[static_cast<std::size_t>(t)];
+    const int wi = fp.trial_w[static_cast<std::size_t>(t)];
     if (ui < 0 || wi < 0) continue;
-    if (sampled_w.count(ui)) continue;  // step 10
-    if (w_seen.count(wi)) continue;     // step 11
-    w_seen.insert(wi);
+    if (fp.sampled_w[static_cast<std::size_t>(ui)]) continue;  // step 10
+    if (fp.w_seen[static_cast<std::size_t>(wi)]) continue;     // step 11
+    fp.w_seen[static_cast<std::size_t>(wi)] = 1;
     const int u = members[static_cast<std::size_t>(ui)];
     const int w = members[static_cast<std::size_t>(wi)];
     CCG_CHECK_MSG(!h.has_edge(u, w),
@@ -278,6 +335,8 @@ int color_anti_matching(State& st,
                         const std::vector<std::pair<int, int>>& pairs) {
   const auto& h = st.h();
   const int prefix = st.dc.reserved_cap;
+  const int span = st.num_colors() - prefix;
+  CCG_CHECK(span > 0);
   const int log_bits =
       2 * ceil_log2(static_cast<std::uint64_t>(std::max(2, h.n())));
 
@@ -287,6 +346,7 @@ int color_anti_matching(State& st,
   }
   int colored = 0;
   auto& sc = st.scratch;
+  auto& par = *st.par;
   sc.ensure_vertices(h.n());
   std::vector<int> pair_cand(pairs.size(), -1);  // pair index -> color
   std::vector<int> next;
@@ -294,40 +354,58 @@ int color_anti_matching(State& st,
   // groups of Lemma 4.4 relaying between the pair's endpoints).
   for (int round = 0; round < st.params.mct_max_rounds && !todo.empty();
        ++round) {
-    // Vertex -> candidate color of its pair (scratch table), for
-    // cross-pair conflicts.
+    const auto total = static_cast<std::int64_t>(todo.size());
+    // Propose (parallel shards): every live pair draws its candidate from
+    // the pair's private counter-based stream and stamps both endpoints
+    // (the matching is vertex-disjoint, so the writes are too).
     sc.begin_round();
-    for (const int pi : todo) {
-      const int c = prefix + static_cast<int>(st.rng.next_below(
-                                 static_cast<std::uint64_t>(
-                                     st.num_colors() - prefix)));
-      pair_cand[static_cast<std::size_t>(pi)] = c;
-      sc.propose(pairs[static_cast<std::size_t>(pi)].first, c);
-      sc.propose(pairs[static_cast<std::size_t>(pi)].second, c);
-    }
-    next.clear();
-    for (const int pi : todo) {
-      const auto& [a, b] = pairs[static_cast<std::size_t>(pi)];
-      const int c = pair_cand[static_cast<std::size_t>(pi)];
-      bool ok = !st.phi.neighbor_uses(h, a, c) &&
-                !st.phi.neighbor_uses(h, b, c);
-      if (ok) {
-        // Conflicts with other pairs trying the same color: yield to the
-        // smaller minimum-endpoint id.
-        const int my_id = std::min(a, b);
-        for (const int endpoint : {a, b}) {
-          for (const int u : h.neighbors(endpoint)) {
-            if (sc.candidate(u) == c && u < my_id) {
-              ok = false;
-              break;
-            }
-          }
-          if (!ok) break;
-        }
+    st.bump_trial_round();
+    par.shards(total, [&](int, std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const int pi = todo[static_cast<std::size_t>(i)];
+        Rng rng = st.trial_rng(static_cast<std::uint64_t>(pi));
+        const int c = prefix + static_cast<int>(rng.next_below(
+                                   static_cast<std::uint64_t>(span)));
+        pair_cand[static_cast<std::size_t>(pi)] = c;
+        sc.propose_at(pairs[static_cast<std::size_t>(pi)].first, c);
+        sc.propose_at(pairs[static_cast<std::size_t>(pi)].second, c);
       }
-      if (ok) {
-        st.assign(a, c);
-        st.assign(b, c);
+    });
+    // Verdict (parallel shards) against the frozen candidate table.
+    auto& verdicts = sc.verdicts;
+    verdicts.resize(todo.size());
+    par.shards(total, [&](int, std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const int pi = todo[static_cast<std::size_t>(i)];
+        const auto& [a, b2] = pairs[static_cast<std::size_t>(pi)];
+        const int c = pair_cand[static_cast<std::size_t>(pi)];
+        bool ok = !st.phi.neighbor_uses(h, a, c) &&
+                  !st.phi.neighbor_uses(h, b2, c);
+        if (ok) {
+          // Conflicts with other pairs trying the same color: yield to the
+          // smaller minimum-endpoint id.
+          const int my_id = std::min(a, b2);
+          for (const int endpoint : {a, b2}) {
+            for (const int u : h.neighbors(endpoint)) {
+              if (sc.candidate(u) == c && u < my_id) {
+                ok = false;
+                break;
+              }
+            }
+            if (!ok) break;
+          }
+        }
+        verdicts[static_cast<std::size_t>(i)] = ok ? 1 : 0;
+      }
+    });
+    // Commit (sequential, input order).
+    next.clear();
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      const int pi = todo[i];
+      if (verdicts[i]) {
+        const auto& [a, b2] = pairs[static_cast<std::size_t>(pi)];
+        st.assign(a, pair_cand[static_cast<std::size_t>(pi)]);
+        st.assign(b2, pair_cand[static_cast<std::size_t>(pi)]);
         ++colored;
       } else {
         next.push_back(pi);

@@ -19,8 +19,12 @@ struct Params {
 
   // Worker threads for the parallel round engine (src/exec). 1 runs every
   // round inline; <= 0 selects the hardware concurrency. Colorings are
-  // bit-identical for every value (counter-based per-(seed, round, vertex)
-  // RNG streams; see common/rng.hpp stream_rng).
+  // bit-identical for every value (counter-based per-(seed, round, entity)
+  // RNG streams; see common/rng.hpp stream_rng). Every randomized phase of
+  // the high-degree pipeline past ComputeACD runs on the engine: TryColor,
+  // slack generation, SCT, MCT, the ACD oracle loops, colorful/fingerprint
+  // matching, anti-matching coloring, put-aside computation + coloring,
+  // and the fallback safety net.
   int threads = 1;
 
   // --- decomposition ---

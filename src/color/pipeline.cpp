@@ -311,12 +311,18 @@ void coloring_cabals(State& st) {
   const auto put = compute_putaside(st, rest, r);
 
   // Step 4: synchronized color trial on uncolored inliers minus P_K.
+  // Put-aside membership rides on the scratch vertex marks (one O(1)
+  // epoch bump instead of an O(n) bitmap per cabal).
   std::vector<std::vector<int>> s_of(rest.size());
+  auto& sc = st.scratch;
+  sc.ensure_vertices(n);
+  sc.begin_vertex_marks();
+  for (const auto& s : put.sets) {
+    for (const int v : s) sc.mark_vertex(v);
+  }
   for (std::size_t i = 0; i < rest.size(); ++i) {
-    std::vector<char> in_put(static_cast<std::size_t>(n), 0);
-    for (const int v : put.sets[i]) in_put[static_cast<std::size_t>(v)] = 1;
     for (const int v : st.uncolored_members(rest[i])) {
-      if (!in_put[static_cast<std::size_t>(v)]) s_of[i].push_back(v);
+      if (!sc.vertex_marked(v)) s_of[i].push_back(v);
     }
   }
   synchronized_color_trial(st, rest, s_of);

@@ -4,6 +4,12 @@
 // (Algorithm 5). Every phase is exposed individually for tests and the
 // per-phase benches; color_high_degree() assembles them and validates the
 // result.
+//
+// Every randomized phase past ComputeACD runs on the parallel round
+// engine (src/exec/) with counter-based per-(seed, round, entity) RNG
+// streams: the full pipeline coloring is bit-identical for every
+// Params::threads value (pinned end-to-end by tests/test_pipeline.cpp and
+// per round by tests/test_exec.cpp).
 #pragma once
 
 #include <vector>

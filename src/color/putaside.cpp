@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
-#include <unordered_map>
 
 #include "common/mathutil.hpp"
 
@@ -17,17 +15,16 @@ int log_bits(const State& st) {
 }
 
 // Uncolored inliers of cabal k (cabal inlier rule, Section 4.3: low
-// estimated external degree only).
-std::vector<int> eligible_members(const State& st, int k) {
+// estimated external degree only), written into `out` (cleared first).
+void eligible_members(const State& st, int k, std::vector<int>* out) {
+  out->clear();
   const double ek = st.dc.info.avg_ext_est[static_cast<std::size_t>(k)];
-  std::vector<int> out;
   for (const int v : st.dc.acd.members[static_cast<std::size_t>(k)]) {
     if (st.phi.colored(v)) continue;
     if (st.dc.ext_est(v) <= st.params.inlier_ext_factor * std::max(1.0, ek)) {
-      out.push_back(v);
+      out->push_back(v);
     }
   }
-  return out;
 }
 
 }  // namespace
@@ -36,46 +33,74 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
                                 int r) {
   CCG_CHECK(r >= 1);
   const auto& h = st.h();
+  auto& sc = st.scratch;
+  auto& par = *st.par;
   PutAsideResult result;
   result.sets.assign(cabal_ids.size(), {});
 
-  std::unordered_map<int, std::size_t> idx_of_cabal;
-  for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
-    idx_of_cabal[cabal_ids[i]] = i;
-  }
-
-  auto& sc = st.scratch;
   sc.ensure_vertices(h.n());
+  const auto num_cabals = static_cast<std::int64_t>(cabal_ids.size());
+  // Candidate list of one attempt: worker-order concatenation of the
+  // shard-local lists equals cabal order (shard bounds are static and
+  // ordered), so the commit below is worker-count independent.
+  auto& candidates = sc.tmp_ints;
+  std::vector<char> prop3_bad(cabal_ids.size(), 0);
   for (int attempt = 0; attempt < 5; ++attempt) {
     result.attempts = attempt + 1;
-    // Sample candidates per cabal into the scratch table
+    // Propose (parallel shards over cabals — they are vertex-disjoint):
+    // each cabal enumerates its eligible members into worker scratch and
+    // every eligible vertex draws its activation from its private
+    // counter-based stream, stamping the shared candidate table
     // (vertex -> cabal index this round).
     sc.begin_round();
-    for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
-      const auto eligible = eligible_members(st, cabal_ids[i]);
-      const double p = std::min(
-          0.5, 2.5 * r / std::max<std::size_t>(1, eligible.size()));
-      for (const int v : eligible) {
-        if (st.rng.next_bool(p)) sc.propose(v, static_cast<int>(i));
-      }
-    }
-    // Cross-cabal conflicts resolved by ID priority: the smaller-ID
-    // candidate survives (one exchange round; keeps the surviving sets
-    // mutually independent while retiring only one endpoint per edge).
-    sc.begin_vertex_marks();  // marks = dropped
-    for (const int v : sc.proposers()) {
-      const int ci = sc.candidate(v);
-      for (const int u : h.neighbors(v)) {
-        if (u >= v) continue;
-        const int cu = sc.candidate(u);
-        if (cu != TrialScratch::kNone && cu != ci) {
-          sc.mark_vertex(v);
-          break;
+    st.bump_trial_round();
+    for (int w = 0; w < par.workers(); ++w) st.wscratch.at(w).kept.clear();
+    par.shards(num_cabals, [&](int w, std::int64_t b, std::int64_t e) {
+      auto& ws = st.wscratch.at(w);
+      for (std::int64_t idx = b; idx < e; ++idx) {
+        eligible_members(st, cabal_ids[static_cast<std::size_t>(idx)],
+                         &ws.tmp);
+        const double p = std::min(
+            0.5, 2.5 * r / std::max<std::size_t>(1, ws.tmp.size()));
+        for (const int v : ws.tmp) {
+          if (st.trial_rng(static_cast<std::uint64_t>(v)).next_bool(p)) {
+            sc.propose_at(v, static_cast<int>(idx));
+            ws.kept.push_back(v);
+          }
         }
       }
+    });
+    candidates.clear();
+    for (int w = 0; w < par.workers(); ++w) {
+      const auto& kept = st.wscratch.at(w).kept;
+      candidates.insert(candidates.end(), kept.begin(), kept.end());
     }
+
+    // Verdict (parallel shards over candidates): cross-cabal conflicts
+    // resolved by ID priority — the smaller-ID candidate survives (one
+    // exchange round; keeps the surviving sets mutually independent while
+    // retiring only one endpoint per edge). Each candidate marks only
+    // itself (marks = dropped), so the writes are per-vertex disjoint.
+    sc.begin_vertex_marks();
+    par.shards(static_cast<std::int64_t>(candidates.size()),
+               [&](int, std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const int v = candidates[static_cast<std::size_t>(i)];
+        const int ci = sc.candidate(v);
+        for (const int u : h.neighbors(v)) {
+          if (u >= v) continue;
+          const int cu = sc.candidate(u);
+          if (cu != TrialScratch::kNone && cu != ci) {
+            sc.mark_vertex(v);
+            break;
+          }
+        }
+      }
+    });
+
+    // Commit (sequential): collect the surviving sets in candidate order.
     std::vector<std::vector<int>> sets(cabal_ids.size());
-    for (const int v : sc.proposers()) {
+    for (const int v : candidates) {
       if (!sc.vertex_marked(v)) {
         sets[static_cast<std::size_t>(sc.candidate(v))].push_back(v);
       }
@@ -124,25 +149,29 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
 
     // Lemma 4.18 (3) is a log^21-regime property (exposed fraction ~
     // e_v * |P| / Delta); at laptop scale we *measure* it against a
-    // calibrated threshold instead of retrying on it.
-    result.property3_ok = true;
-    for (std::size_t i = 0; i < cabal_ids.size() && result.property3_ok;
-         ++i) {
-      const auto& members =
-          st.dc.acd.members[static_cast<std::size_t>(cabal_ids[i])];
-      int exposed = 0;
-      for (const int v : members) {
-        for (const int u : h.neighbors(v)) {
-          if (sc.vertex_marked(u) &&
-              sc.candidate(u) != static_cast<int>(i)) {
-            ++exposed;
-            break;
+    // calibrated threshold instead of retrying on it. The exposure scan
+    // is read-only over the frozen marks, so it shards over cabals.
+    par.shards(num_cabals, [&](int, std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const auto& members = st.dc.acd.members[static_cast<std::size_t>(
+            cabal_ids[static_cast<std::size_t>(i)])];
+        int exposed = 0;
+        for (const int v : members) {
+          for (const int u : h.neighbors(v)) {
+            if (sc.vertex_marked(u) &&
+                sc.candidate(u) != static_cast<int>(i)) {
+              ++exposed;
+              break;
+            }
           }
         }
+        prop3_bad[static_cast<std::size_t>(i)] =
+            exposed > std::max(3, static_cast<int>(members.size()) / 4);
       }
-      if (exposed > std::max(3, static_cast<int>(members.size()) / 4)) {
-        result.property3_ok = false;
-      }
+    });
+    result.property3_ok = true;
+    for (const char bad : prop3_bad) {
+      if (bad) result.property3_ok = false;
     }
     result.sets = std::move(sets);
     return result;
@@ -152,8 +181,9 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
   // skipping vertices adjacent to previously chosen put-aside vertices.
   ++st.fallback_count;
   sc.begin_vertex_marks();  // marks = chosen so far
+  auto& eligible = sc.tmp_ints;
   for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
-    auto eligible = eligible_members(st, cabal_ids[i]);
+    eligible_members(st, cabal_ids[i], &eligible);
     std::vector<int> mine;
     for (const int v : eligible) {
       bool clash = false;
@@ -181,34 +211,45 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
 namespace {
 
 // TryFreeColors (Algorithm 8, step 2): direct hashed sampling from the
-// clique palette when it still holds many free colors.
-int try_free_colors(State& st, int k, const std::vector<int>& put,
-                    std::vector<int>* leftovers) {
-  auto& pal = st.palettes[static_cast<std::size_t>(k)];
+// clique palette when it still holds many free colors. Runs inside a
+// parallel shard against the frozen coloring: decisions go to
+// ws.adopted (vertex, color) and ws.kept (leftovers), applied by the
+// sequential commit. Cross-cabal interference is impossible — put-aside
+// sets are mutually independent, so no external neighbor of a put vertex
+// is colored during this phase.
+void try_free_colors(const State& st, int k, const std::vector<int>& put,
+                     WorkerScratch& ws) {
+  const auto& pal = st.palettes[static_cast<std::size_t>(k)];
   const int n_colors = pal.num_colors();
   const int window =
       std::min(st.params.ell_s(st.h().n()), pal.free_count(0, n_colors - 1));
   const int k_samples = st.params.donation_samples(st.h().n());
-  int colored = 0;
+  if (window <= 0) {
+    // Zero-bound guard: the palette ran out of free colors — drawing
+    // next_below(0) is a contract violation (and UB if the check ever
+    // compiles out), so skip the sampling entirely; the safety net takes
+    // every put-aside vertex of this cabal.
+    ws.kept.insert(ws.kept.end(), put.begin(), put.end());
+    return;
+  }
   // ID order simulates the collision-free-hash disambiguation among the
   // <= r put-aside vertices of K (paper uses h_K collision-free on the
   // ell_s smallest palette colors; cost charged below).
-  auto& sc = st.scratch;
-  sc.ensure_colors(n_colors);
-  sc.begin_color_marks();  // marks = colors taken within K this step
-  auto& ext = sc.tmp_ext;
+  ws.marks.ensure(n_colors);
+  ws.marks.begin();  // marks = colors taken within K this step
   for (const int u : put) {
     int got = -1;
-    st.external_neighbors(u, &ext);
+    st.external_neighbors(u, &ws.ext);
+    Rng rng = st.trial_rng(static_cast<std::uint64_t>(u));
     for (int s = 0; s < k_samples && got < 0; ++s) {
       const int idx = static_cast<int>(
-          st.rng.next_below(static_cast<std::uint64_t>(window)));
+          rng.next_below(static_cast<std::uint64_t>(window)));
       const int c = pal.select_free(0, n_colors - 1, idx);
-      if (c < 0 || sc.color_marked(c)) continue;
+      if (c < 0 || ws.marks.marked(c)) continue;
       // External conflicts only: put-aside sets are independent and K's
       // members don't use palette colors.
       bool ok = true;
-      for (const int w : ext) {
+      for (const int w : ws.ext) {
         if (st.phi.get(w) == c) {
           ok = false;
           break;
@@ -217,38 +258,49 @@ int try_free_colors(State& st, int k, const std::vector<int>& put,
       if (ok) got = c;
     }
     if (got >= 0) {
-      sc.mark_color(got);
-      st.assign(u, got);
-      ++colored;
+      ws.marks.mark(got);
+      ws.adopted.emplace_back(u, got);
     } else {
-      leftovers->push_back(u);
+      ws.kept.push_back(u);
     }
   }
-  return colored;
 }
 
-struct DonationPlan {
-  // aligned triples (Lemma 7.3): replacement color, block id, safe donors.
-  std::vector<int> replacement;
-  std::vector<int> block;
-  std::vector<std::vector<int>> donors;
-  bool ok = false;
-};
+// FindCandidateDonors + FindSafeDonors + DonateColors (Algorithms 9, 10
+// and the donation of Fig. 4) for one cabal, planned against the frozen
+// coloring inside a parallel shard. Put-aside/candidate sets of distinct
+// cabals are mutually independent, so the frozen-state plan equals the
+// sequential execution; ops land in ws.don_ops for the sequential commit.
+//
+// Algorithm 10 step 1: every candidate donor samples a uniform
+// replacement from L(K) (via its private stream) and keeps it only if
+// its own palette allows it. beta_{c,j} grouping and the j(c) choice are
+// emulated by sorting (color * B + block, donor) pairs; the first block
+// with >= s_min donors wins per color, and the first r colors win —
+// both order-independent, matching the seed's map-based reduction.
+// Returns true when every unmatched put-aside vertex got a donor;
+// a partial plan is usable (unmatched vertices retry next attempt).
+bool donate_for_cabal(const State& st, int k, const std::vector<int>& put,
+                      const std::vector<int>& q_k, WorkerScratch& ws,
+                      bool* got_plan) {
+  *got_plan = false;
+  auto& unmatched = ws.tmp;
+  unmatched.clear();
+  for (const int u : put) {
+    if (!st.phi.colored(u)) unmatched.push_back(u);
+  }
+  if (unmatched.empty()) return true;
+  const std::size_t ops_before = ws.don_ops.size();
 
-// FindCandidateDonors + FindSafeDonors (Algorithms 9 and 10) for one cabal.
-// `active_external` marks candidate donors of all cabals this step (for
-// the mutual-exclusion drop of Algorithm 9 step 3).
-// Returns up to `r` matched (replacement, block, donors) triples; a
-// partial plan is usable — unmatched put-aside vertices retry in the next
-// synchronized attempt (each attempt is O(1) rounds).
-DonationPlan find_safe_donors(State& st, int k, int r,
-                              const std::vector<int>& q_k) {
-  DonationPlan plan;
-  auto& pal = st.palettes[static_cast<std::size_t>(k)];
+  const auto& pal = st.palettes[static_cast<std::size_t>(k)];
   const int n_colors = pal.num_colors();
   const int free_total = pal.free_count(0, n_colors - 1);
-  if (free_total < 1 || q_k.empty()) return plan;
+  // Zero-bound guard: with no free colors (or no candidate donors) the
+  // replacement draw below would be next_below(0); skip the whole scheme
+  // and let the caller retry / fall back.
+  if (free_total < 1 || q_k.empty()) return false;
 
+  const int r = static_cast<int>(unmatched.size());
   const int b = st.params.block_size(st.h().n());
   const int ell_s = st.params.ell_s(st.h().n());
   // Calibrated per-donor-set floor (paper: beta > 2*ell_s; see DESIGN.md
@@ -256,46 +308,75 @@ DonationPlan find_safe_donors(State& st, int k, int r,
   // conflicts.
   const int s_min = std::max(
       2, std::min(ell_s, static_cast<int>(q_k.size()) / std::max(1, 2 * r)));
+  const std::int64_t num_blocks = n_colors / b + 2;
 
-  // Algorithm 10 step 1: every candidate donor samples a uniform
-  // replacement from L(K) and keeps it only if its own palette allows it.
-  std::unordered_map<int, int> repl_of;  // donor -> replacement color
+  auto& keyed = ws.keyed;  // (replacement * B + block, donor)
+  keyed.clear();
   for (const int v : q_k) {
     const int idx = static_cast<int>(
-        st.rng.next_below(static_cast<std::uint64_t>(free_total)));
+        st.trial_rng(static_cast<std::uint64_t>(v))
+            .next_below(static_cast<std::uint64_t>(free_total)));
     const int c = pal.select_free(0, n_colors - 1, idx);
     if (c < 0) continue;
-    if (!st.phi.neighbor_uses(st.h(), v, c)) repl_of.emplace(v, c);
-  }
-
-  // beta_{c,j}: donors in block j that kept replacement c.
-  std::map<std::pair<int, int>, std::vector<int>> by_color_block;
-  for (const auto& [v, c] : repl_of) {
+    if (st.phi.neighbor_uses(st.h(), v, c)) continue;
     const int j = st.phi.get(v) / b;
-    by_color_block[{c, j}].push_back(v);
+    keyed.emplace_back(static_cast<std::int64_t>(c) * num_blocks + j, v);
   }
-  // j(c): first block with enough donors; then the first r colors win.
-  std::map<int, std::pair<int, std::vector<int>*>> chosen_for_color;
-  for (auto& [key, donors] : by_color_block) {
-    if (static_cast<int>(donors.size()) < s_min) continue;
-    const auto& [c, j] = key;
-    if (!chosen_for_color.count(c)) {
-      chosen_for_color[c] = {j, &donors};
+  std::sort(keyed.begin(), keyed.end());
+
+  const int k_samples = st.params.donation_samples(st.h().n());
+  auto& donors = ws.kept;
+  int matched = 0;
+  std::int64_t last_color = -1;
+  for (std::size_t lo = 0; lo < keyed.size() && matched < r;) {
+    std::size_t hi = lo;
+    while (hi < keyed.size() && keyed[hi].first == keyed[lo].first) ++hi;
+    const std::int64_t c = keyed[lo].first / num_blocks;
+    if (c == last_color || static_cast<int>(hi - lo) < s_min) {
+      lo = hi;
+      continue;
     }
-  }
-  for (const auto& [c, jd] : chosen_for_color) {
-    if (static_cast<int>(plan.replacement.size()) == r) break;
-    plan.replacement.push_back(c);
-    plan.block.push_back(jd.first);
-    auto donors = *jd.second;
+    last_color = c;  // j(c): first (= lowest) qualifying block per color
+    *got_plan = true;
+    // The matched donor set: lowest ell_s donor ids of the block.
+    donors.clear();
+    for (std::size_t i = lo; i < hi; ++i) donors.push_back(keyed[i].second);
     std::sort(donors.begin(), donors.end());
     if (static_cast<int>(donors.size()) > ell_s) {
       donors.resize(static_cast<std::size_t>(ell_s));
     }
-    plan.donors.push_back(std::move(donors));
+    // DonateColors: sample k offers from the donor set for the matched
+    // put-aside vertex; the offer list rides in one
+    // O(log Delta + k log b)-bit message (Eq. 11).
+    const int u = unmatched[static_cast<std::size_t>(matched)];
+    ++matched;
+    int donor = -1;
+    st.external_neighbors(u, &ws.ext);
+    Rng rng = st.trial_rng(static_cast<std::uint64_t>(u));
+    for (int s = 0; s < k_samples && donor < 0; ++s) {
+      const int pick = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(donors.size())));
+      const int v = donors[static_cast<std::size_t>(pick)];
+      const int c_don = st.phi.get(v);
+      bool ok = true;
+      for (const int w : ws.ext) {
+        if (st.phi.get(w) == c_don) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) donor = v;
+    }
+    if (donor >= 0) {
+      ws.don_ops.push_back({donor, static_cast<int>(c), u,
+                            st.phi.get(donor)});
+    }
+    lo = hi;
   }
-  plan.ok = !plan.replacement.empty();
-  return plan;
+  if (!*got_plan) return false;
+  // Done iff every unmatched vertex was matched to a plan triple AND its
+  // donor sampling succeeded (one op per colored vertex).
+  return static_cast<int>(ws.don_ops.size() - ops_before) == r;
 }
 
 }  // namespace
@@ -306,10 +387,14 @@ DonationStats color_putaside_sets(State& st,
   CCG_CHECK(cabal_ids.size() == sets.size());
   const auto& h = st.h();
   const int ell_s = st.params.ell_s(h.n());
+  auto& sc = st.scratch;
+  auto& par = *st.par;
+  sc.ensure_vertices(h.n());
   DonationStats stats;
   std::vector<int> leftovers;
 
-  // Step 1 (parallel): palette occupancy decides the branch per cabal.
+  // Step 1 (parallel in the model): palette occupancy decides the branch
+  // per cabal.
   std::vector<char> free_path(cabal_ids.size(), 0);
   for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
     const auto& pal = st.palettes[static_cast<std::size_t>(cabal_ids[i])];
@@ -318,16 +403,37 @@ DonationStats color_putaside_sets(State& st,
   }
   st.rt->charge(1, log_bits(st));
 
-  // Branch A (parallel over its cabals): TryFreeColors.
-  bool any_free = false;
+  // Branch A (parallel shards over its cabals): TryFreeColors. Each shard
+  // plans against the frozen coloring into its worker scratch; the commit
+  // applies (vertex, color) adoptions in worker order, which equals cabal
+  // order under the static shard bounds.
+  std::vector<std::size_t> free_idx;
   for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
-    if (!free_path[i]) continue;
-    any_free = true;
-    ++stats.free_path_cliques;
-    stats.free_colored +=
-        try_free_colors(st, cabal_ids[i], sets[i], &leftovers);
+    if (free_path[i]) free_idx.push_back(i);
   }
-  if (any_free) {
+  if (!free_idx.empty()) {
+    stats.free_path_cliques = static_cast<int>(free_idx.size());
+    st.bump_trial_round();
+    for (int w = 0; w < par.workers(); ++w) {
+      st.wscratch.at(w).adopted.clear();
+      st.wscratch.at(w).kept.clear();
+    }
+    par.shards(static_cast<std::int64_t>(free_idx.size()),
+               [&](int w, std::int64_t b, std::int64_t e) {
+      auto& ws = st.wscratch.at(w);
+      for (std::int64_t j = b; j < e; ++j) {
+        const std::size_t i = free_idx[static_cast<std::size_t>(j)];
+        try_free_colors(st, cabal_ids[i], sets[i], ws);
+      }
+    });
+    for (int w = 0; w < par.workers(); ++w) {
+      for (const auto& [u, c] : st.wscratch.at(w).adopted) {
+        st.assign(u, c);
+        ++stats.free_colored;
+      }
+      auto& kept = st.wscratch.at(w).kept;
+      leftovers.insert(leftovers.end(), kept.begin(), kept.end());
+    }
     // Hash description + k hashed samples: O(log n) bits (Section 7.1).
     st.rt->charge(3, st.params.donation_samples(h.n()) * 8 + log_bits(st));
   }
@@ -340,8 +446,6 @@ DonationStats color_putaside_sets(State& st,
     if (!free_path[i]) donation_idx.push_back(i);
   }
   if (!donation_idx.empty()) {
-    auto& sc = st.scratch;
-    sc.ensure_vertices(h.n());
     // Vertices of any put-aside set (all cabals) — excluded from Q^pre.
     // Vertex marks persist across the attempts below (nothing re-begins
     // them until the next put-aside computation).
@@ -349,122 +453,133 @@ DonationStats color_putaside_sets(State& st,
     for (const auto& s : sets) {
       for (const int v : s) sc.mark_vertex(v);
     }
-    auto& ext = sc.tmp_ext;
+    auto& actives = sc.tmp_ints;
+    std::vector<char> attempt_failed;
+    std::vector<char> attempt_planned;
 
     for (int attempt = 0; attempt < 5 && !donation_idx.empty(); ++attempt) {
-      // Algorithm 9 steps 1-2: Q^pre then independent activation. The
-      // activation rate plays the role of the paper's p = 50 ell_s^3 / b:
-      // small enough that an external neighbor is rarely active too
-      // (p * e_v << 1), sized here from the measured ẽ_K. Activation goes
-      // through the scratch table (vertex -> cabal index this attempt).
+      const auto live = static_cast<std::int64_t>(donation_idx.size());
+      // Algorithm 9 steps 1-2 (parallel shards over cabals): Q^pre then
+      // independent activation. The activation rate plays the role of the
+      // paper's p = 50 ell_s^3 / b: small enough that an external neighbor
+      // is rarely active too (p * e_v << 1), sized here from the measured
+      // ẽ_K. Activation goes through the scratch candidate table (vertex
+      // -> cabal index this attempt) via per-vertex streams.
       sc.begin_round();
-      for (const std::size_t i : donation_idx) {
-        const int k = cabal_ids[i];
-        const auto& pal = st.palettes[static_cast<std::size_t>(k)];
-        const double e_k =
-            st.dc.info.avg_ext_est[static_cast<std::size_t>(k)];
-        const double p_active = std::min(0.4, 1.0 / (1.0 + e_k));
-        for (const int v :
-             st.dc.acd.members[static_cast<std::size_t>(k)]) {
-          if (!st.phi.colored(v)) continue;
-          if (pal.count(st.phi.get(v)) != 1) continue;  // unique colors only
-          bool exposed = false;
-          st.external_neighbors(v, &ext);
-          for (const int u : ext) {
-            if (sc.vertex_marked(u)) {
-              exposed = true;
-              break;
-            }
-          }
-          if (exposed) continue;
-          if (st.rng.next_bool(p_active)) {
-            sc.propose(v, static_cast<int>(i));
-          }
-        }
+      st.bump_trial_round();
+      for (int w = 0; w < par.workers(); ++w) {
+        st.wscratch.at(w).kept.clear();
       }
-      // Algorithm 9 step 3: drop active vertices with an active external
-      // neighbor (any other cabal).
-      std::vector<std::vector<int>> q(cabal_ids.size());
-      for (const int v : sc.proposers()) {
-        const int ci = sc.candidate(v);
-        bool clash = false;
-        for (const int u : h.neighbors(v)) {
-          const int cu = sc.candidate(u);
-          if (cu != TrialScratch::kNone && cu != ci) {
-            clash = true;
-            break;
-          }
-        }
-        if (!clash) q[static_cast<std::size_t>(ci)].push_back(v);
-      }
-      st.rt->charge(3, log_bits(st));
-
-      // Algorithm 10 + donation, cabal by cabal (their candidate/put-aside
-      // sets are mutually independent, so parallel = sequential). Plans
-      // may be partial: unmatched put-aside vertices retry next attempt.
-      std::vector<std::size_t> failed;
-      for (const std::size_t i : donation_idx) {
-        const int k = cabal_ids[i];
-        std::vector<int> unmatched;
-        for (const int u : sets[i]) {
-          if (!st.phi.colored(u)) unmatched.push_back(u);
-        }
-        if (unmatched.empty()) continue;
-        auto plan = find_safe_donors(
-            st, k, static_cast<int>(unmatched.size()), q[i]);
-        if (!plan.ok) {
-          failed.push_back(i);
-          continue;
-        }
-        if (attempt == 0) ++stats.donation_path_cliques;
-        // DonateColors: sample k offers from each matched donor set; the
-        // offer list rides in one O(log Delta + k log b)-bit message
-        // (Eq. 11).
-        const int k_samples = st.params.donation_samples(h.n());
-        const int matched = static_cast<int>(plan.replacement.size());
-        bool all_done = true;
-        for (int idx = 0;
-             idx < static_cast<int>(unmatched.size()); ++idx) {
-          const int u = unmatched[static_cast<std::size_t>(idx)];
-          if (idx >= matched) {
-            all_done = false;
-            continue;  // retry next attempt
-          }
-          const auto& donors = plan.donors[static_cast<std::size_t>(idx)];
-          int donor = -1;
-          st.external_neighbors(u, &ext);
-          for (int s = 0; s < k_samples && donor < 0; ++s) {
-            const int pick = static_cast<int>(st.rng.next_below(
-                static_cast<std::uint64_t>(donors.size())));
-            const int v = donors[static_cast<std::size_t>(pick)];
-            const int c_don = st.phi.get(v);
-            bool ok = true;
-            for (const int w : ext) {
-              if (st.phi.get(w) == c_don) {
-                ok = false;
+      par.shards(live, [&](int w, std::int64_t b, std::int64_t e) {
+        auto& ws = st.wscratch.at(w);
+        for (std::int64_t jj = b; jj < e; ++jj) {
+          const std::size_t i = donation_idx[static_cast<std::size_t>(jj)];
+          const int k = cabal_ids[i];
+          const auto& pal = st.palettes[static_cast<std::size_t>(k)];
+          const double e_k =
+              st.dc.info.avg_ext_est[static_cast<std::size_t>(k)];
+          const double p_active = std::min(0.4, 1.0 / (1.0 + e_k));
+          for (const int v :
+               st.dc.acd.members[static_cast<std::size_t>(k)]) {
+            if (!st.phi.colored(v)) continue;
+            if (pal.count(st.phi.get(v)) != 1) continue;  // unique colors
+            bool exposed = false;
+            st.external_neighbors(v, &ws.ext);
+            for (const int u : ws.ext) {
+              if (sc.vertex_marked(u)) {
+                exposed = true;
                 break;
               }
             }
-            if (ok) donor = v;
+            if (exposed) continue;
+            if (st.trial_rng(static_cast<std::uint64_t>(v))
+                    .next_bool(p_active)) {
+              sc.propose_at(v, static_cast<int>(i));
+              ws.kept.push_back(v);
+            }
           }
-          if (donor < 0) {
-            all_done = false;
-            continue;  // fresh donor set next attempt
+        }
+      });
+      actives.clear();
+      for (int w = 0; w < par.workers(); ++w) {
+        const auto& kept = st.wscratch.at(w).kept;
+        actives.insert(actives.end(), kept.begin(), kept.end());
+      }
+
+      // Algorithm 9 step 3 (parallel shards over the active set): drop
+      // active vertices with an active external neighbor (any other
+      // cabal) — a pure read of the frozen candidate table.
+      auto& verdicts = sc.verdicts;
+      verdicts.resize(actives.size());
+      par.shards(static_cast<std::int64_t>(actives.size()),
+                 [&](int, std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const int v = actives[static_cast<std::size_t>(i)];
+          const int ci = sc.candidate(v);
+          bool clash = false;
+          for (const int u : h.neighbors(v)) {
+            const int cu = sc.candidate(u);
+            if (cu != TrialScratch::kNone && cu != ci) {
+              clash = true;
+              break;
+            }
           }
-          const int c_don = st.phi.get(donor);
-          const int c_recol = plan.replacement[static_cast<std::size_t>(idx)];
-          st.unassign(donor);
-          st.assign(donor, c_recol);
-          st.assign(u, c_don);
+          verdicts[static_cast<std::size_t>(i)] = clash ? -1 : ci;
+        }
+      });
+      std::vector<std::vector<int>> q(cabal_ids.size());
+      for (std::size_t i = 0; i < actives.size(); ++i) {
+        if (verdicts[i] >= 0) {
+          q[static_cast<std::size_t>(verdicts[i])].push_back(actives[i]);
+        }
+      }
+      st.rt->charge(3, log_bits(st));
+
+      // Algorithm 10 + donation (parallel shards over cabals): their
+      // candidate/put-aside sets are mutually independent, so planning
+      // against the frozen coloring equals the sequential execution.
+      // Plans may be partial: unmatched put-aside vertices retry next
+      // attempt. Ops are committed below in worker order.
+      st.bump_trial_round();
+      attempt_failed.assign(donation_idx.size(), 0);
+      attempt_planned.assign(donation_idx.size(), 0);
+      for (int w = 0; w < par.workers(); ++w) {
+        st.wscratch.at(w).don_ops.clear();
+      }
+      par.shards(live, [&](int w, std::int64_t b, std::int64_t e) {
+        auto& ws = st.wscratch.at(w);
+        for (std::int64_t jj = b; jj < e; ++jj) {
+          const std::size_t i = donation_idx[static_cast<std::size_t>(jj)];
+          bool got_plan = false;
+          const bool done = donate_for_cabal(st, cabal_ids[i], sets[i],
+                                             q[i], ws, &got_plan);
+          attempt_planned[static_cast<std::size_t>(jj)] = got_plan ? 1 : 0;
+          attempt_failed[static_cast<std::size_t>(jj)] = done ? 0 : 1;
+        }
+      });
+      // Commit (sequential): apply the donation transcripts.
+      for (int w = 0; w < par.workers(); ++w) {
+        for (const auto& op : st.wscratch.at(w).don_ops) {
+          st.unassign(op.donor);
+          st.assign(op.donor, op.c_recol);
+          st.assign(op.u, op.c_don);
           ++stats.donated;
         }
-        if (!all_done) failed.push_back(i);
+      }
+      if (attempt == 0) {
+        for (const char planned : attempt_planned) {
+          if (planned) ++stats.donation_path_cliques;
+        }
       }
       const int b = st.params.block_size(h.n());
       st.rt->charge(4, st.params.donation_samples(h.n()) *
                                std::max(1, ceil_log2(static_cast<std::uint64_t>(
                                                std::max(2, b)))) +
                            log_bits(st));
+      std::vector<std::size_t> failed;
+      for (std::size_t jj = 0; jj < donation_idx.size(); ++jj) {
+        if (attempt_failed[jj]) failed.push_back(donation_idx[jj]);
+      }
       if (!failed.empty()) ++st.retry_count;
       donation_idx = std::move(failed);
     }

@@ -60,8 +60,19 @@ class ColorMarks {
 struct WorkerScratch {
   std::vector<int> set_buf;   // SetSampler / neighbor-list output buffer
   std::vector<int> tmp;       // short-lived id lists (per-clique S copies)
+  std::vector<int> ext;       // external-neighbor lists (put-aside phases)
+  std::vector<int> kept;      // shard-local retry / carry-over id lists
   ColorMarks marks;           // per-vertex blocked-color set (MCT verdicts)
-  std::vector<std::pair<int, int>> adopted;  // shard-local (vertex, color)
+  std::vector<std::pair<int, int>> adopted;  // shard-local (vertex, value)
+  // Sort-based grouping buffer ((composite key, id) pairs), replacing the
+  // per-call std::map temporaries of the donation scheme.
+  std::vector<std::pair<std::int64_t, int>> keyed;
+  // Donation transcript: (donor, replacement, put vertex, donated color)
+  // ops planned against the frozen coloring, applied at commit.
+  struct DonationOp {
+    int donor, c_recol, u, c_don;
+  };
+  std::vector<DonationOp> don_ops;
 };
 
 // The pool-owned per-worker scratch set: State sizes it to the round
@@ -219,6 +230,22 @@ class TrialScratch {
   std::vector<int> tmp_ints;  // short-lived id lists
   std::vector<int> tmp_ext;   // external-neighbor lists
   std::vector<int> verdicts;  // per-position adopt color / -1 (commit input)
+
+  // Fingerprint-matching scratch (Algorithm 7): flat |K| x k_trials
+  // matrices plus the per-trial and per-member flag arrays that replaced
+  // the seed's unordered_map/unordered_set temporaries. Owned here so one
+  // State runs any number of fingerprint matchings allocation-free in
+  // steady state.
+  struct FingerprintScratch {
+    std::vector<int> x;         // member x trial geometric draws (flat)
+    std::vector<int> yv;        // member x trial neighborhood maxima (flat)
+    std::vector<int> argmax;    // per-trial unique-max member, or -1
+    std::vector<int> trial_u;   // per-trial surviving u_i, or -1
+    std::vector<int> trial_w;   // per-trial sampled anti-neighbor, or -1
+    std::vector<char> used_as_max;  // member already a unique max
+    std::vector<char> sampled_w;    // member sampled as some w_i
+    std::vector<char> w_seen;       // member already kept a trial as w
+  } fp;
 
  private:
   std::uint32_t epoch_ = 0;

@@ -41,6 +41,11 @@ std::uint64_t Rng::next_u64() {
 }
 
 std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // bound == 0 is a caller bug (an empty sampling window); the check
+  // throws rather than hitting `% 0` UB. Call sites where the window can
+  // legitimately empty out (e.g. a clique palette with no free colors in
+  // put-aside coloring) must skip the draw instead — see
+  // src/color/putaside.cpp.
   CCG_CHECK(bound > 0);
   // Lemire-style rejection to avoid modulo bias.
   const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound

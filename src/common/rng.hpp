@@ -37,7 +37,11 @@ inline constexpr std::uint64_t kStreamRngTag = 0x6C62272E07BB0142ULL;
 // any time and get the same bits. This is what makes the parallel round
 // engine (exec/parallel_round.hpp) bit-identical for every thread count:
 // each synchronized round bumps the round counter, and each participating
-// vertex (or clique) draws exclusively from stream_rng(seed, round, id).
+// entity (vertex, clique, matching pair, fingerprint trial) draws
+// exclusively from stream_rng(seed, round, id). Entity ids only need to
+// be unique *within* one round; a phase whose entities draw in two
+// sub-phases must bump the round in between — re-deriving the same
+// (round, entity) key restarts the stream and correlates the draws.
 Rng stream_rng(std::uint64_t seed, std::uint64_t round, std::uint64_t entity);
 
 class Rng {

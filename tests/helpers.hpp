@@ -3,6 +3,8 @@
 // targets a later phase).
 #pragma once
 
+#include <algorithm>
+#include <cstdlib>
 #include <memory>
 
 #include "acd/acd.hpp"
@@ -26,16 +28,25 @@ struct Fixture {
 // Builds a singleton-layout fixture over a planted graph and fills the
 // dense context from ground truth (exact external degrees, planted clique
 // ids); `ell` not derived from n so tests can force the cabal flag.
+// force_threads > 0 pins the round-engine worker count (determinism
+// sweeps); 0 honors CCG_TEST_THREADS so the TSan CI job can re-run every
+// fixture-based test on the parallel engine.
 inline std::unique_ptr<Fixture> make_planted_fixture(
     const graph::PlantedSpec& spec, const color::Params& params,
-    std::uint64_t seed, double ell_override = -1.0) {
+    std::uint64_t seed, double ell_override = -1.0, int force_threads = 0) {
   auto f = std::make_unique<Fixture>();
   Rng rng(seed);
   f->planted = graph::make_planted_acd(spec, rng);
   f->cg = cluster::ClusterGraph::singleton(f->planted.g);
   f->ledger = std::make_unique<net::Ledger>(f->cg.default_bandwidth());
   f->rt = std::make_unique<cluster::Runtime>(f->cg, *f->ledger);
-  f->st = std::make_unique<color::State>(*f->rt, params);
+  color::Params effective = params;
+  if (force_threads > 0) {
+    effective.threads = force_threads;
+  } else if (const char* env = std::getenv("CCG_TEST_THREADS")) {
+    effective.threads = std::max(1, std::atoi(env));
+  }
+  f->st = std::make_unique<color::State>(*f->rt, effective);
 
   auto& dc = f->st->dc;
   dc.acd.clique_of = f->planted.clique_of;

@@ -116,6 +116,42 @@ TEST(FingerprintMatching, EmptyOnTrueClique) {
   EXPECT_TRUE(pairs.empty());
 }
 
+TEST(MatchingDeterminism, BitIdenticalAcrossThreadCounts) {
+  // The three matching routines draw only from counter-based
+  // per-(seed, round, entity) streams: every worker count must produce
+  // the same matchings and the same colors, bit for bit.
+  for (const int threads : {2, 8}) {
+    color::Params params;
+    params.seed = 21;
+    auto base = ccg::testing::make_planted_fixture(cabal_spec(90, 4, 8),
+                                                   params, 59, 4.0, 1);
+    auto par = ccg::testing::make_planted_fixture(cabal_spec(90, 4, 8),
+                                                  params, 59, 4.0, threads);
+    std::vector<int> ids{0, 1, 2};
+    const auto ach_base =
+        colorful_matching(*base->st, ids, [](int) { return 6; });
+    const auto ach_par =
+        colorful_matching(*par->st, ids, [](int) { return 6; });
+    EXPECT_EQ(ach_base, ach_par) << "threads " << threads;
+    ASSERT_EQ(base->st->phi.vec(), par->st->phi.vec())
+        << "threads " << threads;
+
+    const auto unc_base = base->st->uncolored_members(0);
+    const auto unc_par = par->st->uncolored_members(0);
+    ASSERT_EQ(unc_base, unc_par);
+    const auto pairs_base = fingerprint_matching(*base->st, 0, &unc_base);
+    const auto pairs_par = fingerprint_matching(*par->st, 0, &unc_par);
+    ASSERT_EQ(pairs_base, pairs_par) << "threads " << threads;
+
+    if (!pairs_base.empty()) {
+      EXPECT_EQ(color_anti_matching(*base->st, pairs_base),
+                color_anti_matching(*par->st, pairs_par));
+      EXPECT_EQ(base->st->phi.vec(), par->st->phi.vec())
+          << "threads " << threads;
+    }
+  }
+}
+
 TEST(ColorAntiMatching, ColorsAllPairsProperly) {
   color::Params params;
   params.seed = 13;

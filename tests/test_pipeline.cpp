@@ -143,6 +143,65 @@ TEST(PipelineLowDegree, PolylogRegimeWithStructure) {
   cluster::check_proper_total(planted.g, res.colors, res.num_colors);
 }
 
+TEST(PipelineDeterminism, FullPipelineBitIdenticalAcrossThreadCounts) {
+  // End-to-end acceptance bar of the parallel round engine: the *full*
+  // high-degree pipeline — including the colorful/fingerprint matchings,
+  // the anti-matching coloring, put-aside computation + coloring, and the
+  // fallback safety net — must be bit-identical for every worker count.
+  // (test_exec pins the same property per round; this pins the
+  // composition under the standard test configuration, with the
+  // cabal-heavy shape driving the put-aside/donation phases.)
+  Rng rng(77);
+  struct Shape {
+    const char* name;
+    graph::PlantedGraph planted;
+  };
+  std::vector<Shape> shapes;
+  {
+    graph::PlantedSpec spec;  // cabal-heavy: put-aside + donation paths
+    spec.delta = 150;
+    spec.num_cliques = 4;
+    spec.anti_deg = 2;
+    spec.external_deg = 4;
+    shapes.push_back({"cabal_heavy", graph::make_planted_acd(spec, rng)});
+  }
+  {
+    graph::PlantedSpec spec;  // mixture: matchings + sparse + fallback
+    spec.delta = 140;
+    spec.num_cliques = 4;
+    spec.anti_deg = 2;
+    spec.external_deg = 18;
+    spec.num_sparse = 250;
+    spec.sparse_avg_deg = 35.0;
+    spec.external_to_sparse = 0.3;
+    shapes.push_back({"mixture", graph::make_planted_acd(spec, rng)});
+  }
+  for (const auto& shape : shapes) {
+    const auto& g = shape.planted.g;
+    auto run = [&](int threads) {
+      const auto cg = cluster::ClusterGraph::singleton(g);
+      net::Ledger ledger(cg.default_bandwidth());
+      cluster::Runtime rt(cg, ledger);
+      auto params = pipeline_params(g.n(), 137);
+      params.threads = threads;
+      auto res = color::color_high_degree(rt, params);
+      cluster::check_proper_total(g, res.colors, res.num_colors);
+      return res;
+    };
+    const auto base = run(1);
+    for (const int threads : {2, 8}) {
+      const auto res = run(threads);
+      ASSERT_EQ(res.colors, base.colors)
+          << shape.name << " threads " << threads;
+      EXPECT_EQ(res.h_rounds, base.h_rounds) << shape.name;
+      EXPECT_EQ(res.g_rounds, base.g_rounds) << shape.name;
+      EXPECT_EQ(res.fallback_count, base.fallback_count) << shape.name;
+      EXPECT_EQ(res.retry_count, base.retry_count) << shape.name;
+      EXPECT_EQ(res.num_cabals, base.num_cabals) << shape.name;
+    }
+  }
+}
+
 TEST(Dispatcher, PicksPathByDelta) {
   Rng rng(7);
   auto params = pipeline_params(400, 31);

@@ -1,7 +1,11 @@
 // Tests: put-aside sets (Lemma 4.18) and their coloring (Section 7).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "color/matching.hpp"
 #include "color/multicolor_trial.hpp"
@@ -122,6 +126,103 @@ TEST_P(PutAsideColoring, FinishesTheCabalProperly) {
 
 INSTANTIATE_TEST_SUITE_P(AntiSweep, PutAsideColoring,
                          ::testing::Values(0, 2, 4));
+
+TEST(PutAside, ZeroFreeColorPaletteReachesSafetyNetWithoutDrawing) {
+  // Regression for the zero-bound RNG draws of the put-aside coloring:
+  // with a clique palette holding *no* free colors, both TryFreeColors'
+  // window and FindSafeDonors' replacement draw would be next_below(0) —
+  // a contract violation (and UB if the check ever compiled out). The
+  // guards must route every put-aside vertex to the safety net instead.
+  //
+  // Instance: K = {0..7} is a (Delta+2)-clique minus the perfect
+  // anti-matching {(0,1), (2,3), (4,5), (6,7)} — every vertex misses
+  // exactly one anti-sibling, so Delta = 6 and the palette has 7 colors.
+  // Coloring 0..6 with the 7 distinct colors exhausts the palette while
+  // vertex 7 stays uncolored; its anti-sibling 6 holds the one color
+  // that is still proper for it.
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < 8; ++u) {
+    for (int v = u + 1; v < 8; ++v) {
+      if (v == u + 1 && u % 2 == 0) continue;  // anti-matching pair
+      edges.emplace_back(u, v);
+    }
+  }
+  auto g = graph::Graph::from_edges(8, edges);
+  ASSERT_EQ(g.max_degree(), 6);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  net::Ledger ledger(cg.default_bandwidth());
+  cluster::Runtime rt(cg, ledger);
+  color::Params params;
+  params.seed = 5;
+  if (const char* env = std::getenv("CCG_TEST_THREADS")) {
+    params.threads = std::max(1, std::atoi(env));
+  }
+  State st(rt, params);
+  auto& dc = st.dc;
+  dc.acd.num_cliques = 1;
+  dc.acd.clique_of.assign(8, 0);
+  dc.acd.members = {{0, 1, 2, 3, 4, 5, 6, 7}};
+  dc.info.ext_est.assign(8, 0.0);
+  dc.info.clique_size = {8};
+  dc.info.avg_ext_est = {0.0};
+  dc.info.is_cabal = {true};
+  dc.ell = 2.0;
+  dc.reserved_cap = 1;
+  dc.reserved = {1};
+  st.init_palettes();
+  for (int v = 0; v < 7; ++v) st.assign(v, v);
+  ASSERT_EQ(st.palettes[0].free_count(0, st.num_colors() - 1), 0);
+
+  const std::vector<int> cabals{0};
+  const std::vector<std::vector<int>> sets{{7}};
+  const auto stats = color_putaside_sets(st, cabals, sets);
+  EXPECT_TRUE(st.phi.colored(7));
+  EXPECT_EQ(st.phi.get(7), st.phi.get(6));  // the anti-sibling's color
+  EXPECT_EQ(stats.fallbacks, 1);
+  EXPECT_EQ(stats.free_colored, 0);
+  EXPECT_EQ(stats.donated, 0);
+  cluster::check_proper_total(st.h(), st.phi.vec(), st.num_colors());
+
+  // compute_putaside on the same exhausted state: only one eligible
+  // vertex, so the sampled rounds either find {7} or the deterministic
+  // greedy fallback does; either way the result is exact.
+  st.unassign(7);
+  const auto put = compute_putaside(st, cabals, 1);
+  ASSERT_EQ(put.sets.size(), 1u);
+  EXPECT_EQ(put.sets[0], std::vector<int>{7});
+}
+
+TEST(PutAsideDeterminism, BitIdenticalAcrossThreadCounts) {
+  // compute_putaside + color_putaside_sets draw only from counter-based
+  // per-(seed, round, entity) streams: every worker count must produce
+  // the same sets, the same stats, and the same colors.
+  for (const int threads : {2, 8}) {
+    color::Params params;
+    params.seed = 91;
+    auto base = ccg::testing::make_planted_fixture(cabal_spec(90, 2, 6, 3),
+                                                   params, 47, 8.0, 1);
+    auto par = ccg::testing::make_planted_fixture(cabal_spec(90, 2, 6, 3),
+                                                  params, 47, 8.0, threads);
+    const std::vector<int> cabals{0, 1, 2};
+    const int r = 8;
+    const auto put_base = compute_putaside(*base->st, cabals, r);
+    const auto put_par = compute_putaside(*par->st, cabals, r);
+    ASSERT_EQ(put_base.sets, put_par.sets) << "threads " << threads;
+    EXPECT_EQ(put_base.attempts, put_par.attempts);
+
+    const auto stats_base =
+        color_putaside_sets(*base->st, cabals, put_base.sets);
+    const auto stats_par =
+        color_putaside_sets(*par->st, cabals, put_par.sets);
+    EXPECT_EQ(base->st->phi.vec(), par->st->phi.vec())
+        << "threads " << threads;
+    EXPECT_EQ(stats_base.free_colored, stats_par.free_colored);
+    EXPECT_EQ(stats_base.donated, stats_par.donated);
+    EXPECT_EQ(stats_base.fallbacks, stats_par.fallbacks);
+    EXPECT_EQ(base->st->retry_count, par->st->retry_count);
+    EXPECT_EQ(base->st->fallback_count, par->st->fallback_count);
+  }
+}
 
 TEST(Donation, DonationPathTriggersWhenPaletteTight) {
   // Force the donation branch: ls_factor large makes ell_s exceed the
