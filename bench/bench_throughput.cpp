@@ -1,0 +1,230 @@
+// Batch-serving throughput benchmark: the jobs/sec companion to
+// bench_pipeline's single-instance wall clock. Runs a fixed serving
+// manifest (fast list-coloring jobs + full-pipeline jobs over shared
+// cached instances) through svc::run_batch at every scheduler-worker
+// count, verifies the deterministic report is byte-identical across the
+// sweep, measures steady-state allocations per job on a warm JobSlot
+// (fast path must be exactly 0 — the reset-and-reuse contract, also
+// pinned by tests/test_svc_reuse.cpp), and writes BENCH_throughput.json.
+//
+// Usage: bench_throughput [out.json]
+//   out.json  default BENCH_throughput.json (cwd; run from the repo root)
+//
+// bench/check_regression.py ignores this file (it gates on the pipeline
+// bench only); the throughput trajectory is tracked in BENCHMARKS.md.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_count.hpp"  // instruments the whole bench binary
+#include "util.hpp"
+
+using namespace ccg;
+
+namespace {
+
+const std::vector<int> kSchedWorkerCounts = {1, 2, 4, 8};
+
+// The serving workload: recurring small/medium jobs over 4 cached
+// instances — the stream shape the batch service exists for.
+const char* kManifestText =
+    "seed 2026\n"
+    "threads 1\n"
+    "job --gen gnm --n 2000 --m 16000 --algo fast --repeat 12\n"
+    "job --gen caveman --cliques 12 --size 28 --bridges 3 --algo fast "
+    "--repeat 6\n"
+    "job --gen planted --delta 200 --cliques 4 --ext 16 --anti 2 "
+    "--sparse 400 --oracle --eps 0.2 --repeat 3\n"
+    "job --gen planted --delta 150 --cliques 4 --ext 4 --anti 2 "
+    "--oracle --eps 0.2 --repeat 3\n";
+
+struct WorkerRow {
+  int sched_workers = 0;
+  bench::TimedStats stats;
+  double jobs_per_sec = 0;
+};
+
+// Steady-state per-job measurement on one warm slot: two warmup passes
+// (see tests/test_svc_reuse.cpp for why two), then count allocations and
+// time over `passes` measured passes.
+struct SlotSteadyState {
+  double allocs_per_job = 0;
+  double ns_per_job = 0;
+};
+
+SlotSteadyState measure_slot(const svc::Manifest& m, int passes) {
+  std::vector<int> instance_of;
+  const auto instances = svc::prepare_instances(m, &instance_of);
+  svc::JobSlot slot;
+  svc::JobResult out;
+  const auto run_pass = [&] {
+    for (std::size_t i = 0; i < m.jobs.size(); ++i) {
+      slot.run(instances[static_cast<std::size_t>(instance_of[i])],
+               m.jobs[i], &out);
+      if (!out.ok) {
+        std::fprintf(stderr, "FATAL: steady-state job %zu failed: %s\n", i,
+                     out.error.c_str());
+        std::exit(1);
+      }
+    }
+  };
+  run_pass();
+  run_pass();
+  const long long alloc0 = alloc_count();
+  const auto t = bench::timed(run_pass, 0, passes);
+  const long long alloc1 = alloc_count();
+  const double jobs =
+      static_cast<double>(m.jobs.size()) * static_cast<double>(passes);
+  SlotSteadyState s;
+  s.allocs_per_job = static_cast<double>(alloc1 - alloc0) / jobs;
+  s.ns_per_job = t.mean_ns / static_cast<double>(m.jobs.size());
+  return s;
+}
+
+svc::Manifest slot_manifest(const char* gen_line, int count) {
+  std::string text = "seed 7\n";
+  for (int i = 0; i < count; ++i) text += gen_line;
+  auto m = svc::parse_manifest_string(text);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_throughput.json";
+  const int warmup = 1;
+  const int reps = 2;
+  const int hw_threads =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  bench::header("BENCH / batch throughput",
+                "jobs/sec over the serving manifest at scheduler workers "
+                "in {1,2,4,8}; deterministic report across the sweep; "
+                "zero allocs/job on the warm fast path");
+  std::printf("hardware threads: %d\n", hw_threads);
+
+  const auto manifest = svc::parse_manifest_string(kManifestText);
+  int fast_jobs = 0, auto_jobs = 0;
+  for (const auto& job : manifest.jobs) {
+    (job.algo == svc::Algo::kFast ? fast_jobs : auto_jobs) += 1;
+  }
+
+  // ---- scheduler-worker sweep ----
+  bench::row({"sched_workers", "wall ms", "mean ms", "jobs/sec",
+              "speedup"});
+  std::vector<WorkerRow> rows;
+  std::string reference_report;
+  for (const int workers : kSchedWorkerCounts) {
+    svc::BatchOptions opt;
+    opt.sched_workers = workers;
+    std::string report;
+    WorkerRow row;
+    row.sched_workers = workers;
+    row.stats = bench::timed(
+        [&] {
+          const auto rep = svc::run_batch(manifest, opt);
+          report = svc::report_json(manifest, rep,
+                                    /*include_timing=*/false);
+        },
+        warmup, reps, static_cast<std::int64_t>(manifest.jobs.size()));
+    row.jobs_per_sec = static_cast<double>(manifest.jobs.size()) * 1e9 /
+                       row.stats.min_ns;
+    if (reference_report.empty()) {
+      reference_report = report;
+    } else if (report != reference_report) {
+      std::fprintf(stderr,
+                   "FATAL: report not bit-identical at sched_workers=%d\n",
+                   workers);
+      return 1;
+    }
+    rows.push_back(row);
+    bench::row({bench::fmt(workers), bench::fmt(row.stats.min_ns / 1e6),
+                bench::fmt(row.stats.mean_ns / 1e6),
+                bench::fmt(row.jobs_per_sec),
+                bench::fmt(rows.front().stats.min_ns / row.stats.min_ns)});
+  }
+
+  // ---- steady-state allocations per job on a warm slot ----
+  const auto fast_steady = measure_slot(
+      slot_manifest("job --gen gnm --n 2000 --m 16000 --algo fast\n", 8),
+      2);
+  const auto auto_steady = measure_slot(
+      slot_manifest("job --gen planted --delta 150 --cliques 4 --ext 4 "
+                    "--anti 2 --oracle --eps 0.2\n",
+                    4),
+      1);
+  std::printf("fast path:  %.2f allocs/job, %.2f ms/job (must be 0 allocs)\n",
+              fast_steady.allocs_per_job, fast_steady.ns_per_job / 1e6);
+  std::printf("auto path:  %.0f allocs/job, %.2f ms/job (trajectory metric)\n",
+              auto_steady.allocs_per_job, auto_steady.ns_per_job / 1e6);
+  if (fast_steady.allocs_per_job != 0) {
+    std::fprintf(stderr,
+                 "FATAL: warm fast path allocated (%.3f allocs/job)\n",
+                 fast_steady.allocs_per_job);
+    return 1;
+  }
+
+  // ---- JSON ----
+  bench::JsonWriter j;
+  j.begin_object();
+  j.key("bench").value("throughput");
+  j.key("schema_version").value(1);
+  j.key("config")
+      .begin_object()
+      .key("warmup")
+      .value(warmup)
+      .key("reps")
+      .value(reps)
+      .key("estimator")
+      .value("min")
+      .key("hardware_threads")
+      .value(hw_threads)
+      .key("sched_worker_counts")
+      .begin_array();
+  for (const int w : kSchedWorkerCounts) j.value(w);
+  j.end_array().end_object();
+  j.key("manifest")
+      .begin_object()
+      .key("num_jobs")
+      .value(static_cast<int>(manifest.jobs.size()))
+      .key("fast_jobs")
+      .value(fast_jobs)
+      .key("auto_jobs")
+      .value(auto_jobs)
+      .end_object();
+  j.key("by_sched_workers").begin_array();
+  for (const auto& row : rows) {
+    j.begin_object();
+    j.key("sched_workers").value(row.sched_workers);
+    j.key("wall_ns").value(row.stats.min_ns);
+    j.key("mean_ns").value(row.stats.mean_ns);
+    j.key("jobs_per_sec").value(row.jobs_per_sec);
+    j.key("speedup_vs_w1")
+        .value(rows.front().stats.min_ns / row.stats.min_ns);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("deterministic_across_workers").value(true);
+  j.key("fast_steady_allocs_per_job").value(fast_steady.allocs_per_job);
+  j.key("fast_steady_ns_per_job").value(fast_steady.ns_per_job);
+  j.key("auto_steady_allocs_per_job").value(auto_steady.allocs_per_job);
+  j.key("auto_steady_ns_per_job").value(auto_steady.ns_per_job);
+  j.key("total_wall_ns").value(rows.front().stats.min_ns);
+  j.end_object();
+
+  if (!j.write_file(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nBENCH JSON -> %s (w=1 %.1f ms, %.1f jobs/sec",
+              out_path.c_str(), rows.front().stats.min_ns / 1e6,
+              rows.front().jobs_per_sec);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    std::printf(", w=%d %.2fx", rows[i].sched_workers,
+                rows.front().stats.min_ns / rows[i].stats.min_ns);
+  }
+  std::printf(")\n");
+  return 0;
+}

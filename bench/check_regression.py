@@ -91,6 +91,27 @@ def main() -> int:
     with open(args.reference) as f:
         reference = json.load(f)
 
+    # This gate understands the pipeline bench only. A non-pipeline
+    # *fresh* file (e.g. BENCH_throughput.json from bench_throughput) is
+    # ignored, not crashed on, so CI can glob BENCH*.json without
+    # special-casing. A non-pipeline *reference* against a pipeline fresh
+    # file is a misconfigured baseline, and silently skipping it would
+    # disable the gate — fail loudly instead.
+    fresh_kind = fresh.get("bench")
+    if fresh_kind is not None and fresh_kind != "pipeline":
+        print(
+            f"ignoring fresh JSON: bench '{fresh_kind}' is not gated by "
+            "this script (pipeline only)"
+        )
+        return 0
+    ref_kind = reference.get("bench")
+    if ref_kind is not None and ref_kind != "pipeline":
+        print(
+            f"ERROR: reference JSON is bench '{ref_kind}', not a "
+            "pipeline baseline — check the baseline path"
+        )
+        return 2
+
     fresh_ns = total_mean_ns(fresh)
     ref_ns = reference_total_ns(reference)
     if args.normalize_micro:

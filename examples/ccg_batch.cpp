@@ -1,0 +1,114 @@
+// ccg_batch — batch coloring service CLI (src/svc/).
+//
+// Reads a job manifest (see src/svc/manifest.hpp for the format), runs it
+// over the batch scheduler and prints the JSON report.
+//
+//   ccg_batch --manifest jobs.txt
+//   ccg_batch --manifest - < jobs.txt            (stdin)
+//   ccg_batch --manifest jobs.txt --sched-workers 8 --out report.json
+//   ccg_batch --manifest jobs.txt --no-timing    (deterministic output:
+//       byte-identical for every --sched-workers value and job order)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ccg/ccg.hpp"
+#include "common/parse.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ccg_batch --manifest <path|-> [--sched-workers w]\n"
+      "                 [--out report.json] [--no-timing] [--quiet]\n"
+      "  --manifest       job manifest file; '-' reads stdin\n"
+      "  --sched-workers  inter-job scheduler workers (0 = hardware)\n"
+      "  --out            write the JSON report here instead of stdout\n"
+      "  --no-timing      omit timing/config fields: output is\n"
+      "                   byte-identical for every worker count\n"
+      "  --quiet          no summary line on stderr\n");
+  return 2;
+}
+
+int parse_int_arg(const char* flag, const std::string& val) {
+  const auto x = ccg::parse_int_strict(val);
+  if (!x) {
+    std::fprintf(stderr, "ccg_batch: invalid value '%s' for %s\n",
+                 val.c_str(), flag);
+    std::exit(usage());
+  }
+  return *x;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  std::string out_path;
+  int sched_workers = 1;
+  bool include_timing = true;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--no-timing") {
+      include_timing = false;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--help") {
+      return usage();
+    } else if (a == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--sched-workers" && i + 1 < argc) {
+      sched_workers = parse_int_arg("--sched-workers", argv[++i]);
+    } else {
+      std::fprintf(stderr, "ccg_batch: unknown or incomplete flag '%s'\n",
+                   a.c_str());
+      return usage();
+    }
+  }
+  if (manifest_path.empty()) return usage();
+
+  ccg::svc::Manifest manifest;
+  try {
+    manifest = manifest_path == "-"
+                   ? ccg::svc::parse_manifest(std::cin)
+                   : ccg::svc::parse_manifest_file(manifest_path);
+  } catch (const ccg::svc::ManifestError& e) {
+    std::fprintf(stderr, "ccg_batch: manifest error: %s\n", e.what());
+    return 2;
+  }
+
+  ccg::svc::BatchOptions opt;
+  opt.sched_workers = sched_workers;
+  const auto report = ccg::svc::run_batch(manifest, opt);
+  const auto json = ccg::svc::report_json(manifest, report, include_timing);
+
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream f(out_path);
+    if (!f) {
+      std::fprintf(stderr, "ccg_batch: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    f << json;
+  }
+
+  int ok = 0;
+  for (const auto& jr : report.jobs) ok += jr.ok ? 1 : 0;
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "ccg_batch: %d/%zu jobs ok, %d instance(s), "
+                 "%d scheduler worker(s), %.1f jobs/sec\n",
+                 ok, report.jobs.size(), report.num_instances,
+                 report.sched_workers, report.jobs_per_sec);
+  }
+  return ok == static_cast<int>(report.jobs.size()) ? 0 : 1;
+}

@@ -12,13 +12,24 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
+#include <stdexcept>
 #include <string>
 
 #include "ccg/ccg.hpp"
+#include "common/parse.hpp"
 
 namespace {
 
 using namespace ccg;
+
+// Raised for malformed command lines (unknown flag, non-numeric value,
+// unknown generator/layout name); main turns it into usage() + exit 2
+// instead of an uncaught-exception abort.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::map<std::string, std::string> kv;
@@ -30,13 +41,34 @@ struct Args {
   }
   int num(const std::string& k, int dflt) const {
     const auto it = kv.find(k);
-    return it == kv.end() ? dflt : std::stoi(it->second);
+    if (it == kv.end()) return dflt;
+    const auto x = parse_int_strict(it->second);
+    if (!x) {
+      throw UsageError("invalid integer '" + it->second + "' for --" + k);
+    }
+    return *x;
   }
   double real(const std::string& k, double dflt) const {
     const auto it = kv.find(k);
-    return it == kv.end() ? dflt : std::stod(it->second);
+    if (it == kv.end()) return dflt;
+    const auto x = parse_double_strict(it->second);
+    if (!x) {
+      throw UsageError("invalid number '" + it->second + "' for --" + k);
+    }
+    return *x;
   }
 };
+
+// Every flag the CLI understands; anything else is rejected up front so a
+// typo ("--thread 4") fails loudly instead of being silently ignored.
+const std::set<std::string> kValueFlags = {
+    "gen",     "n",     "m",       "p",        "avg-deg",
+    "gamma",   "cliques", "size",  "bridges",  "delta",
+    "ext",     "anti",  "sparse",  "w",        "h",
+    "layout",  "cluster-size",     "links-per-edge",
+    "distance", "finisher", "threads", "seed"};
+const std::set<std::string> kBoolFlags = {"verbose", "repsets",
+                                          "edge-coloring", "help"};
 
 int usage() {
   std::fprintf(
@@ -56,6 +88,10 @@ int usage() {
   return 2;
 }
 
+// Generator dispatch for the CLI's flag surface. svc::build_job_graph
+// (src/svc/manifest.cpp) dispatches the same generator names for batch
+// manifests but with its own documented defaults — keep the name sets in
+// sync when adding a generator.
 graph::Graph build_graph(const Args& a, Rng& rng) {
   const auto gen = a.str("gen", "gnm");
   if (gen == "gnm") {
@@ -85,15 +121,13 @@ graph::Graph build_graph(const Args& a, Rng& rng) {
   }
   if (gen == "grid") return graph::grid(a.num("w", 30), a.num("h", 30));
   if (gen == "cycle") return graph::cycle(a.num("n", 1000));
-  CCG_CHECK_MSG(false, "unknown generator " << gen);
+  throw UsageError("unknown generator '" + gen + "'");
 }
 
 cluster::ClusterShape parse_shape(const std::string& s) {
-  if (s == "star") return cluster::ClusterShape::kStar;
-  if (s == "path") return cluster::ClusterShape::kPath;
-  if (s == "tree") return cluster::ClusterShape::kRandomTree;
-  if (s == "bridge") return cluster::ClusterShape::kBridgePath;
-  CCG_CHECK_MSG(false, "unknown layout " << s);
+  const auto shape = svc::layout_shape(s);  // shared name table (src/svc)
+  if (!shape) throw UsageError("unknown layout '" + s + "'");
+  return *shape;
 }
 
 void print_json(const color::Result& res, int n, int machines, int dilation,
@@ -116,24 +150,7 @@ void print_json(const color::Result& res, int n, int machines, int dilation,
   std::printf("}\n");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args args;
-  for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    if (std::strncmp(a, "--", 2) != 0) return usage();
-    const std::string key(a + 2);
-    if (key == "verbose" || key == "repsets" || key == "edge-coloring") {
-      args.kv[key] = "1";
-    } else if (i + 1 < argc) {
-      args.kv[key] = argv[++i];
-    } else {
-      return usage();
-    }
-  }
-  if (args.has("help") || !args.has("gen")) return usage();
-
+int run(const Args& args) {
   const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
   Rng rng(seed);
   const auto g = build_graph(args, rng);
@@ -143,6 +160,9 @@ int main(int argc, char** argv) {
   const int threads = args.num("threads", 1);
   auto params = color::Params::defaults_for(g.n(), seed + 1);
   const auto fin = args.str("finisher", "randomized");
+  if (fin != "randomized" && fin != "linial" && fin != "gk") {
+    throw UsageError("unknown finisher '" + fin + "'");
+  }
   params.finisher = fin == "linial" ? color::Params::Finisher::kLinial
                     : fin == "gk"
                         ? color::Params::Finisher::kGhaffariKuhn
@@ -193,4 +213,41 @@ int main(int argc, char** argv) {
   }
   print_json(res, g.n(), cg.n_machines(), cg.dilation(), 1);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--", 2) != 0 || a[2] == '\0') {
+      std::fprintf(stderr, "ccg_cli: expected --flag, got '%s'\n", a);
+      return usage();
+    }
+    const std::string key(a + 2);
+    if (kBoolFlags.count(key) > 0) {
+      args.kv[key] = "1";
+    } else if (kValueFlags.count(key) > 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ccg_cli: --%s needs a value\n", key.c_str());
+        return usage();
+      }
+      args.kv[key] = argv[++i];
+    } else {
+      std::fprintf(stderr, "ccg_cli: unknown flag --%s\n", key.c_str());
+      return usage();
+    }
+  }
+  if (args.has("help") || !args.has("gen")) return usage();
+
+  // Malformed values and unknown generator/layout/finisher names surface
+  // as UsageError -> usage + exit 2. Algorithm contract violations keep
+  // aborting loudly (they are bugs, not CLI mistakes).
+  try {
+    return run(args);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "ccg_cli: %s\n", e.what());
+    return usage();
+  }
 }

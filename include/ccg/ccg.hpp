@@ -39,3 +39,5 @@
 #include "net/ledger.hpp"
 #include "sketch/approx_count.hpp"
 #include "sketch/fingerprint.hpp"
+#include "svc/manifest.hpp"
+#include "svc/service.hpp"

@@ -39,6 +39,15 @@ class Runtime {
   Runtime(const ClusterGraph& cg, net::Ledger& ledger)
       : cg_(&cg), ledger_(&ledger), delta_(cg.h().max_degree()) {}
 
+  // Point the runtime at a different (cluster graph, ledger) pair. The
+  // batch service (src/svc/) keeps one Runtime per worker slot and
+  // rebinds it per job: no members own storage, so this never allocates.
+  void rebind(const ClusterGraph& cg, net::Ledger& ledger) {
+    cg_ = &cg;
+    ledger_ = &ledger;
+    delta_ = cg.h().max_degree();
+  }
+
   const ClusterGraph& cg() const { return *cg_; }
   const graph::Graph& h() const { return cg_->h(); }
   net::Ledger& ledger() { return *ledger_; }

@@ -30,6 +30,40 @@ int Coloring::uncolored_neighbors(const graph::Graph& h, int v,
   return static_cast<int>(out->size());
 }
 
+void State::reset(cluster::Runtime& runtime, const Params& p) {
+  rt = &runtime;
+  params = p;
+  const int n = runtime.h().n();
+  phi.reset(n);
+  // Dense structure back to the all-sparse post-construction shape.
+  // clear() keeps each vector's capacity; the members' inner vectors are
+  // released, but only the pipeline path fills them and it reallocates
+  // them per run regardless (compute_acd returns fresh vectors).
+  dc.acd.clique_of.assign(static_cast<std::size_t>(n), -1);
+  dc.acd.num_cliques = 0;
+  dc.acd.degree_est.clear();
+  dc.acd.members.clear();
+  dc.info.ext_est.clear();
+  dc.info.clique_size.clear();
+  dc.info.avg_ext_est.clear();
+  dc.info.is_cabal.clear();
+  dc.ell = 0;
+  dc.reserved.clear();
+  dc.reserved_cap = 0;
+  palettes.clear();
+  rng = Rng(p.seed);
+  scratch.ensure_vertices(n);
+  if (par->workers() != exec::ThreadPool::resolve(p.threads)) {
+    par = std::make_unique<exec::ParallelRound>(p.threads);
+  }
+  scratch.ensure_workers(par->workers());
+  wscratch.ensure_workers(par->workers());
+  fallback_count = 0;
+  retry_count = 0;
+  trial_round_ = 0;
+  trial_base_ = mix64(mix64(p.seed ^ kStreamRngTag) ^ trial_round_);
+}
+
 void State::assign(int v, int c) {
   phi.set(v, c);
   const int k = dc.clique_of(v);
@@ -108,14 +142,15 @@ int fallback_finish(State& st, const std::vector<int>& vertices) {
   auto& sc = st.scratch;
   auto& par = *st.par;
   sc.ensure_vertices(h.n());
-  std::vector<int> todo;
+  auto& todo = sc.fb_todo;  // claimed with the vertex marks for the run
+  todo.clear();
   for (const int v : vertices) {
     if (!st.phi.colored(v)) todo.push_back(v);
   }
   int colored_here = 0;
   sc.begin_vertex_marks();  // marks = participating vertices
   for (const int v : todo) sc.mark_vertex(v);
-  std::vector<int> next;
+  auto& next = sc.fb_next;
   while (!todo.empty()) {
     for (int w = 0; w < par.workers(); ++w) {
       st.wscratch.at(w).adopted.clear();

@@ -35,6 +35,10 @@ class Coloring {
   }
   void unset(int v) { color_[static_cast<std::size_t>(v)] = kUncolored; }
 
+  // Drop every assignment and resize to n vertices. Capacity persists, so
+  // repeated resets at or below the high-water n are allocation-free.
+  void reset(int n) { color_.assign(static_cast<std::size_t>(n), kUncolored); }
+
   const std::vector<int>& vec() const { return color_; }
 
   // True iff some neighbor of v in h is colored c. This is information a
@@ -109,6 +113,16 @@ struct State {
     trial_base_ = mix64(mix64(p.seed ^ kStreamRngTag) ^ trial_round_);
   }
 
+  // Rearm this state for a fresh run, possibly on a different runtime /
+  // instance: the batch service (src/svc/) keeps one State per scheduler
+  // worker and resets it between jobs instead of reconstructing it. All
+  // scratch keeps its high-water capacity and the round-engine pool is
+  // kept whenever the worker count is unchanged, so steady-state resets
+  // perform zero heap allocations. Behavior after reset(rt2, p2) is
+  // bit-identical to a freshly constructed State(rt2, p2): the trial-round
+  // counter restarts at 0 and the RNG is reseeded from p2.seed.
+  void reset(cluster::Runtime& runtime, const Params& p);
+
   // ---- counter-based draw streams for parallelized rounds ----
   //
   // Each synchronized round calls bump_trial_round() once; every
@@ -169,7 +183,8 @@ struct State {
 // colored this way. Returns the number of vertices it colored.
 // Deterministic (no randomness); rounds run as verdict (parallel shards)
 // -> commit (sequential), bit-identical for every Params::threads value.
-// Claims the vertex marks of st.scratch for its whole run.
+// Claims the vertex marks and fb_todo/fb_next worklists of st.scratch for
+// its whole run; zero heap allocations in steady state.
 int fallback_finish(State& st, const std::vector<int>& vertices);
 
 }  // namespace ccg::color

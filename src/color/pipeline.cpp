@@ -374,26 +374,26 @@ Result finalize_result(State& st) {
   return res;
 }
 
-Result color_high_degree(cluster::Runtime& rt, const Params& params) {
-  State st(rt, params);
+void run_high_degree(State& st) {
+  auto& ledger = st.rt->ledger();
   {
-    net::PhaseScope p(rt.ledger(), "1-acd");
+    net::PhaseScope p(ledger, "1-acd");
     build_dense_context(st);
   }
   {
-    net::PhaseScope p(rt.ledger(), "2-slack-generation");
+    net::PhaseScope p(ledger, "2-slack-generation");
     slack_generation(st);
   }
   {
-    net::PhaseScope p(rt.ledger(), "3-sparse");
+    net::PhaseScope p(ledger, "3-sparse");
     coloring_sparse(st);
   }
   {
-    net::PhaseScope p(rt.ledger(), "4-noncabals");
+    net::PhaseScope p(ledger, "4-noncabals");
     coloring_noncabals(st);
   }
   {
-    net::PhaseScope p(rt.ledger(), "5-cabals");
+    net::PhaseScope p(ledger, "5-cabals");
     coloring_cabals(st);
   }
   // Safety net: should be a no-op.
@@ -402,6 +402,11 @@ Result color_high_degree(cluster::Runtime& rt, const Params& params) {
   fallback_finish(st, all);
 
   cluster::check_proper_total(st.h(), st.phi.vec(), st.num_colors());
+}
+
+Result color_high_degree(cluster::Runtime& rt, const Params& params) {
+  State st(rt, params);
+  run_high_degree(st);
   return finalize_result(st);
 }
 

@@ -48,6 +48,15 @@ void coloring_cabals(State& st);
 // Delta >= params.delta_low(n).
 Result color_high_degree(cluster::Runtime& rt, const Params& params);
 
+// State-reuse form of color_high_degree: runs the same phase sequence
+// (incl. the safety net and the properness check) on a caller-provided
+// state. `st` must be freshly constructed or State::reset — this is the
+// serving path of the batch service (src/svc/), which keeps one State per
+// scheduler worker and resets it between jobs. Read results off st (phi,
+// fallback_count, the runtime's ledger) or via finalize_result(st);
+// color_high_degree(rt, params) is exactly State + run + finalize.
+void run_high_degree(State& st);
+
 // Collects ledger totals + structural counts from a finished state.
 Result finalize_result(State& st);
 

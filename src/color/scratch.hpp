@@ -230,6 +230,11 @@ class TrialScratch {
   std::vector<int> tmp_ints;  // short-lived id lists
   std::vector<int> tmp_ext;   // external-neighbor lists
   std::vector<int> verdicts;  // per-position adopt color / -1 (commit input)
+  // fallback_finish worklists (dedicated: the safety net may run while a
+  // phase still holds tmp_ints). Reuse makes the fallback — and with it
+  // the service's fast serving path — allocation-free in steady state.
+  std::vector<int> fb_todo;
+  std::vector<int> fb_next;
 
   // Fingerprint-matching scratch (Algorithm 7): flat |K| x k_trials
   // matrices plus the per-trial and per-member flag arrays that replaced

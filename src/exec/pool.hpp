@@ -16,6 +16,7 @@
 // first, so the surfaced error is deterministic too.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -52,10 +53,27 @@ class ThreadPool {
   // thread executes chunk 0.
   void for_shards(std::int64_t total, RawShardFn fn, void* ctx);
 
-  // Convenience overload for std::function callers (tests, one-off
+  // Dynamic counterpart of for_shards: workers repeatedly claim the next
+  // single index of [0, total) from a shared cursor and run
+  // fn(ctx, w, i, i+1). Use when per-item costs vary wildly (whole
+  // coloring jobs in the batch service) and static chunking would leave
+  // workers idle. Which worker runs which index is timing-dependent, so
+  // callers must keep results independent of the assignment (index-keyed
+  // output slots, no cross-item shared mutable state).
+  void for_dynamic(std::int64_t total, RawShardFn fn, void* ctx);
+
+  // Convenience overloads for std::function callers (tests, one-off
   // call sites where the per-call allocation does not matter).
   void for_shards(std::int64_t total, const ShardFn& fn) {
     for_shards(
+        total,
+        [](void* ctx, int w, std::int64_t b, std::int64_t e) {
+          (*static_cast<const ShardFn*>(ctx))(w, b, e);
+        },
+        const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+  void for_dynamic(std::int64_t total, const ShardFn& fn) {
+    for_dynamic(
         total,
         [](void* ctx, int w, std::int64_t b, std::int64_t e) {
           (*static_cast<const ShardFn*>(ctx))(w, b, e);
@@ -68,6 +86,7 @@ class ThreadPool {
 
  private:
   void worker_loop(int w);
+  void run_dynamic(int w, RawShardFn fn, void* ctx, std::int64_t total);
 
   int workers_ = 1;
   std::vector<std::thread> threads_;
@@ -81,6 +100,8 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   int pending_ = 0;
   bool stop_ = false;
+  bool dynamic_ = false;
+  std::atomic<std::int64_t> cursor_{0};
   std::vector<std::exception_ptr> errors_;
 };
 

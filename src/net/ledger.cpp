@@ -17,6 +17,18 @@ void Ledger::accrue(PhaseCost& pc, std::int64_t h, std::int64_t g,
       std::max(pc.max_bits_per_link_round, link_round_bits);
 }
 
+void Ledger::reset(int bandwidth_bits) {
+  CCG_CHECK(bandwidth_bits >= 1);
+  bandwidth_ = bandwidth_bits;
+  totals_.h_rounds = 0;
+  totals_.g_rounds = 0;
+  totals_.total_bits = 0;
+  totals_.max_message_bits = 0;
+  totals_.max_bits_per_link_round = 0;
+  open_phases_.clear();
+  closed_phases_.clear();
+}
+
 void Ledger::charge(int depth, int message_bits, std::int64_t total_bits) {
   CCG_CHECK(depth >= 1 && message_bits >= 0);
   const std::int64_t chunks =

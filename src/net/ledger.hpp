@@ -45,6 +45,12 @@ class Ledger {
 
   int bandwidth() const { return bandwidth_; }
 
+  // Rearm the ledger for a fresh run: zero every total, drop all phase
+  // records, adopt the new bandwidth. Vector capacity survives, so a
+  // serving loop that resets between jobs (src/svc/) performs no heap
+  // allocation here once phases have reached their high-water count.
+  void reset(int bandwidth_bits);
+
   // Charge one H-round: depth = G-hops traversed by the slowest cluster
   // (support-tree depth, or 1 for pure inter-cluster exchange);
   // message_bits = largest per-link logical message; total_bits = optional

@@ -1,0 +1,338 @@
+#include "svc/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/parse.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace ccg::svc {
+
+namespace {
+
+// Round tag of the per-job seed stream (see common/rng.hpp stream_rng):
+// entity = job index, so every job owns an independent stream regardless
+// of scheduling.
+constexpr std::uint64_t kJobSeedRound = 0x6A6F6273ULL;  // "jobs"
+
+[[noreturn]] void fail(int lineno, const std::string& what) {
+  std::ostringstream os;
+  os << "line " << lineno << ": " << what;
+  throw ManifestError(os.str());
+}
+
+std::int64_t parse_i64(int lineno, const std::string& flag,
+                       const std::string& val) {
+  const auto x = parse_i64_strict(val);
+  if (!x) fail(lineno, "invalid number '" + val + "' for --" + flag);
+  return *x;
+}
+
+int parse_int(int lineno, const std::string& flag, const std::string& val) {
+  const auto x = parse_int_strict(val);
+  if (!x) fail(lineno, "invalid number '" + val + "' for --" + flag);
+  return *x;
+}
+
+std::uint64_t parse_u64(int lineno, const std::string& flag,
+                        const std::string& val) {
+  const auto x = parse_u64_strict(val);
+  if (!x) fail(lineno, "invalid seed '" + val + "' for --" + flag);
+  return *x;
+}
+
+double parse_real(int lineno, const std::string& flag,
+                  const std::string& val) {
+  const auto x = parse_double_strict(val);
+  if (!x) fail(lineno, "invalid number '" + val + "' for --" + flag);
+  return *x;
+}
+
+bool known_gen(const std::string& g) {
+  return g == "gnm" || g == "gnp" || g == "chunglu" || g == "caveman" ||
+         g == "planted" || g == "grid" || g == "cycle";
+}
+
+std::int64_t gnm_m(const GenArgs& a) {
+  return a.m >= 0 ? a.m : static_cast<std::int64_t>(a.n) * 8;
+}
+
+std::string fmt_real(double v) {
+  // Shortest round-trip-exact form: distinct real-valued recipe args must
+  // never alias to one cache key ("%g" would quantize to 6 digits).
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Parses one `job` line (tokens after the `job` head) into `repeat`
+// expanded specs appended to m.jobs.
+void parse_job_line(const std::vector<std::string>& toks, int lineno,
+                    int default_threads, int default_repeat, Manifest* m) {
+  JobSpec job;
+  job.threads = default_threads;
+  job.graph_seed = m->seed;
+  int repeat = default_repeat;
+  auto& a = job.gargs;
+
+  for (std::size_t i = 0; i < toks.size();) {
+    const std::string& t = toks[i];
+    if (t.size() < 3 || t.rfind("--", 0) != 0) {
+      fail(lineno, "expected --flag, got '" + t + "'");
+    }
+    const std::string key = t.substr(2);
+    if (key == "oracle") {
+      job.oracle = true;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= toks.size()) fail(lineno, "--" + key + " needs a value");
+    const std::string& val = toks[i + 1];
+    i += 2;
+
+    if (key == "gen") {
+      if (!known_gen(val)) fail(lineno, "unknown generator '" + val + "'");
+      job.gen = val;
+      job.dimacs.clear();
+    } else if (key == "dimacs") {
+      job.dimacs = val;
+    } else if (key == "layout") {
+      if (!known_layout_name(val)) {
+        fail(lineno, "unknown layout '" + val + "'");
+      }
+      job.layout = val;
+    } else if (key == "algo") {
+      if (val == "auto") {
+        job.algo = Algo::kAuto;
+      } else if (val == "fast") {
+        job.algo = Algo::kFast;
+      } else {
+        fail(lineno, "unknown algo '" + val + "' (auto|fast)");
+      }
+    } else if (key == "n") {
+      a.n = parse_int(lineno, key, val);
+    } else if (key == "m") {
+      a.m = parse_i64(lineno, key, val);
+    } else if (key == "p") {
+      a.p = parse_real(lineno, key, val);
+    } else if (key == "avg-deg") {
+      a.avg_deg = parse_real(lineno, key, val);
+    } else if (key == "gamma") {
+      a.gamma = parse_real(lineno, key, val);
+    } else if (key == "cliques") {
+      a.cliques = parse_int(lineno, key, val);
+    } else if (key == "size") {
+      a.size = parse_int(lineno, key, val);
+    } else if (key == "bridges") {
+      a.bridges = parse_int(lineno, key, val);
+    } else if (key == "delta") {
+      a.delta = parse_int(lineno, key, val);
+    } else if (key == "ext") {
+      a.ext = parse_int(lineno, key, val);
+    } else if (key == "anti") {
+      a.anti = parse_int(lineno, key, val);
+    } else if (key == "sparse") {
+      a.sparse = parse_int(lineno, key, val);
+    } else if (key == "w") {
+      a.w = parse_int(lineno, key, val);
+    } else if (key == "h") {
+      a.h = parse_int(lineno, key, val);
+    } else if (key == "cluster-size") {
+      job.cluster_size = parse_int(lineno, key, val);
+      if (job.cluster_size < 1) fail(lineno, "--cluster-size must be >= 1");
+    } else if (key == "links-per-edge") {
+      job.links_per_edge = parse_int(lineno, key, val);
+      if (job.links_per_edge < 1) {
+        fail(lineno, "--links-per-edge must be >= 1");
+      }
+    } else if (key == "graph-seed") {
+      job.graph_seed = parse_u64(lineno, key, val);
+    } else if (key == "threads") {
+      job.threads = parse_int(lineno, key, val);
+    } else if (key == "seed") {
+      job.params_seed = parse_u64(lineno, key, val);
+      job.explicit_seed = true;
+    } else if (key == "repeat") {
+      repeat = parse_int(lineno, key, val);
+      if (repeat < 1) fail(lineno, "--repeat must be >= 1");
+    } else if (key == "eps") {
+      job.eps = parse_real(lineno, key, val);
+      if (job.eps <= 0) fail(lineno, "--eps must be > 0");
+    } else {
+      fail(lineno, "unknown flag --" + key);
+    }
+  }
+
+  for (int r = 0; r < repeat; ++r) {
+    JobSpec j = job;
+    j.index = static_cast<int>(m->jobs.size());
+    // Explicit seeds step by repeat ordinal so repeats still differ;
+    // derived seeds are filled in finalize_job_seeds.
+    if (j.explicit_seed) {
+      j.params_seed = job.params_seed + static_cast<std::uint64_t>(r);
+    }
+    j.key = instance_key(j);
+    m->jobs.push_back(std::move(j));
+  }
+}
+
+}  // namespace
+
+bool known_layout_name(const std::string& layout) {
+  return layout == "singleton" || layout_shape(layout).has_value();
+}
+
+std::optional<cluster::ClusterShape> layout_shape(const std::string& layout) {
+  if (layout == "star") return cluster::ClusterShape::kStar;
+  if (layout == "path") return cluster::ClusterShape::kPath;
+  if (layout == "tree") return cluster::ClusterShape::kRandomTree;
+  if (layout == "bridge") return cluster::ClusterShape::kBridgePath;
+  return std::nullopt;
+}
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kAuto:
+      return "auto";
+    case Algo::kFast:
+      return "fast";
+  }
+  return "?";
+}
+
+std::uint64_t derive_job_seed(std::uint64_t manifest_seed, int job_index) {
+  return stream_rng(manifest_seed, kJobSeedRound,
+                    static_cast<std::uint64_t>(job_index))
+      .next_u64();
+}
+
+void finalize_job_seeds(Manifest& m) {
+  for (auto& job : m.jobs) {
+    if (!job.explicit_seed) {
+      job.params_seed = derive_job_seed(m.seed, job.index);
+    }
+  }
+}
+
+std::string instance_key(const JobSpec& j) {
+  std::ostringstream os;
+  const auto& a = j.gargs;
+  // `random` tracks whether the recipe consumes graph_seed bits at all;
+  // deterministic recipes share a cache entry across seeds.
+  bool random = true;
+  if (!j.dimacs.empty()) {
+    os << "dimacs=" << j.dimacs;
+    random = false;
+  } else if (j.gen == "gnm") {
+    os << "gnm n=" << a.n << " m=" << gnm_m(a);
+  } else if (j.gen == "gnp") {
+    os << "gnp n=" << a.n << " p=" << fmt_real(a.p);
+  } else if (j.gen == "chunglu") {
+    os << "chunglu n=" << a.n << " avg-deg=" << fmt_real(a.avg_deg)
+       << " gamma=" << fmt_real(a.gamma);
+  } else if (j.gen == "caveman") {
+    os << "caveman cliques=" << a.cliques << " size=" << a.size
+       << " bridges=" << a.bridges;
+  } else if (j.gen == "planted") {
+    os << "planted delta=" << a.delta << " cliques=" << a.cliques
+       << " ext=" << a.ext << " anti=" << a.anti << " sparse=" << a.sparse;
+  } else if (j.gen == "grid") {
+    os << "grid w=" << a.w << " h=" << a.h;
+    random = false;
+  } else {  // cycle
+    os << "cycle n=" << a.n;
+    random = false;
+  }
+  os << " layout=" << j.layout;
+  if (j.layout != "singleton") {
+    os << " cs=" << j.cluster_size << " lpe=" << j.links_per_edge;
+    random = true;  // cluster expansion draws from the graph seed too
+  }
+  if (random) os << " gseed=" << j.graph_seed;
+  return os.str();
+}
+
+graph::Graph build_job_graph(const JobSpec& j, Rng& rng) {
+  const auto& a = j.gargs;
+  if (!j.dimacs.empty()) return graph::read_dimacs_file(j.dimacs);
+  if (j.gen == "gnm") return graph::gnm(a.n, gnm_m(a), rng);
+  if (j.gen == "gnp") return graph::gnp(a.n, a.p, rng);
+  if (j.gen == "chunglu") {
+    return graph::chung_lu(a.n, a.avg_deg, a.gamma, rng);
+  }
+  if (j.gen == "caveman") {
+    return graph::caveman(a.cliques, a.size, a.bridges, rng);
+  }
+  if (j.gen == "planted") {
+    graph::PlantedSpec spec;
+    spec.delta = a.delta;
+    spec.num_cliques = a.cliques;
+    spec.anti_deg = a.anti;
+    spec.external_deg = a.ext;
+    spec.num_sparse = a.sparse;
+    spec.sparse_avg_deg = a.delta * 0.25;
+    return graph::make_planted_acd(spec, rng).g;
+  }
+  if (j.gen == "grid") return graph::grid(a.w, a.h);
+  return graph::cycle(a.n);  // parse validated the generator set
+}
+
+Manifest parse_manifest(std::istream& in) {
+  Manifest m;
+  int default_threads = 1;
+  int default_repeat = 1;
+  std::string line;
+  int lineno = 0;
+  std::vector<std::string> toks;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    toks.clear();
+    std::istringstream ls(line);
+    std::string tok;
+    while (ls >> tok) toks.push_back(tok);
+    if (toks.empty()) continue;
+    const std::string& head = toks.front();
+    if (head == "seed") {
+      if (toks.size() != 2) fail(lineno, "usage: seed <u64>");
+      // Graph seeds snapshot the manifest seed per job line, while the
+      // derived params seeds (finalize_job_seeds) use the final value; a
+      // late `seed` would make the two silently disagree, so require it
+      // before any job.
+      if (!m.jobs.empty()) {
+        fail(lineno, "seed must precede every job line");
+      }
+      m.seed = parse_u64(lineno, "seed", toks[1]);
+    } else if (head == "threads") {
+      if (toks.size() != 2) fail(lineno, "usage: threads <int>");
+      default_threads = parse_int(lineno, "threads", toks[1]);
+    } else if (head == "repeat") {
+      if (toks.size() != 2) fail(lineno, "usage: repeat <int>");
+      default_repeat = parse_int(lineno, "repeat", toks[1]);
+      if (default_repeat < 1) fail(lineno, "repeat must be >= 1");
+    } else if (head == "job") {
+      parse_job_line({toks.begin() + 1, toks.end()}, lineno,
+                     default_threads, default_repeat, &m);
+    } else {
+      fail(lineno, "unknown directive '" + head +
+                       "' (seed|threads|repeat|job)");
+    }
+  }
+  finalize_job_seeds(m);
+  return m;
+}
+
+Manifest parse_manifest_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_manifest(in);
+}
+
+Manifest parse_manifest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ManifestError("cannot open manifest file: " + path);
+  return parse_manifest(in);
+}
+
+}  // namespace ccg::svc

@@ -1,0 +1,143 @@
+// Job manifests for the batch coloring service (src/svc/service.hpp).
+//
+// A manifest is a line-based text description of a stream of coloring
+// jobs — the serving shape of real (Delta+1)-coloring deployments
+// (frequency allocation, TDMA slots, maintenance windows): many
+// small-to-medium instances, not one giant one.
+//
+//   # comment; blank lines ignored; '#' starts a comment anywhere
+//   seed 42          # manifest seed (default 1); must precede job lines
+//   threads 2        # default intra-job Params::threads for later jobs
+//   repeat 4         # default expansion count for later job lines
+//   job --gen gnm --n 2000 --m 16000 --layout star --cluster-size 4
+//   job --gen planted --delta 128 --cliques 4 --ext 12 --algo fast
+//   job --dimacs graphs/queen8_8.col --threads 1 --repeat 1
+//
+// Job flags: --gen {gnm|gnp|chunglu|caveman|planted|grid|cycle} or
+// --dimacs <path>; generator args --n --m --p --avg-deg --gamma
+// --cliques --size --bridges --delta --ext --anti --sparse --w --h;
+// --layout {singleton|star|path|tree|bridge} --cluster-size --links-per-edge;
+// --graph-seed (instance identity; default: current manifest seed);
+// --algo {auto|fast}; --threads; --repeat; --seed (explicit params seed);
+// --eps; --oracle (exact-oracle ACD + unmeasured bits, the bench
+// calibration for large batches).
+//
+// Each `job` line expands into `repeat` jobs. Every expanded job gets a
+// manifest-order index, and — unless --seed pins it — its coloring seed is
+// derived from the counter-based stream RNG keyed on (manifest seed, job
+// index) (common/rng.hpp). Seeds therefore never depend on which scheduler
+// worker runs the job, in what order, or at what intra-job thread count:
+// the whole batch output is bit-identical for every configuration.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_graph.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ccg::svc {
+
+// Which algorithm serves the job.
+enum class Algo {
+  // Dispatch by Delta between the Theorem 1.2 / Theorem 1.1 pipelines
+  // (lowdeg::color_cluster_graph semantics), with state reuse on the
+  // high-degree path.
+  kAuto,
+  // Randomized list coloring: TryColor rounds + deterministic fallback.
+  // The cheap serving mode for small/medium instances; runs entirely on
+  // reused slot state — zero heap allocations per job after warmup.
+  kFast,
+};
+
+const char* algo_name(Algo a);
+
+// Generator arguments (subset of examples/ccg_cli.cpp's surface).
+struct GenArgs {
+  int n = 2000;            // gnm / gnp / chunglu / cycle
+  std::int64_t m = -1;     // gnm; -1 -> 8n
+  double p = 0.01;         // gnp
+  double avg_deg = 16.0;   // chunglu
+  double gamma = 2.5;      // chunglu
+  int cliques = 4;         // caveman / planted
+  int size = 24;           // caveman
+  int bridges = 2;         // caveman
+  int delta = 128;         // planted
+  int ext = 12;            // planted
+  int anti = 2;            // planted
+  int sparse = 0;          // planted
+  int w = 30;              // grid
+  int h = 30;              // grid
+};
+
+// One expanded job.
+struct JobSpec {
+  int index = 0;     // manifest order; keys the per-job seed stream
+  std::string key;   // canonical instance identity (cache key)
+
+  // Instance recipe. `dimacs` non-empty selects DIMACS input; otherwise
+  // `gen` names a generator.
+  std::string gen = "gnm";
+  std::string dimacs;
+  GenArgs gargs;
+  std::string layout = "singleton";
+  int cluster_size = 4;
+  int links_per_edge = 1;
+  std::uint64_t graph_seed = 1;
+
+  // Execution.
+  Algo algo = Algo::kAuto;
+  int threads = 1;                 // intra-job Params::threads
+  std::uint64_t params_seed = 0;   // filled by finalize_job_seeds
+  bool explicit_seed = false;      // --seed pinned params_seed
+  double eps = -1.0;               // <0: keep Params default
+  bool oracle = false;             // exact-oracle ACD + unmeasured bits
+};
+
+struct Manifest {
+  std::uint64_t seed = 1;
+  std::vector<JobSpec> jobs;
+};
+
+// Parse errors carry "line N: ..." messages.
+class ManifestError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+Manifest parse_manifest(std::istream& in);
+Manifest parse_manifest_string(const std::string& text);
+Manifest parse_manifest_file(const std::string& path);  // throws on I/O too
+
+// Per-job coloring seed: a pure function of (manifest seed, job index)
+// through the counter-based stream RNG, so any scheduler assignment
+// reproduces the same bits.
+std::uint64_t derive_job_seed(std::uint64_t manifest_seed, int job_index);
+
+// Fills params_seed for every job that has no explicit seed. parse_manifest
+// calls this; programmatic manifest builders (benches, tests) must call it
+// after assembling `jobs`.
+void finalize_job_seeds(Manifest& m);
+
+// Canonical instance key of a job's recipe (jobs sharing a key share one
+// prepared instance). parse_manifest fills JobSpec::key with this.
+std::string instance_key(const JobSpec& job);
+
+// Layout-name helpers, the single source of truth for the manifest
+// parser, the instance builder, and the CLIs. layout_shape returns the
+// cluster-expansion shape, or nullopt for "singleton" (no expansion) and
+// for unknown names — use known_layout_name to tell those apart.
+bool known_layout_name(const std::string& layout);
+std::optional<cluster::ClusterShape> layout_shape(const std::string& layout);
+
+// Build the job's conflict graph from its recipe. `rng` must be seeded
+// with the job's graph_seed; the service reuses it afterwards for cluster
+// expansion so the full instance is a function of (recipe, graph_seed).
+graph::Graph build_job_graph(const JobSpec& job, Rng& rng);
+
+}  // namespace ccg::svc

@@ -1,0 +1,309 @@
+#include "svc/service.hpp"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "cluster/validate.hpp"
+#include "color/pipeline.hpp"
+#include "color/primitives.hpp"
+#include "common/assert.hpp"
+#include "common/json.hpp"
+#include "exec/pool.hpp"
+#include "lowdeg/lowdeg.hpp"
+
+namespace ccg::svc {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double elapsed_ns(clock_type::time_point t0, clock_type::time_point t1) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+          .count());
+}
+
+color::Params job_params(const JobSpec& job, int n) {
+  auto params = color::Params::defaults_for(n, job.params_seed);
+  params.threads = job.threads;
+  if (job.eps > 0) params.eps = job.eps;
+  if (job.oracle) {
+    params.use_fingerprint_acd = false;
+    params.measure_bits = false;
+  }
+  return params;
+}
+
+}  // namespace
+
+void JobSlot::fast_color(color::State& st) {
+  // Randomized list coloring: TryColor rounds until a round makes no
+  // progress (uncolored degrees shrink geometrically, so this is
+  // O(log n)-ish rounds in practice), then the deterministic fallback
+  // finishes the stragglers. Proper (Delta+1)-coloring unconditionally.
+  // Every step runs on reused scratch: zero heap allocations once the
+  // slot's high-water capacity covers the instance.
+  const auto& h = st.h();
+  auto& s = verts_;
+  s.clear();
+  for (int v = 0; v < h.n(); ++v) s.push_back(v);
+  const auto sampler = color::uniform_sampler(st.num_colors(), 0);
+  while (!s.empty()) {
+    const int got = color::try_color_round(st, s, sampler, 0.5);
+    color::prune_colored(st, &s);
+    if (got == 0) break;
+  }
+  if (!s.empty()) color::fallback_finish(st, s);
+}
+
+void JobSlot::execute(const Instance& inst, const JobSpec& job,
+                      JobResult* out) {
+  const auto& h = inst.cg.h();
+  out->n = h.n();
+  const auto params = job_params(job, h.n());
+  const auto t0 = clock_type::now();
+
+  ledger_.reset(inst.bandwidth);
+  if (!rt_) {
+    rt_.emplace(inst.cg, ledger_);
+  } else {
+    rt_->rebind(inst.cg, ledger_);
+  }
+  out->delta = rt_->delta();
+  out->num_colors = rt_->delta() + 1;
+
+  if (job.algo == Algo::kFast ||
+      rt_->delta() >= params.delta_low(h.n())) {
+    // Slot-state path: reset-and-reuse instead of reconstructing.
+    if (!st_) {
+      st_ = std::make_unique<color::State>(*rt_, params);
+    } else {
+      st_->reset(*rt_, params);
+    }
+    if (job.algo == Algo::kFast) {
+      fast_color(*st_);
+    } else {
+      color::run_high_degree(*st_);
+      out->num_cliques = st_->dc.acd.num_cliques;
+      for (int k = 0; k < st_->dc.acd.num_cliques; ++k) {
+        if (st_->dc.info.is_cabal[static_cast<std::size_t>(k)]) {
+          ++out->num_cabals;
+        }
+      }
+    }
+    out->fallback_count = st_->fallback_count;
+    out->retry_count = st_->retry_count;
+    out->ok = cluster::is_proper_total(h, st_->phi.vec(), out->num_colors);
+    out->uncolored = out->ok ? 0 : cluster::count_uncolored(st_->phi.vec());
+  } else {
+    // Theorem 1.1 path: color_low_degree constructs its own state, so no
+    // reuse yet (ROADMAP open item); the ledger/runtime arena still
+    // applies.
+    const auto res = lowdeg::color_low_degree(*rt_, params);
+    out->fallback_count = res.fallback_count;
+    out->retry_count = res.retry_count;
+    out->num_cliques = res.num_cliques;
+    out->num_cabals = res.num_cabals;
+    out->ok = cluster::is_proper_total(h, res.colors, res.num_colors);
+    out->uncolored = out->ok ? 0 : cluster::count_uncolored(res.colors);
+  }
+  out->h_rounds = ledger_.h_rounds();
+  out->g_rounds = ledger_.g_rounds();
+  out->total_bits = ledger_.total_bits();
+  out->max_bits_per_link_round = ledger_.max_bits_per_link_round();
+  out->wall_ns = elapsed_ns(t0, clock_type::now());
+}
+
+void JobSlot::run(const Instance& inst, const JobSpec& job,
+                  JobResult* out) {
+  // Drivers reuse one JobResult across jobs; start from a clean slate so
+  // nothing (stale error text, dense-structure counts) leaks between
+  // jobs. JobResult owns no containers besides the (empty) error string,
+  // so this stays allocation-free.
+  *out = JobResult{};
+  out->index = job.index;
+  if (!inst.error.empty()) {
+    out->ok = false;
+    out->error = inst.error;
+    return;
+  }
+  try {
+    execute(inst, job, out);
+  } catch (const std::exception& e) {
+    out->ok = false;
+    out->error = e.what();
+  }
+}
+
+std::vector<Instance> prepare_instances(const Manifest& m,
+                                        std::vector<int>* instance_of) {
+  std::vector<Instance> instances;
+  std::unordered_map<std::string, int> by_key;
+  instance_of->assign(m.jobs.size(), -1);
+  for (std::size_t i = 0; i < m.jobs.size(); ++i) {
+    const auto& job = m.jobs[i];
+    const auto it = by_key.find(job.key);
+    if (it != by_key.end()) {
+      (*instance_of)[i] = it->second;
+      continue;
+    }
+    Instance inst;
+    inst.key = job.key;
+    try {
+      Rng rng(job.graph_seed);
+      auto g = build_job_graph(job, rng);
+      const auto shape = layout_shape(job.layout);
+      if (job.layout == "singleton") {
+        inst.cg = cluster::ClusterGraph::singleton(std::move(g));
+      } else if (shape) {
+        cluster::ExpandSpec spec;
+        spec.size = job.cluster_size;
+        spec.links_per_edge = job.links_per_edge;
+        spec.shape = *shape;
+        inst.cg = cluster::ClusterGraph::expand(g, spec, rng);
+      } else {
+        // parse_manifest validates this, but programmatic Manifest
+        // builders (tests, benches) bypass the parser — fail their jobs
+        // loudly instead of silently picking some shape.
+        throw ManifestError("unknown layout '" + job.layout + "'");
+      }
+      inst.bandwidth = inst.cg.default_bandwidth();
+    } catch (const std::exception& e) {
+      inst.error = e.what();
+    }
+    const int id = static_cast<int>(instances.size());
+    by_key.emplace(job.key, id);
+    instances.push_back(std::move(inst));
+    (*instance_of)[i] = id;
+  }
+  return instances;
+}
+
+BatchReport run_batch(const Manifest& m, const BatchOptions& opt) {
+  const auto t0 = clock_type::now();
+  BatchReport rep;
+  rep.manifest_seed = m.seed;
+  const int workers = exec::ThreadPool::resolve(opt.sched_workers);
+  rep.sched_workers = workers;
+
+  std::vector<int> instance_of;
+  const auto instances = prepare_instances(m, &instance_of);
+  rep.num_instances = static_cast<int>(instances.size());
+
+  const int num_jobs = static_cast<int>(m.jobs.size());
+  rep.jobs.assign(static_cast<std::size_t>(num_jobs), JobResult{});
+
+  std::vector<int> order;
+  if (opt.order.empty()) {
+    order.resize(static_cast<std::size_t>(num_jobs));
+    for (int i = 0; i < num_jobs; ++i) order[static_cast<std::size_t>(i)] = i;
+  } else {
+    CCG_CHECK_MSG(static_cast<int>(opt.order.size()) == num_jobs,
+                  "BatchOptions::order must cover every job");
+    std::vector<char> seen(static_cast<std::size_t>(num_jobs), 0);
+    for (const int i : opt.order) {
+      CCG_CHECK_MSG(i >= 0 && i < num_jobs && !seen[static_cast<std::size_t>(i)],
+                    "BatchOptions::order must be a permutation of [0, jobs)");
+      seen[static_cast<std::size_t>(i)] = 1;
+    }
+    order = opt.order;
+  }
+
+  std::vector<JobSlot> slots(static_cast<std::size_t>(workers));
+  const auto t1 = clock_type::now();
+  if (num_jobs > 0) {
+    struct Ctx {
+      const Manifest* m;
+      const std::vector<Instance>* instances;
+      const std::vector<int>* instance_of;
+      const std::vector<int>* order;
+      std::vector<JobSlot>* slots;
+      BatchReport* rep;
+    } ctx{&m, &instances, &instance_of, &order, &slots, &rep};
+    exec::ThreadPool pool(workers);
+    pool.for_dynamic(
+        num_jobs,
+        [](void* c, int w, std::int64_t b, std::int64_t) {
+          auto& ctx = *static_cast<Ctx*>(c);
+          const int ji = (*ctx.order)[static_cast<std::size_t>(b)];
+          const auto& job = ctx.m->jobs[static_cast<std::size_t>(ji)];
+          const int inst_id = (*ctx.instance_of)[static_cast<std::size_t>(ji)];
+          auto* out = &ctx.rep->jobs[static_cast<std::size_t>(ji)];
+          (*ctx.slots)[static_cast<std::size_t>(w)].run(
+              (*ctx.instances)[static_cast<std::size_t>(inst_id)], job, out);
+          out->instance = inst_id;  // after run(): run() resets *out
+        },
+        &ctx);
+  }
+  const auto t2 = clock_type::now();
+  rep.sched_wall_ns = elapsed_ns(t1, t2);
+  rep.wall_ns = elapsed_ns(t0, t2);
+  rep.jobs_per_sec = (num_jobs > 0 && rep.sched_wall_ns > 0)
+                         ? num_jobs * 1e9 / rep.sched_wall_ns
+                         : 0.0;
+  return rep;
+}
+
+std::string report_json(const Manifest& m, const BatchReport& r,
+                        bool include_timing) {
+  CCG_CHECK(m.jobs.size() == r.jobs.size());
+  JsonWriter j;
+  j.begin_object();
+  j.key("report").value("ccg_batch");
+  j.key("schema_version").value(1);
+  j.key("manifest_seed").value(r.manifest_seed);
+  j.key("num_jobs").value(static_cast<int>(r.jobs.size()));
+  j.key("num_instances").value(r.num_instances);
+  if (include_timing) j.key("sched_workers").value(r.sched_workers);
+
+  int ok_jobs = 0;
+  std::int64_t total_h = 0, total_g = 0, total_fallbacks = 0;
+  j.key("jobs").begin_array();
+  for (const auto& jr : r.jobs) {
+    const auto& js = m.jobs[static_cast<std::size_t>(jr.index)];
+    j.begin_object();
+    j.key("index").value(jr.index);
+    j.key("key").value(js.key);
+    j.key("algo").value(algo_name(js.algo));
+    j.key("threads").value(js.threads);
+    j.key("seed").value(js.params_seed);
+    j.key("instance").value(jr.instance);
+    j.key("ok").value(jr.ok);
+    if (!jr.error.empty()) j.key("error").value(jr.error);
+    j.key("n").value(jr.n);
+    j.key("delta").value(jr.delta);
+    j.key("num_colors").value(jr.num_colors);
+    j.key("uncolored").value(jr.uncolored);
+    j.key("h_rounds").value(jr.h_rounds);
+    j.key("g_rounds").value(jr.g_rounds);
+    j.key("total_bits").value(jr.total_bits);
+    j.key("max_bits_per_link_round").value(jr.max_bits_per_link_round);
+    j.key("fallback_count").value(jr.fallback_count);
+    j.key("retry_count").value(jr.retry_count);
+    j.key("num_cliques").value(jr.num_cliques);
+    j.key("num_cabals").value(jr.num_cabals);
+    if (include_timing) j.key("wall_ns").value(jr.wall_ns);
+    j.end_object();
+    ok_jobs += jr.ok ? 1 : 0;
+    total_h += jr.h_rounds;
+    total_g += jr.g_rounds;
+    total_fallbacks += jr.fallback_count;
+  }
+  j.end_array();
+
+  j.key("aggregate").begin_object();
+  j.key("ok_jobs").value(ok_jobs);
+  j.key("total_h_rounds").value(total_h);
+  j.key("total_g_rounds").value(total_g);
+  j.key("total_fallbacks").value(total_fallbacks);
+  if (include_timing) {
+    j.key("wall_ns").value(r.wall_ns);
+    j.key("sched_wall_ns").value(r.sched_wall_ns);
+    j.key("jobs_per_sec").value(r.jobs_per_sec);
+  }
+  j.end_object();
+  j.end_object();
+  return j.str();
+}
+
+}  // namespace ccg::svc

@@ -1,0 +1,130 @@
+// Batch coloring service: a job scheduler with reusable per-job state.
+//
+// run_batch turns a Manifest into a BatchReport in three steps:
+//
+//   1. prepare — distinct instance recipes (JobSpec::key) are built once,
+//      sequentially, into an immutable instance cache that all jobs share
+//      (repeat jobs and identical lines hit the cache);
+//   2. schedule — jobs are pulled one at a time off a shared cursor by the
+//      scheduler workers (exec::ThreadPool::for_dynamic): two-level
+//      parallelism, inter-job concurrency x intra-job Params::threads;
+//   3. report — results land in manifest-order slots, so the report never
+//      depends on completion order.
+//
+// Each scheduler worker owns one JobSlot, an arena holding a Ledger, a
+// Runtime and a color::State that are *reset*, not reconstructed, between
+// jobs (Ledger::reset / Runtime::rebind / State::reset). Scratch keeps its
+// high-water capacity across job boundaries, extending the discipline of
+// color/scratch.hpp to the serving loop: once a slot is warm, Algo::kFast
+// jobs execute with zero heap allocations (pinned by
+// tests/test_svc_reuse.cpp; Algo::kAuto still allocates inside the
+// pipeline phases — tracked as allocs_per_job in bench_throughput).
+//
+// Determinism contract: every job's coloring seed is a pure function of
+// (manifest seed, job index) — see manifest.hpp — and instances are
+// immutable during scheduling, so the deterministic portion of the report
+// (report_json with include_timing=false) is byte-identical for every
+// scheduler-worker count, intra-job thread count, and execution order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_graph.hpp"
+#include "cluster/runtime.hpp"
+#include "color/coloring.hpp"
+#include "net/ledger.hpp"
+#include "svc/manifest.hpp"
+
+namespace ccg::svc {
+
+// A prepared instance, built once per distinct JobSpec::key and shared
+// read-only by every job referencing it. A failed build (bad DIMACS path,
+// generator contract violation) is recorded instead of thrown: the jobs
+// on it fail individually and the rest of the batch proceeds.
+struct Instance {
+  std::string key;
+  cluster::ClusterGraph cg;
+  int bandwidth = 0;
+  std::string error;  // non-empty: build failed with this message
+};
+
+// Plain-data result of one job. No owned containers on the success path,
+// so filling it never allocates.
+struct JobResult {
+  int index = -1;
+  int instance = -1;  // index into the batch's instance cache
+  bool ok = false;
+  int n = 0;
+  int delta = 0;
+  int num_colors = 0;
+  int uncolored = 0;
+  std::int64_t h_rounds = 0;
+  std::int64_t g_rounds = 0;
+  std::int64_t total_bits = 0;
+  int max_bits_per_link_round = 0;
+  int fallback_count = 0;
+  int retry_count = 0;
+  int num_cliques = 0;
+  int num_cabals = 0;
+  double wall_ns = 0;  // timing; excluded from deterministic reports
+  std::string error;   // failure path only
+};
+
+// The arena one scheduler worker owns. Public so callers with their own
+// scheduling (async ingest, tests, the reuse bench) can drive slots
+// directly; run() is exactly what the batch scheduler executes per job.
+class JobSlot {
+ public:
+  // Execute `job` on `inst`, reusing this slot's ledger/runtime/state.
+  // Exceptions from the coloring code are captured into out->error.
+  // Allocation-free in steady state for Algo::kFast jobs whose instance
+  // sizes stay at or below the slot's high-water marks.
+  void run(const Instance& inst, const JobSpec& job, JobResult* out);
+
+ private:
+  void execute(const Instance& inst, const JobSpec& job, JobResult* out);
+  void fast_color(color::State& st);
+
+  net::Ledger ledger_{1};
+  std::optional<cluster::Runtime> rt_;
+  std::unique_ptr<color::State> st_;
+  std::vector<int> verts_;  // fast-path worklist (high-water reused)
+};
+
+struct BatchOptions {
+  int sched_workers = 1;  // <= 0 selects the hardware concurrency
+  // Execution-order permutation of [0, jobs): workers claim jobs in this
+  // order. Empty = manifest order. Results are independent of it (the
+  // determinism tests permute it to prove that).
+  std::vector<int> order;
+};
+
+struct BatchReport {
+  std::uint64_t manifest_seed = 0;
+  int sched_workers = 1;
+  int num_instances = 0;
+  std::vector<JobResult> jobs;  // manifest order
+  double wall_ns = 0;        // whole batch, instance builds included
+  double sched_wall_ns = 0;  // scheduling span only
+  double jobs_per_sec = 0;   // jobs / sched_wall
+};
+
+BatchReport run_batch(const Manifest& m, const BatchOptions& opt = {});
+
+// Builds the instance cache run_batch uses, exposed for direct JobSlot
+// drivers. instance_of[i] indexes instances for manifest job i.
+std::vector<Instance> prepare_instances(const Manifest& m,
+                                        std::vector<int>* instance_of);
+
+// JSON report. include_timing=false omits every timing- and
+// configuration-dependent field (wall clocks, jobs/sec, sched_workers);
+// what remains is byte-identical across scheduler configurations — the
+// contract tests/test_svc.cpp pins and CI diffs.
+std::string report_json(const Manifest& m, const BatchReport& r,
+                        bool include_timing = true);
+
+}  // namespace ccg::svc

@@ -8,6 +8,7 @@
 
 #include "common/bitstream.hpp"
 #include "common/hashing.hpp"
+#include "common/json.hpp"
 #include "common/mathutil.hpp"
 #include "common/rng.hpp"
 
@@ -196,6 +197,19 @@ TEST(Hashing, PseudorandomColorSetReproducible) {
     EXPECT_GE(c, 0);
     EXPECT_LT(c, 50);
   }
+}
+
+TEST(JsonWriter, EscapesStringsToStrictJson) {
+  // Error texts and file paths flow into reports verbatim; quotes,
+  // backslashes, and control characters must come out as valid JSON.
+  JsonWriter j;
+  j.begin_object();
+  j.key("s").value(std::string("a\"b\\c\nd\te\rf\x01g"));
+  j.end_object();
+  // (The writer has always emitted a leading newline — insignificant
+  // whitespace to any JSON parser.)
+  EXPECT_EQ(j.str(),
+            "\n{\n  \"s\": \"a\\\"b\\\\c\\nd\\te\\rf\\u0001g\"\n}\n");
 }
 
 }  // namespace

@@ -3,46 +3,16 @@
 //     to the seed's unordered_map-based formulation, reproduced here as a
 //     reference implementation.
 //  2. try_color_round must make zero heap allocations in steady state —
-//     verified with instrumented global new/delete.
+//     verified with instrumented global new/delete (see
+//     common/alloc_count.hpp).
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
 #include <unordered_map>
 #include <vector>
 
 #include "ccg/ccg.hpp"
 #include "color/primitives.hpp"
-
-// ---- allocation instrumentation (whole test binary) ----
-
-namespace {
-std::atomic<long long> g_alloc_count{0};
-}  // namespace
-
-// The global replacement pairs new with malloc on purpose (count + fall
-// through); GCC's -Wmismatched-new-delete can't see that the operators
-// are replaced consistently, so silence it for the definitions only.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-void* operator new(std::size_t size) {
-  ++g_alloc_count;
-  void* p = std::malloc(size);
-  if (!p) throw std::bad_alloc();
-  return p;
-}
-void* operator new[](std::size_t size) {
-  ++g_alloc_count;
-  void* p = std::malloc(size);
-  if (!p) throw std::bad_alloc();
-  return p;
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-#pragma GCC diagnostic pop
+#include "common/alloc_count.hpp"
 
 namespace ccg::color {
 namespace {
@@ -141,12 +111,12 @@ TEST(PrimitivesScratch, TryColorRoundZeroAllocSteadyState) {
   try_color_round(*h.st, s, sampler, 0.5);
   prune_colored(*h.st, &s);
 
-  const long long before = g_alloc_count.load();
+  const long long before = alloc_count();
   for (int round = 0; round < 8; ++round) {
     try_color_round(*h.st, s, sampler, 0.5);
     prune_colored(*h.st, &s);
   }
-  const long long after = g_alloc_count.load();
+  const long long after = alloc_count();
   EXPECT_EQ(after - before, 0)
       << "try_color_round allocated in steady state";
 }
