@@ -7,6 +7,10 @@
 // (fast path must be exactly 0 — the reset-and-reuse contract, also
 // pinned by tests/test_svc_reuse.cpp), and writes BENCH_throughput.json.
 //
+// Every job here runs through ccg::Solver (JobSlot is a thin adapter
+// over it), so these numbers gate the facade's serving path directly;
+// the low-degree row tracks the run_low_degree arena-reuse trajectory.
+//
 // Usage: bench_throughput [out.json]
 //   out.json  default BENCH_throughput.json (cwd; run from the repo root)
 //
@@ -155,10 +159,14 @@ int main(int argc, char** argv) {
                     "--anti 2 --oracle --eps 0.2\n",
                     4),
       1);
+  const auto low_steady = measure_slot(
+      slot_manifest("job --gen gnm --n 1200 --m 4000 --algo low\n", 4), 1);
   std::printf("fast path:  %.2f allocs/job, %.2f ms/job (must be 0 allocs)\n",
               fast_steady.allocs_per_job, fast_steady.ns_per_job / 1e6);
   std::printf("auto path:  %.0f allocs/job, %.2f ms/job (trajectory metric)\n",
               auto_steady.allocs_per_job, auto_steady.ns_per_job / 1e6);
+  std::printf("low path:   %.0f allocs/job, %.2f ms/job (trajectory metric)\n",
+              low_steady.allocs_per_job, low_steady.ns_per_job / 1e6);
   if (fast_steady.allocs_per_job != 0) {
     std::fprintf(stderr,
                  "FATAL: warm fast path allocated (%.3f allocs/job)\n",
@@ -211,6 +219,8 @@ int main(int argc, char** argv) {
   j.key("fast_steady_ns_per_job").value(fast_steady.ns_per_job);
   j.key("auto_steady_allocs_per_job").value(auto_steady.allocs_per_job);
   j.key("auto_steady_ns_per_job").value(auto_steady.ns_per_job);
+  j.key("low_steady_allocs_per_job").value(low_steady.allocs_per_job);
+  j.key("low_steady_ns_per_job").value(low_steady.ns_per_job);
   j.key("total_wall_ns").value(rows.front().stats.min_ns);
   j.end_object();
 

@@ -1,0 +1,39 @@
+// Minimal out-of-tree consumer of the ccg facade, compiled by the CI
+// api-hygiene job directly against the installed-style include paths
+// (-Iinclude -Isrc) and linked to libccg.a — no CMake, no test harness.
+// It exercises the tier-1 surface end to end: a successful solve, a
+// virtual mode, and a boundary error returned as a value.
+#include <ccg/ccg.hpp>
+
+#include <cstdio>
+
+int main() {
+  ccg::Rng rng(1);
+  const auto g = ccg::graph::gnm(200, 800, rng);
+
+  ccg::Solver solver;
+  ccg::Options opt;
+  opt.seed = 2;
+  const auto out = solver.solve(ccg::Problem::graph(g), opt);
+  if (!out.ok()) {
+    std::fprintf(stderr, "solve failed (%s): %s\n",
+                 ccg::error_code_name(out.error.code),
+                 out.error.message.c_str());
+    return 1;
+  }
+  if (out.result.num_colors != g.max_degree() + 1) return 1;
+
+  const auto d2 = solver.solve(ccg::Problem::distance_k(g, 2), opt);
+  if (!d2.ok() || d2.congestion != 2) return 1;
+
+  // Boundary errors are values, not exceptions.
+  const auto bad = solver.solve(ccg::Problem::distance_k(g, 0), opt);
+  if (bad.ok() || bad.error.code != ccg::ErrorCode::kInvalidProblem) {
+    return 1;
+  }
+
+  std::printf("consumer ok: %d vertices, %d colors, %lld H-rounds\n",
+              out.n, out.result.num_colors,
+              static_cast<long long>(out.result.h_rounds));
+  return 0;
+}

@@ -33,11 +33,16 @@ int usage() {
   return 2;
 }
 
-int parse_int_arg(const char* flag, const std::string& val) {
+// Strict parse + range check: out-of-range worker counts exit 2 here
+// instead of tripping checks inside the scheduler.
+int parse_int_arg(const char* flag, const std::string& val, int lo,
+                  int hi) {
   const auto x = ccg::parse_int_strict(val);
-  if (!x) {
-    std::fprintf(stderr, "ccg_batch: invalid value '%s' for %s\n",
-                 val.c_str(), flag);
+  if (!x || *x < lo || *x > hi) {
+    std::fprintf(stderr,
+                 "ccg_batch: invalid value '%s' for %s (must be an "
+                 "integer in [%d, %d])\n",
+                 val.c_str(), flag, lo, hi);
     std::exit(usage());
   }
   return *x;
@@ -65,7 +70,8 @@ int main(int argc, char** argv) {
     } else if (a == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (a == "--sched-workers" && i + 1 < argc) {
-      sched_workers = parse_int_arg("--sched-workers", argv[++i]);
+      sched_workers = parse_int_arg("--sched-workers", argv[++i], 0,
+                                    ccg::Options::kMaxThreads);
     } else {
       std::fprintf(stderr, "ccg_batch: unknown or incomplete flag '%s'\n",
                    a.c_str());

@@ -1,14 +1,21 @@
-// ccg_cli — command-line driver for the whole library.
+// ccg_cli — command-line driver for the whole library, on the ccg::Solver
+// facade.
 //
-// Builds a conflict graph from any generator, wraps it in a cluster layout,
-// runs the (Delta+1)-coloring pipeline and prints a machine-readable JSON
-// result (plus the per-phase ledger on stderr with --verbose).
+// Builds a conflict graph from any generator, wraps it in a cluster layout
+// (or a virtual-graph mode), runs the (Delta+1)-coloring pipeline through
+// one reusable Solver session and prints a machine-readable JSON result
+// (plus the per-phase ledger on stderr with --verbose).
 //
 //   ccg_cli --gen gnm --n 4000 --m 24000 --layout star --cluster-size 4
 //   ccg_cli --gen caveman --cliques 8 --size 32 --bridges 2 --finisher gk
 //   ccg_cli --gen chunglu --n 10000 --avg-deg 20 --gamma 2.5 --seed 7
 //   ccg_cli --gen planted --delta 256 --cliques 4 --ext 24 --anti 2
 //   ccg_cli --gen grid --w 40 --h 25 --distance 2     (distance-k coloring)
+//   ccg_cli --gen gnm --n 2000 --algo fast --eps 0.2  (explicit algo/eps)
+//
+// Flag values are validated here, at parse time: bad eps/threads/counts
+// exit 2 with usage instead of surfacing as mid-run contract violations;
+// solver-reported boundary errors exit 1 with the structured message.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -23,9 +30,9 @@ namespace {
 
 using namespace ccg;
 
-// Raised for malformed command lines (unknown flag, non-numeric value,
-// unknown generator/layout name); main turns it into usage() + exit 2
-// instead of an uncaught-exception abort.
+// Raised for malformed command lines (unknown flag, non-numeric or
+// out-of-range value, unknown generator/layout name); main turns it into
+// usage() + exit 2 instead of an uncaught-exception abort.
 class UsageError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
@@ -66,9 +73,10 @@ const std::set<std::string> kValueFlags = {
     "gamma",   "cliques", "size",  "bridges",  "delta",
     "ext",     "anti",  "sparse",  "w",        "h",
     "layout",  "cluster-size",     "links-per-edge",
-    "distance", "finisher", "threads", "seed"};
+    "distance", "finisher", "threads", "seed", "algo", "eps"};
 const std::set<std::string> kBoolFlags = {"verbose", "repsets",
-                                          "edge-coloring", "help"};
+                                          "edge-coloring", "oracle",
+                                          "help"};
 
 int usage() {
   std::fprintf(
@@ -81,11 +89,67 @@ int usage() {
       "               [--cluster-size k] [--links-per-edge l]\n"
       "               [--distance k]  (color G^k as a virtual graph)\n"
       "               [--edge-coloring]  (color the line graph)\n"
+      "               [--algo {auto|high|low|fast}]\n"
+      "               [--eps e]  (ACD epsilon, in (0, 1))\n"
+      "               [--oracle]  (exact-oracle ACD, unmeasured bits)\n"
       "               [--finisher {randomized|linial|gk}]\n"
       "               [--threads t]  (parallel round engine; 0 = hardware,\n"
       "                               output identical for every t)\n"
       "               [--repsets] [--seed s] [--verbose]\n");
   return 2;
+}
+
+// Parse-time range validation: every numeric flag the run below may
+// consume is checked here, so bad values exit 2 with usage instead of
+// tripping CCG_CHECK deep inside the pipeline. The bounds deliberately
+// mirror src/svc/manifest.cpp's parse_job_line (the manifest surface of
+// the same recipes, with its own defaults) — like the generator
+// dispatch in build_graph below, keep the two tables in sync when
+// flags change.
+void validate_args(const Args& a) {
+  const auto require = [](bool ok, const char* what) {
+    if (!ok) throw UsageError(what);
+  };
+  require(a.num("seed", 1) >= 0, "--seed must be >= 0");
+  if (a.num("threads", 1) < 0 ||
+      a.num("threads", 1) > Options::kMaxThreads) {
+    throw UsageError("--threads must be in [0, " +
+                     std::to_string(Options::kMaxThreads) + "]");
+  }
+  if (a.has("eps")) {
+    const double eps = a.real("eps", 0.0);
+    require(eps > 0.0 && eps < 1.0, "--eps must lie in (0, 1)");
+  }
+  if (a.num("distance", 1) < 1 ||
+      a.num("distance", 1) > Problem::kMaxDistance) {
+    throw UsageError("--distance must be in [1, " +
+                     std::to_string(Problem::kMaxDistance) + "]");
+  }
+  require(a.num("n", 1) >= 1, "--n must be >= 1");
+  require(a.num("m", 0) >= 0, "--m must be >= 0");
+  const double p = a.real("p", 0.0);
+  require(p >= 0.0 && p <= 1.0, "--p must lie in [0, 1]");
+  require(a.real("avg-deg", 1.0) > 0, "--avg-deg must be > 0");
+  require(a.real("gamma", 1.0) > 0, "--gamma must be > 0");
+  require(a.num("cliques", 1) >= 1, "--cliques must be >= 1");
+  require(a.num("size", 1) >= 1, "--size must be >= 1");
+  require(a.num("bridges", 0) >= 0, "--bridges must be >= 0");
+  require(a.num("delta", 1) >= 1, "--delta must be >= 1");
+  require(a.num("ext", 0) >= 0, "--ext must be >= 0");
+  require(a.num("anti", 0) >= 0, "--anti must be >= 0");
+  require(a.num("sparse", 0) >= 0, "--sparse must be >= 0");
+  require(a.num("w", 1) >= 1, "--w must be >= 1");
+  require(a.num("h", 1) >= 1, "--h must be >= 1");
+  require(a.num("cluster-size", 1) >= 1, "--cluster-size must be >= 1");
+  require(a.num("links-per-edge", 1) >= 1,
+          "--links-per-edge must be >= 1");
+  if (!algo_from_name(a.str("algo", "auto"))) {
+    throw UsageError("unknown algo '" + a.str("algo", "auto") +
+                     "' (auto|high|low|fast)");
+  }
+  const auto fin = a.str("finisher", "randomized");
+  require(fin == "randomized" || fin == "linial" || fin == "gk",
+          "unknown finisher (randomized|linial|gk)");
 }
 
 // Generator dispatch for the CLI's flag surface. svc::build_job_graph
@@ -151,67 +215,61 @@ void print_json(const color::Result& res, int n, int machines, int dilation,
 }
 
 int run(const Args& args) {
+  validate_args(args);
   const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
   Rng rng(seed);
   const auto g = build_graph(args, rng);
   std::fprintf(stderr, "H: n=%d m=%lld Delta=%d\n", g.n(),
                static_cast<long long>(g.m()), g.max_degree());
 
-  const int threads = args.num("threads", 1);
-  auto params = color::Params::defaults_for(g.n(), seed + 1);
-  const auto fin = args.str("finisher", "randomized");
-  if (fin != "randomized" && fin != "linial" && fin != "gk") {
-    throw UsageError("unknown finisher '" + fin + "'");
-  }
-  params.finisher = fin == "linial" ? color::Params::Finisher::kLinial
-                    : fin == "gk"
-                        ? color::Params::Finisher::kGhaffariKuhn
-                        : color::Params::Finisher::kRandomizedList;
-  params.use_representative_sets = args.has("repsets");
-  params.threads = threads;
+  Options opt;
+  opt.seed = seed + 1;
+  opt.threads = args.num("threads", 1);
+  opt.algo = *algo_from_name(args.str("algo", "auto"));  // validate_args
+  if (args.has("eps")) opt.eps = args.real("eps", 0.0);
+  opt.oracle = args.has("oracle");
+  const auto fin = args.str("finisher", "randomized");  // validate_args
+  opt.finisher = fin == "linial" ? color::Params::Finisher::kLinial
+                 : fin == "gk"
+                     ? color::Params::Finisher::kGhaffariKuhn
+                     : color::Params::Finisher::kRandomizedList;
+  opt.use_representative_sets = args.has("repsets");
 
-  // Virtual-graph modes first: they define their own base network.
+  // One Solver session serves every mode; the Problem only selects what
+  // to color. Virtual-graph modes define their own base network, so they
+  // take precedence over --layout.
+  Solver solver;
+  Outcome out;
+  cluster::ClusterGraph cg;  // must outlive solve() for the cluster mode
   if (args.has("edge-coloring")) {
-    const auto enc = cluster::make_line_graph(g);
-    params = color::Params::defaults_for(enc.vg.h().n(), seed + 1);
-    params.threads = threads;
-    const auto res = lowdeg::color_virtual_graph(enc.vg, params);
-    print_json(res.base, enc.vg.h().n(),
-               enc.vg.representation().n_machines(), enc.vg.dilation(),
-               enc.vg.congestion());
-    return 0;
-  }
-  if (args.num("distance", 1) > 1) {
-    const auto vg =
-        cluster::VirtualGraph::distance_k(g, args.num("distance", 2));
-    params = color::Params::defaults_for(vg.h().n(), seed + 1);
-    params.threads = threads;
-    const auto res = lowdeg::color_virtual_graph(vg, params);
-    print_json(res.base, vg.h().n(), vg.representation().n_machines(),
-               vg.dilation(), vg.congestion());
-    return 0;
-  }
-
-  // Plain cluster-graph mode.
-  const auto layout = args.str("layout", "singleton");
-  cluster::ClusterGraph cg;
-  if (layout == "singleton") {
-    cg = cluster::ClusterGraph::singleton(g);
+    solver.solve(Problem::edge_coloring(g), opt, &out);
+  } else if (args.num("distance", 1) > 1) {
+    solver.solve(Problem::distance_k(g, args.num("distance", 2)), opt,
+                 &out);
   } else {
-    cluster::ExpandSpec spec;
-    spec.shape = parse_shape(layout);
-    spec.size = args.num("cluster-size", 4);
-    spec.links_per_edge = args.num("links-per-edge", 1);
-    cg = cluster::ClusterGraph::expand(g, spec, rng);
+    const auto layout = args.str("layout", "singleton");
+    if (layout == "singleton") {
+      cg = cluster::ClusterGraph::singleton(g);
+    } else {
+      cluster::ExpandSpec spec;
+      spec.shape = parse_shape(layout);
+      spec.size = args.num("cluster-size", 4);
+      spec.links_per_edge = args.num("links-per-edge", 1);
+      cg = cluster::ClusterGraph::expand(g, spec, rng);
+    }
+    solver.solve(Problem::cluster(cg), opt, &out);
   }
-  net::Ledger ledger(cg.default_bandwidth());
-  cluster::Runtime rt(cg, ledger);
-  const auto res = lowdeg::color_cluster_graph(rt, params);
-  cluster::check_proper_total(g, res.colors, res.num_colors);
+  if (!out.ok()) {
+    std::fprintf(stderr, "ccg_cli: solve failed (%s): %s\n",
+                 error_code_name(out.error.code),
+                 out.error.message.c_str());
+    return 1;
+  }
   if (args.has("verbose")) {
-    std::fprintf(stderr, "%s", ledger.report().c_str());
+    std::fprintf(stderr, "%s", solver.ledger().report().c_str());
   }
-  print_json(res, g.n(), cg.n_machines(), cg.dilation(), 1);
+  print_json(out.result, out.n, out.machines, out.result.dilation,
+             out.congestion);
   return 0;
 }
 
@@ -241,9 +299,9 @@ int main(int argc, char** argv) {
   }
   if (args.has("help") || !args.has("gen")) return usage();
 
-  // Malformed values and unknown generator/layout/finisher names surface
-  // as UsageError -> usage + exit 2. Algorithm contract violations keep
-  // aborting loudly (they are bugs, not CLI mistakes).
+  // Malformed or out-of-range values and unknown generator/layout/algo/
+  // finisher names surface as UsageError -> usage + exit 2; boundary
+  // errors the Solver reports (the facade never throws) exit 1.
   try {
     return run(args);
   } catch (const UsageError& e) {

@@ -351,26 +351,51 @@ void coloring_cabals(State& st) {
   color_putaside_sets(st, rest, put.sets);
 }
 
-Result finalize_result(State& st) {
-  Result res;
-  res.colors = st.phi.vec();
-  res.num_colors = st.num_colors();
+void reset_result(Result* res) {
+  res->colors.clear();
+  res->phases.clear();
+  res->num_colors = 0;
+  res->h_rounds = 0;
+  res->g_rounds = 0;
+  res->max_message_bits = 0;
+  res->max_bits_per_link_round = 0;
+  res->fallback_count = 0;
+  res->retry_count = 0;
+  res->num_cliques = 0;
+  res->num_cabals = 0;
+  res->sparse_count = 0;
+  res->dilation = 0;
+}
+
+void finalize_result_into(const State& st, bool copy_colors, Result* res) {
+  reset_result(res);
+  res->num_colors = st.num_colors();
   const auto& ledger = st.rt->ledger();
-  res.h_rounds = ledger.h_rounds();
-  res.g_rounds = ledger.g_rounds();
-  res.max_message_bits = ledger.max_message_bits();
-  res.max_bits_per_link_round = ledger.max_bits_per_link_round();
-  res.phases = ledger.phases();
-  res.fallback_count = st.fallback_count;
-  res.retry_count = st.retry_count;
-  res.num_cliques = st.dc.acd.num_cliques;
+  res->h_rounds = ledger.h_rounds();
+  res->g_rounds = ledger.g_rounds();
+  res->max_message_bits = ledger.max_message_bits();
+  res->max_bits_per_link_round = ledger.max_bits_per_link_round();
+  res->fallback_count = st.fallback_count;
+  res->retry_count = st.retry_count;
+  res->num_cliques = st.dc.acd.num_cliques;
   for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
-    if (st.dc.info.is_cabal[static_cast<std::size_t>(k)]) ++res.num_cabals;
+    if (st.dc.info.is_cabal[static_cast<std::size_t>(k)]) {
+      ++res->num_cabals;
+    }
   }
   for (int v = 0; v < st.h().n(); ++v) {
-    if (!st.dc.is_dense(v)) ++res.sparse_count;
+    if (!st.dc.is_dense(v)) ++res->sparse_count;
   }
-  res.dilation = st.rt->cg().dilation();
+  res->dilation = st.rt->cg().dilation();
+  if (copy_colors) {
+    res->colors = st.phi.vec();
+    res->phases = ledger.phases();
+  }
+}
+
+Result finalize_result(State& st) {
+  Result res;
+  finalize_result_into(st, /*copy_colors=*/true, &res);
   return res;
 }
 

@@ -60,4 +60,16 @@ void run_high_degree(State& st);
 // Collects ledger totals + structural counts from a finished state.
 Result finalize_result(State& st);
 
+// Capacity-preserving reset of a reused Result: clears the vectors and
+// zeroes every scalar without deallocating, so serving loops can recycle
+// one Result across jobs allocation-free.
+void reset_result(Result* res);
+
+// Write-into-caller-buffer core of finalize_result (and the single
+// source of truth for its field set — extend all Result handling here).
+// Resets *res, fills the scalar stats, and copies the coloring + phase
+// records only when copy_colors (the zero-alloc serving path reads the
+// coloring off st.phi instead).
+void finalize_result_into(const State& st, bool copy_colors, Result* res);
+
 }  // namespace ccg::color

@@ -302,9 +302,8 @@ void reduce_learn_shatter_finish(State& st, std::vector<int> S,
 
 }  // namespace
 
-color::Result color_low_degree(cluster::Runtime& rt,
-                               const color::Params& params) {
-  State st(rt, params);
+void run_low_degree(State& st) {
+  cluster::Runtime& rt = *st.rt;
   const int n = rt.h().n();
   const int delta = rt.delta();
   const int logn = ceil_log2(static_cast<std::uint64_t>(std::max(2, n)));
@@ -461,6 +460,12 @@ color::Result color_low_degree(cluster::Runtime& rt,
   for (int v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
   color::fallback_finish(st, all);
   cluster::check_proper_total(st.h(), st.phi.vec(), st.num_colors());
+}
+
+color::Result color_low_degree(cluster::Runtime& rt,
+                               const color::Params& params) {
+  State st(rt, params);
+  run_low_degree(st);
   return color::finalize_result(st);
 }
 

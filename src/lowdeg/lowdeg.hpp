@@ -27,6 +27,16 @@ namespace ccg::lowdeg {
 color::Result color_low_degree(cluster::Runtime& rt,
                                const color::Params& params);
 
+// State-reuse form of color_low_degree: runs the same phase sequence
+// (incl. the safety net and the properness check) on a caller-provided
+// state, which must be freshly constructed or color::State::reset. This
+// is the warm serving path of ccg::Solver / the batch service: one State
+// per session, reset between jobs, so recurring low-degree jobs skip the
+// per-job arena construction entirely. Read results off st (phi, the
+// runtime's ledger) or via color::finalize_result(st);
+// color_low_degree(rt, params) is exactly State + run + finalize.
+void run_low_degree(color::State& st);
+
 // Entry point used by examples/benches: dispatches on Delta vs
 // params.delta_low(n) between the Theorem 1.2 and Theorem 1.1 pipelines.
 color::Result color_cluster_graph(cluster::Runtime& rt,

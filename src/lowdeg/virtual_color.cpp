@@ -1,18 +1,30 @@
 #include "lowdeg/virtual_color.hpp"
 
 #include "cluster/validate.hpp"
+#include "common/assert.hpp"
 #include "lowdeg/lowdeg.hpp"
 
 namespace ccg::lowdeg {
+
+void run_virtual(color::State& st, const cluster::VirtualGraph& vg) {
+  CCG_CHECK_MSG(&st.rt->cg() == &vg.representation(),
+                "run_virtual: state must be bound to vg.representation()");
+  if (st.rt->delta() >= st.params.delta_low(st.h().n())) {
+    color::run_high_degree(st);
+  } else {
+    run_low_degree(st);
+  }
+  cluster::check_proper_total(vg.h(), st.phi.vec(), st.num_colors());
+}
 
 VirtualResult color_virtual_graph(const cluster::VirtualGraph& vg,
                                   const color::Params& params) {
   net::Ledger ledger(vg.default_bandwidth());
   cluster::Runtime rt(vg.representation(), ledger);
+  color::State st(rt, params);
+  run_virtual(st, vg);
   VirtualResult out;
-  out.base = color_cluster_graph(rt, params);
-  cluster::check_proper_total(vg.h(), out.base.colors,
-                              out.base.num_colors);
+  out.base = color::finalize_result(st);
   out.congestion = vg.congestion();
   out.g_rounds_with_congestion =
       out.base.g_rounds * static_cast<std::int64_t>(out.congestion);

@@ -24,4 +24,13 @@ struct VirtualResult {
 VirtualResult color_virtual_graph(const cluster::VirtualGraph& vg,
                                   const color::Params& params);
 
+// State-reuse form: `st` must be bound (Runtime::rebind or construction)
+// to vg.representation(), with its ledger reset to vg.default_bandwidth().
+// Runs the ordinary Delta dispatcher on the disjoint representation and
+// validates the result against vg.h(); the caller applies the congestion
+// overhead (multiply G-rounds by vg.congestion()). This is the warm
+// serving path for virtual-graph batch jobs (mode=edge|dist2) through
+// ccg::Solver.
+void run_virtual(color::State& st, const cluster::VirtualGraph& vg);
+
 }  // namespace ccg::lowdeg

@@ -102,42 +102,66 @@ void parse_job_line(const std::vector<std::string>& toks, int lineno,
         fail(lineno, "unknown layout '" + val + "'");
       }
       job.layout = val;
-    } else if (key == "algo") {
-      if (val == "auto") {
-        job.algo = Algo::kAuto;
-      } else if (val == "fast") {
-        job.algo = Algo::kFast;
+    } else if (key == "mode") {
+      if (val == "cluster") {
+        job.mode = JobMode::kCluster;
+      } else if (val == "edge") {
+        job.mode = JobMode::kEdge;
+      } else if (val == "dist2") {
+        job.mode = JobMode::kDist2;
       } else {
-        fail(lineno, "unknown algo '" + val + "' (auto|fast)");
+        fail(lineno, "unknown mode '" + val + "' (cluster|edge|dist2)");
       }
+    } else if (key == "algo") {
+      const auto algo = ccg::algo_from_name(val);
+      if (!algo) {
+        fail(lineno, "unknown algo '" + val + "' (auto|high|low|fast)");
+      }
+      job.algo = *algo;
     } else if (key == "n") {
       a.n = parse_int(lineno, key, val);
+      if (a.n < 1) fail(lineno, "--n must be >= 1");
     } else if (key == "m") {
       a.m = parse_i64(lineno, key, val);
+      if (a.m < 0) fail(lineno, "--m must be >= 0");
     } else if (key == "p") {
       a.p = parse_real(lineno, key, val);
+      if (!(a.p >= 0.0 && a.p <= 1.0)) {
+        fail(lineno, "--p must lie in [0, 1]");
+      }
     } else if (key == "avg-deg") {
       a.avg_deg = parse_real(lineno, key, val);
+      if (!(a.avg_deg > 0)) fail(lineno, "--avg-deg must be > 0");
     } else if (key == "gamma") {
       a.gamma = parse_real(lineno, key, val);
+      if (!(a.gamma > 0)) fail(lineno, "--gamma must be > 0");
     } else if (key == "cliques") {
       a.cliques = parse_int(lineno, key, val);
+      if (a.cliques < 1) fail(lineno, "--cliques must be >= 1");
     } else if (key == "size") {
       a.size = parse_int(lineno, key, val);
+      if (a.size < 1) fail(lineno, "--size must be >= 1");
     } else if (key == "bridges") {
       a.bridges = parse_int(lineno, key, val);
+      if (a.bridges < 0) fail(lineno, "--bridges must be >= 0");
     } else if (key == "delta") {
       a.delta = parse_int(lineno, key, val);
+      if (a.delta < 1) fail(lineno, "--delta must be >= 1");
     } else if (key == "ext") {
       a.ext = parse_int(lineno, key, val);
+      if (a.ext < 0) fail(lineno, "--ext must be >= 0");
     } else if (key == "anti") {
       a.anti = parse_int(lineno, key, val);
+      if (a.anti < 0) fail(lineno, "--anti must be >= 0");
     } else if (key == "sparse") {
       a.sparse = parse_int(lineno, key, val);
+      if (a.sparse < 0) fail(lineno, "--sparse must be >= 0");
     } else if (key == "w") {
       a.w = parse_int(lineno, key, val);
+      if (a.w < 1) fail(lineno, "--w must be >= 1");
     } else if (key == "h") {
       a.h = parse_int(lineno, key, val);
+      if (a.h < 1) fail(lineno, "--h must be >= 1");
     } else if (key == "cluster-size") {
       job.cluster_size = parse_int(lineno, key, val);
       if (job.cluster_size < 1) fail(lineno, "--cluster-size must be >= 1");
@@ -150,6 +174,10 @@ void parse_job_line(const std::vector<std::string>& toks, int lineno,
       job.graph_seed = parse_u64(lineno, key, val);
     } else if (key == "threads") {
       job.threads = parse_int(lineno, key, val);
+      if (job.threads < 0 || job.threads > ccg::Options::kMaxThreads) {
+        fail(lineno, "--threads must be in [0, " +
+                         std::to_string(ccg::Options::kMaxThreads) + "]");
+      }
     } else if (key == "seed") {
       job.params_seed = parse_u64(lineno, key, val);
       job.explicit_seed = true;
@@ -158,10 +186,17 @@ void parse_job_line(const std::vector<std::string>& toks, int lineno,
       if (repeat < 1) fail(lineno, "--repeat must be >= 1");
     } else if (key == "eps") {
       job.eps = parse_real(lineno, key, val);
-      if (job.eps <= 0) fail(lineno, "--eps must be > 0");
+      if (!(job.eps > 0 && job.eps < 1)) {
+        fail(lineno, "--eps must lie in (0, 1)");
+      }
     } else {
       fail(lineno, "unknown flag --" + key);
     }
+  }
+  if (job.mode != JobMode::kCluster && job.layout != "singleton") {
+    fail(lineno, std::string("--mode ") + mode_name(job.mode) +
+                     " defines its own network: --layout must stay "
+                     "singleton");
   }
 
   for (int r = 0; r < repeat; ++r) {
@@ -191,12 +226,14 @@ std::optional<cluster::ClusterShape> layout_shape(const std::string& layout) {
   return std::nullopt;
 }
 
-const char* algo_name(Algo a) {
-  switch (a) {
-    case Algo::kAuto:
-      return "auto";
-    case Algo::kFast:
-      return "fast";
+const char* mode_name(JobMode m) {
+  switch (m) {
+    case JobMode::kCluster:
+      return "cluster";
+    case JobMode::kEdge:
+      return "edge";
+    case JobMode::kDist2:
+      return "dist2";
   }
   return "?";
 }
@@ -249,6 +286,9 @@ std::string instance_key(const JobSpec& j) {
     os << " cs=" << j.cluster_size << " lpe=" << j.links_per_edge;
     random = true;  // cluster expansion draws from the graph seed too
   }
+  // The virtual encodings are deterministic functions of the base graph,
+  // but they build a different instance: the mode is part of identity.
+  if (j.mode != JobMode::kCluster) os << " mode=" << mode_name(j.mode);
   if (random) os << " gseed=" << j.graph_seed;
   return os.str();
 }
@@ -308,6 +348,11 @@ Manifest parse_manifest(std::istream& in) {
     } else if (head == "threads") {
       if (toks.size() != 2) fail(lineno, "usage: threads <int>");
       default_threads = parse_int(lineno, "threads", toks[1]);
+      if (default_threads < 0 ||
+          default_threads > ccg::Options::kMaxThreads) {
+        fail(lineno, "threads must be in [0, " +
+                         std::to_string(ccg::Options::kMaxThreads) + "]");
+      }
     } else if (head == "repeat") {
       if (toks.size() != 2) fail(lineno, "usage: repeat <int>");
       default_repeat = parse_int(lineno, "repeat", toks[1]);
@@ -327,6 +372,26 @@ Manifest parse_manifest(std::istream& in) {
 Manifest parse_manifest_string(const std::string& text) {
   std::istringstream in(text);
   return parse_manifest(in);
+}
+
+JobSpec parse_job_flags(const std::string& flags) {
+  std::vector<std::string> toks;
+  std::istringstream ls(flags);
+  std::string tok;
+  while (ls >> tok) toks.push_back(tok);
+  // An all-defaults job from an empty string is far likelier to be a
+  // caller formatting bug than an intentional request — reject it.
+  if (toks.empty()) throw ManifestError("empty job recipe");
+  // A recipe names one instance; expanding --repeat here would allocate
+  // arbitrarily many JobSpecs only to discard all but the first.
+  for (const auto& t : toks) {
+    if (t == "--repeat") {
+      throw ManifestError("--repeat is not valid in a single-job recipe");
+    }
+  }
+  Manifest m;
+  parse_job_line(toks, 1, /*default_threads=*/1, /*default_repeat=*/1, &m);
+  return std::move(m.jobs.front());
 }
 
 Manifest parse_manifest_file(const std::string& path) {

@@ -16,11 +16,15 @@
 // Job flags: --gen {gnm|gnp|chunglu|caveman|planted|grid|cycle} or
 // --dimacs <path>; generator args --n --m --p --avg-deg --gamma
 // --cliques --size --bridges --delta --ext --anti --sparse --w --h;
+// --mode {cluster|edge|dist2} (edge = color the line graph, dist2 =
+// color G^2 as a virtual graph; both require the singleton layout);
 // --layout {singleton|star|path|tree|bridge} --cluster-size --links-per-edge;
 // --graph-seed (instance identity; default: current manifest seed);
-// --algo {auto|fast}; --threads; --repeat; --seed (explicit params seed);
-// --eps; --oracle (exact-oracle ACD + unmeasured bits, the bench
-// calibration for large batches).
+// --algo {auto|high|low|fast}; --threads; --repeat; --seed (explicit
+// params seed); --eps; --oracle (exact-oracle ACD + unmeasured bits, the
+// bench calibration for large batches). Numeric ranges are validated
+// here, at parse time (bad eps/threads/counts fail with "line N: ..."),
+// not mid-run.
 //
 // Each `job` line expands into `repeat` jobs. Every expanded job gets a
 // manifest-order index, and — unless --seed pins it — its coloring seed is
@@ -37,25 +41,29 @@
 #include <string>
 #include <vector>
 
+#include "ccg/solver.hpp"
 #include "cluster/cluster_graph.hpp"
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
 
 namespace ccg::svc {
 
-// Which algorithm serves the job.
-enum class Algo {
-  // Dispatch by Delta between the Theorem 1.2 / Theorem 1.1 pipelines
-  // (lowdeg::color_cluster_graph semantics), with state reuse on the
-  // high-degree path.
-  kAuto,
-  // Randomized list coloring: TryColor rounds + deterministic fallback.
-  // The cheap serving mode for small/medium instances; runs entirely on
-  // reused slot state — zero heap allocations per job after warmup.
-  kFast,
+// Which algorithm serves the job: the facade's selector, verbatim
+// (auto | high | low | fast — see ccg::Algo in ccg/solver.hpp). Every
+// value runs on reused slot state through ccg::Solver; kFast jobs are
+// zero heap allocations per job after warmup.
+using Algo = ccg::Algo;
+
+// Which graph mode the job's instance uses. Virtual modes build the
+// instance once in the batch instance cache (shared by repeats) and run
+// through lowdeg::run_virtual with the congestion overhead reported.
+enum class JobMode {
+  kCluster,  // the recipe graph itself (plus an optional cluster layout)
+  kEdge,     // edge coloring: the line graph as a virtual graph (c = 1)
+  kDist2,    // distance-2 coloring: H = G^2 via 1-hop supports (c = 2)
 };
 
-const char* algo_name(Algo a);
+const char* mode_name(JobMode m);
 
 // Generator arguments (subset of examples/ccg_cli.cpp's surface).
 struct GenArgs {
@@ -85,6 +93,9 @@ struct JobSpec {
   std::string gen = "gnm";
   std::string dimacs;
   GenArgs gargs;
+  // Virtual-graph modes require the singleton layout (the virtual
+  // encoding defines its own network); parse_manifest enforces this.
+  JobMode mode = JobMode::kCluster;
   std::string layout = "singleton";
   int cluster_size = 4;
   int links_per_edge = 1;
@@ -113,6 +124,12 @@ class ManifestError : public std::runtime_error {
 Manifest parse_manifest(std::istream& in);
 Manifest parse_manifest_string(const std::string& text);
 Manifest parse_manifest_file(const std::string& path);  // throws on I/O too
+
+// Parse one job-line flag string ("--gen gnm --n 2000 --layout star")
+// into a single JobSpec (no repeat expansion; index and params_seed are
+// left at their defaults). Backs ccg::Problem::recipe. Throws
+// ManifestError on malformed or out-of-range input.
+JobSpec parse_job_flags(const std::string& flags);
 
 // Per-job coloring seed: a pure function of (manifest seed, job index)
 // through the counter-based stream RNG, so any scheduler assignment

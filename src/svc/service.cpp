@@ -3,13 +3,9 @@
 #include <chrono>
 #include <unordered_map>
 
-#include "cluster/validate.hpp"
-#include "color/pipeline.hpp"
-#include "color/primitives.hpp"
 #include "common/assert.hpp"
 #include "common/json.hpp"
 #include "exec/pool.hpp"
-#include "lowdeg/lowdeg.hpp"
 
 namespace ccg::svc {
 
@@ -23,96 +19,7 @@ double elapsed_ns(clock_type::time_point t0, clock_type::time_point t1) {
           .count());
 }
 
-color::Params job_params(const JobSpec& job, int n) {
-  auto params = color::Params::defaults_for(n, job.params_seed);
-  params.threads = job.threads;
-  if (job.eps > 0) params.eps = job.eps;
-  if (job.oracle) {
-    params.use_fingerprint_acd = false;
-    params.measure_bits = false;
-  }
-  return params;
-}
-
 }  // namespace
-
-void JobSlot::fast_color(color::State& st) {
-  // Randomized list coloring: TryColor rounds until a round makes no
-  // progress (uncolored degrees shrink geometrically, so this is
-  // O(log n)-ish rounds in practice), then the deterministic fallback
-  // finishes the stragglers. Proper (Delta+1)-coloring unconditionally.
-  // Every step runs on reused scratch: zero heap allocations once the
-  // slot's high-water capacity covers the instance.
-  const auto& h = st.h();
-  auto& s = verts_;
-  s.clear();
-  for (int v = 0; v < h.n(); ++v) s.push_back(v);
-  const auto sampler = color::uniform_sampler(st.num_colors(), 0);
-  while (!s.empty()) {
-    const int got = color::try_color_round(st, s, sampler, 0.5);
-    color::prune_colored(st, &s);
-    if (got == 0) break;
-  }
-  if (!s.empty()) color::fallback_finish(st, s);
-}
-
-void JobSlot::execute(const Instance& inst, const JobSpec& job,
-                      JobResult* out) {
-  const auto& h = inst.cg.h();
-  out->n = h.n();
-  const auto params = job_params(job, h.n());
-  const auto t0 = clock_type::now();
-
-  ledger_.reset(inst.bandwidth);
-  if (!rt_) {
-    rt_.emplace(inst.cg, ledger_);
-  } else {
-    rt_->rebind(inst.cg, ledger_);
-  }
-  out->delta = rt_->delta();
-  out->num_colors = rt_->delta() + 1;
-
-  if (job.algo == Algo::kFast ||
-      rt_->delta() >= params.delta_low(h.n())) {
-    // Slot-state path: reset-and-reuse instead of reconstructing.
-    if (!st_) {
-      st_ = std::make_unique<color::State>(*rt_, params);
-    } else {
-      st_->reset(*rt_, params);
-    }
-    if (job.algo == Algo::kFast) {
-      fast_color(*st_);
-    } else {
-      color::run_high_degree(*st_);
-      out->num_cliques = st_->dc.acd.num_cliques;
-      for (int k = 0; k < st_->dc.acd.num_cliques; ++k) {
-        if (st_->dc.info.is_cabal[static_cast<std::size_t>(k)]) {
-          ++out->num_cabals;
-        }
-      }
-    }
-    out->fallback_count = st_->fallback_count;
-    out->retry_count = st_->retry_count;
-    out->ok = cluster::is_proper_total(h, st_->phi.vec(), out->num_colors);
-    out->uncolored = out->ok ? 0 : cluster::count_uncolored(st_->phi.vec());
-  } else {
-    // Theorem 1.1 path: color_low_degree constructs its own state, so no
-    // reuse yet (ROADMAP open item); the ledger/runtime arena still
-    // applies.
-    const auto res = lowdeg::color_low_degree(*rt_, params);
-    out->fallback_count = res.fallback_count;
-    out->retry_count = res.retry_count;
-    out->num_cliques = res.num_cliques;
-    out->num_cabals = res.num_cabals;
-    out->ok = cluster::is_proper_total(h, res.colors, res.num_colors);
-    out->uncolored = out->ok ? 0 : cluster::count_uncolored(res.colors);
-  }
-  out->h_rounds = ledger_.h_rounds();
-  out->g_rounds = ledger_.g_rounds();
-  out->total_bits = ledger_.total_bits();
-  out->max_bits_per_link_round = ledger_.max_bits_per_link_round();
-  out->wall_ns = elapsed_ns(t0, clock_type::now());
-}
 
 void JobSlot::run(const Instance& inst, const JobSpec& job,
                   JobResult* out) {
@@ -127,12 +34,46 @@ void JobSlot::run(const Instance& inst, const JobSpec& job,
     out->error = inst.error;
     return;
   }
-  try {
-    execute(inst, job, out);
-  } catch (const std::exception& e) {
-    out->ok = false;
-    out->error = e.what();
+
+  // The manifest surface maps 1:1 onto the facade: the JobSpec's
+  // execution knobs become ccg::Options, the prepared instance becomes a
+  // borrowed ccg::Problem. copy_colors stays off — properness is checked
+  // inside the Solver and the report only needs the scalar stats, so the
+  // warm fast path performs zero heap allocations.
+  Options opt;
+  opt.algo = job.algo;
+  opt.threads = job.threads;
+  opt.seed = job.params_seed;
+  if (job.eps > 0) opt.eps = job.eps;
+  opt.oracle = job.oracle;
+  opt.copy_colors = false;
+
+  const auto t0 = clock_type::now();
+  if (inst.vg) {
+    solver_.solve(Problem::virtual_graph(*inst.vg), opt, &outcome_);
+  } else {
+    solver_.solve(Problem::cluster(inst.cg), opt, &outcome_);
   }
+  out->wall_ns = elapsed_ns(t0, clock_type::now());
+
+  out->n = outcome_.n;
+  out->num_colors = outcome_.result.num_colors;
+  out->delta = out->num_colors > 0 ? out->num_colors - 1 : 0;
+  out->congestion = outcome_.congestion;
+  out->ok = outcome_.ok();
+  out->uncolored = outcome_.uncolored;
+  if (!outcome_.ok()) {
+    out->error = outcome_.error.message;
+    return;
+  }
+  out->fallback_count = outcome_.result.fallback_count;
+  out->retry_count = outcome_.result.retry_count;
+  out->num_cliques = outcome_.result.num_cliques;
+  out->num_cabals = outcome_.result.num_cabals;
+  out->h_rounds = outcome_.result.h_rounds;
+  out->g_rounds = outcome_.result.g_rounds;
+  out->total_bits = solver_.ledger().total_bits();
+  out->max_bits_per_link_round = outcome_.result.max_bits_per_link_round;
 }
 
 std::vector<Instance> prepare_instances(const Manifest& m,
@@ -152,22 +93,40 @@ std::vector<Instance> prepare_instances(const Manifest& m,
     try {
       Rng rng(job.graph_seed);
       auto g = build_job_graph(job, rng);
-      const auto shape = layout_shape(job.layout);
-      if (job.layout == "singleton") {
-        inst.cg = cluster::ClusterGraph::singleton(std::move(g));
-      } else if (shape) {
-        cluster::ExpandSpec spec;
-        spec.size = job.cluster_size;
-        spec.links_per_edge = job.links_per_edge;
-        spec.shape = *shape;
-        inst.cg = cluster::ClusterGraph::expand(g, spec, rng);
-      } else {
-        // parse_manifest validates this, but programmatic Manifest
-        // builders (tests, benches) bypass the parser — fail their jobs
-        // loudly instead of silently picking some shape.
-        throw ManifestError("unknown layout '" + job.layout + "'");
+      // parse_manifest rejects virtual modes with a layout, but
+      // programmatic Manifest builders bypass the parser — fail loudly
+      // instead of silently ignoring the requested expansion.
+      if (job.mode != JobMode::kCluster && job.layout != "singleton") {
+        throw ManifestError(std::string("mode=") + mode_name(job.mode) +
+                            " requires the singleton layout");
       }
-      inst.bandwidth = inst.cg.default_bandwidth();
+      if (job.mode == JobMode::kEdge) {
+        if (g.m() < 1) {
+          throw ManifestError("mode=edge needs at least one edge");
+        }
+        inst.vg.emplace(cluster::make_line_graph(g).vg);
+        inst.bandwidth = inst.vg->default_bandwidth();
+      } else if (job.mode == JobMode::kDist2) {
+        inst.vg.emplace(cluster::VirtualGraph::distance2(g));
+        inst.bandwidth = inst.vg->default_bandwidth();
+      } else {
+        const auto shape = layout_shape(job.layout);
+        if (job.layout == "singleton") {
+          inst.cg = cluster::ClusterGraph::singleton(std::move(g));
+        } else if (shape) {
+          cluster::ExpandSpec spec;
+          spec.size = job.cluster_size;
+          spec.links_per_edge = job.links_per_edge;
+          spec.shape = *shape;
+          inst.cg = cluster::ClusterGraph::expand(g, spec, rng);
+        } else {
+          // parse_manifest validates this, but programmatic Manifest
+          // builders (tests, benches) bypass the parser — fail their jobs
+          // loudly instead of silently picking some shape.
+          throw ManifestError("unknown layout '" + job.layout + "'");
+        }
+        inst.bandwidth = inst.cg.default_bandwidth();
+      }
     } catch (const std::exception& e) {
       inst.error = e.what();
     }
@@ -264,7 +223,8 @@ std::string report_json(const Manifest& m, const BatchReport& r,
     j.begin_object();
     j.key("index").value(jr.index);
     j.key("key").value(js.key);
-    j.key("algo").value(algo_name(js.algo));
+    j.key("algo").value(ccg::algo_name(js.algo));
+    j.key("mode").value(mode_name(js.mode));
     j.key("threads").value(js.threads);
     j.key("seed").value(js.params_seed);
     j.key("instance").value(jr.instance);
@@ -278,6 +238,7 @@ std::string report_json(const Manifest& m, const BatchReport& r,
     j.key("g_rounds").value(jr.g_rounds);
     j.key("total_bits").value(jr.total_bits);
     j.key("max_bits_per_link_round").value(jr.max_bits_per_link_round);
+    j.key("congestion").value(jr.congestion);
     j.key("fallback_count").value(jr.fallback_count);
     j.key("retry_count").value(jr.retry_count);
     j.key("num_cliques").value(jr.num_cliques);

@@ -11,14 +11,16 @@
 //   3. report — results land in manifest-order slots, so the report never
 //      depends on completion order.
 //
-// Each scheduler worker owns one JobSlot, an arena holding a Ledger, a
-// Runtime and a color::State that are *reset*, not reconstructed, between
-// jobs (Ledger::reset / Runtime::rebind / State::reset). Scratch keeps its
-// high-water capacity across job boundaries, extending the discipline of
-// color/scratch.hpp to the serving loop: once a slot is warm, Algo::kFast
-// jobs execute with zero heap allocations (pinned by
-// tests/test_svc_reuse.cpp; Algo::kAuto still allocates inside the
-// pipeline phases — tracked as allocs_per_job in bench_throughput).
+// Each scheduler worker owns one JobSlot: a thin adapter over
+// ccg::Solver, the library's reusable session object (include/ccg/
+// solver.hpp). The Solver holds the arena — a Ledger, a Runtime and a
+// color::State that are *reset*, not reconstructed, between jobs — so
+// the batch service and every other consumer (the CLIs, the benches,
+// external callers) share exactly one serving code path. Scratch keeps
+// its high-water capacity across job boundaries: once a slot is warm,
+// Algo::kFast jobs execute with zero heap allocations (pinned by
+// tests/test_svc_reuse.cpp; pipeline algos still allocate inside the
+// phases — tracked as allocs_per_job in bench_throughput).
 //
 // Determinism contract: every job's coloring seed is a pure function of
 // (manifest seed, job index) — see manifest.hpp — and instances are
@@ -28,15 +30,13 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "ccg/solver.hpp"
 #include "cluster/cluster_graph.hpp"
-#include "cluster/runtime.hpp"
-#include "color/coloring.hpp"
-#include "net/ledger.hpp"
+#include "cluster/virtual_graph.hpp"
 #include "svc/manifest.hpp"
 
 namespace ccg::svc {
@@ -45,9 +45,12 @@ namespace ccg::svc {
 // read-only by every job referencing it. A failed build (bad DIMACS path,
 // generator contract violation) is recorded instead of thrown: the jobs
 // on it fail individually and the rest of the batch proceeds.
+// Virtual-graph modes (JobMode::kEdge / kDist2) build their encoding here
+// too, so repeats share one line graph / G^2 representation.
 struct Instance {
   std::string key;
-  cluster::ClusterGraph cg;
+  cluster::ClusterGraph cg;                // JobMode::kCluster
+  std::optional<cluster::VirtualGraph> vg;  // virtual modes
   int bandwidth = 0;
   std::string error;  // non-empty: build failed with this message
 };
@@ -70,29 +73,26 @@ struct JobResult {
   int retry_count = 0;
   int num_cliques = 0;
   int num_cabals = 0;
+  int congestion = 1;  // > 1 only for virtual-graph modes
   double wall_ns = 0;  // timing; excluded from deterministic reports
   std::string error;   // failure path only
 };
 
-// The arena one scheduler worker owns. Public so callers with their own
-// scheduling (async ingest, tests, the reuse bench) can drive slots
-// directly; run() is exactly what the batch scheduler executes per job.
+// The arena one scheduler worker owns: a ccg::Solver session plus a
+// reused Outcome. Public so callers with their own scheduling (async
+// ingest, tests, the reuse bench) can drive slots directly; run() is
+// exactly what the batch scheduler executes per job.
 class JobSlot {
  public:
-  // Execute `job` on `inst`, reusing this slot's ledger/runtime/state.
-  // Exceptions from the coloring code are captured into out->error.
-  // Allocation-free in steady state for Algo::kFast jobs whose instance
-  // sizes stay at or below the slot's high-water marks.
+  // Execute `job` on `inst` through the slot's Solver session. Boundary
+  // and pipeline failures come back as out->error (the facade never
+  // throws). Allocation-free in steady state for Algo::kFast jobs whose
+  // instance sizes stay at or below the session's high-water marks.
   void run(const Instance& inst, const JobSpec& job, JobResult* out);
 
  private:
-  void execute(const Instance& inst, const JobSpec& job, JobResult* out);
-  void fast_color(color::State& st);
-
-  net::Ledger ledger_{1};
-  std::optional<cluster::Runtime> rt_;
-  std::unique_ptr<color::State> st_;
-  std::vector<int> verts_;  // fast-path worklist (high-water reused)
+  Solver solver_;
+  Outcome outcome_;  // reused across jobs (buffer capacity persists)
 };
 
 struct BatchOptions {

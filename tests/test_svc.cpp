@@ -299,5 +299,104 @@ TEST(SvcBatch, IntraJobThreadCountDoesNotChangeTheReport) {
   EXPECT_EQ(j1, fix(j4));
 }
 
+TEST(SvcVirtualModes, ManifestParsesModesAndKeysThem) {
+  const auto m = parse_manifest_string(
+      "seed 53\n"
+      "job --gen grid --w 8 --h 8 --mode edge --algo fast\n"
+      "job --gen grid --w 8 --h 8 --mode edge\n"
+      "job --gen grid --w 8 --h 8\n"
+      "job --gen gnm --n 150 --m 450 --mode dist2 --repeat 2\n"
+      "job --gen gnm --n 150 --m 450\n");
+  ASSERT_EQ(m.jobs.size(), 6u);
+  EXPECT_EQ(m.jobs[0].mode, JobMode::kEdge);
+  EXPECT_EQ(m.jobs[2].mode, JobMode::kCluster);
+  EXPECT_EQ(m.jobs[3].mode, JobMode::kDist2);
+  // Mode is part of instance identity: edge jobs share one line graph,
+  // but never an instance with the plain-cluster job on the same recipe.
+  EXPECT_EQ(m.jobs[0].key, m.jobs[1].key);
+  EXPECT_NE(m.jobs[1].key, m.jobs[2].key);
+  EXPECT_EQ(m.jobs[3].key, m.jobs[4].key);
+  EXPECT_NE(m.jobs[3].key, m.jobs[5].key);
+
+  // Virtual modes define their own network; layouts and bad names fail
+  // at parse time, like every numeric range.
+  EXPECT_THROW(parse_manifest_string("job --gen gnm --mode blorp\n"),
+               ManifestError);
+  EXPECT_THROW(
+      parse_manifest_string("job --gen gnm --mode edge --layout star\n"),
+      ManifestError);
+  EXPECT_THROW(parse_manifest_string("job --gen gnm --eps 1.5\n"),
+               ManifestError);
+  EXPECT_THROW(parse_manifest_string("job --gen gnm --threads -2\n"),
+               ManifestError);
+  EXPECT_THROW(parse_manifest_string("job --gen gnm --n -5\n"),
+               ManifestError);
+  EXPECT_THROW(parse_manifest_string("job --gen gnp --p 1.5\n"),
+               ManifestError);
+}
+
+TEST(SvcVirtualModes, EdgeAndDist2JobsColorProperlyAndDeterministically) {
+  const auto m = parse_manifest_string(
+      "seed 53\n"
+      "job --gen grid --w 8 --h 8 --mode edge --algo fast\n"
+      "job --gen grid --w 8 --h 8 --mode edge\n"
+      "job --gen gnm --n 150 --m 450 --mode dist2 --repeat 2\n"
+      "job --gen gnm --n 150 --m 450 --algo low\n");
+  BatchOptions opt;
+  opt.sched_workers = 2;
+  const auto rep = run_batch(m, opt);
+  ASSERT_EQ(rep.jobs.size(), 5u);
+  for (const auto& jr : rep.jobs) {
+    EXPECT_TRUE(jr.ok) << "job " << jr.index << ": " << jr.error;
+    EXPECT_EQ(jr.uncolored, 0);
+    EXPECT_GT(jr.h_rounds, 0);
+  }
+  // Line graph of the 8x8 grid: one H-vertex per grid edge; c = 1.
+  EXPECT_EQ(rep.jobs[0].n, 2 * 8 * 7);
+  EXPECT_EQ(rep.jobs[0].congestion, 1);
+  // Distance-2: H = G^2 over the same vertex set; c = 2.
+  EXPECT_EQ(rep.jobs[2].n, 150);
+  EXPECT_EQ(rep.jobs[2].congestion, 2);
+  EXPECT_EQ(rep.jobs[4].congestion, 1);
+  // Virtual instances are cached like any other.
+  EXPECT_EQ(rep.jobs[0].instance, rep.jobs[1].instance);
+  EXPECT_EQ(rep.jobs[2].instance, rep.jobs[3].instance);
+  EXPECT_NE(rep.jobs[2].instance, rep.jobs[4].instance);
+
+  // Programmatic builders that skip the parser still cannot pair a
+  // virtual mode with a cluster layout: the instance build fails loudly
+  // instead of silently ignoring the expansion.
+  {
+    Manifest bypass;
+    JobSpec j;
+    j.gen = "cycle";
+    j.gargs.n = 30;
+    j.mode = JobMode::kEdge;
+    j.layout = "star";
+    j.algo = Algo::kFast;
+    j.key = instance_key(j);
+    bypass.jobs.push_back(j);
+    finalize_job_seeds(bypass);
+    const auto r = run_batch(bypass, {});
+    ASSERT_EQ(r.jobs.size(), 1u);
+    EXPECT_FALSE(r.jobs[0].ok);
+    EXPECT_NE(r.jobs[0].error.find("singleton"), std::string::npos)
+        << r.jobs[0].error;
+  }
+
+  // The headline determinism contract extends to virtual-mode jobs.
+  std::string reference;
+  for (const int workers : {1, 2, 8}) {
+    BatchOptions o;
+    o.sched_workers = workers;
+    const auto json = report_json(m, run_batch(m, o), false);
+    if (reference.empty()) {
+      reference = json;
+    } else {
+      ASSERT_EQ(json, reference) << "sched_workers " << workers;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ccg::svc

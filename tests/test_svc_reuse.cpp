@@ -77,6 +77,74 @@ TEST(SvcReuse, FastJobZeroAllocSteadyStateParallel) {
   run_zero_alloc_check(4);
 }
 
+// Recurring low-degree workload: `count` Algo::kLowDegree jobs over one
+// shared gnm instance (Delta well below delta_low).
+Manifest low_manifest(int count) {
+  Manifest m;
+  m.seed = 11;
+  JobSpec base;
+  base.gen = "gnm";
+  base.gargs.n = 500;
+  base.gargs.m = 2000;
+  base.algo = Algo::kLowDegree;
+  base.threads = 1;
+  for (int i = 0; i < count; ++i) {
+    JobSpec j = base;
+    j.index = i;
+    j.key = instance_key(j);
+    m.jobs.push_back(std::move(j));
+  }
+  finalize_job_seeds(m);
+  return m;
+}
+
+TEST(SvcReuse, LowDegreeJobsReuseTheArena) {
+  // ROADMAP item (b): lowdeg used to rebuild its own State per job,
+  // bypassing slot reuse entirely. Pin the warm --algo low path: a warm
+  // slot must allocate strictly less per job than cold one-slot-per-job
+  // serving (the saved allocations are the Ledger/Runtime/State arena
+  // construction), and reuse must not change a single output bit.
+  constexpr int kJobs = 6;
+  const auto m = low_manifest(kJobs);
+  std::vector<int> instance_of;
+  const auto instances = prepare_instances(m, &instance_of);
+  ASSERT_EQ(instances.size(), 1u);
+
+  JobSlot warm;
+  JobResult out;
+  std::vector<std::int64_t> warm_h(kJobs);
+  for (int pass = 0; pass < 2; ++pass) {  // warm every high-water buffer
+    for (int i = 0; i < kJobs; ++i) {
+      warm.run(instances[0], m.jobs[static_cast<std::size_t>(i)], &out);
+      ASSERT_TRUE(out.ok) << out.error;
+    }
+  }
+  const long long warm_before = alloc_count();
+  for (int i = 0; i < kJobs; ++i) {
+    warm.run(instances[0], m.jobs[static_cast<std::size_t>(i)], &out);
+    ASSERT_TRUE(out.ok) << out.error;
+    warm_h[static_cast<std::size_t>(i)] = out.h_rounds;
+  }
+  const long long warm_allocs = alloc_count() - warm_before;
+
+  const long long cold_before = alloc_count();
+  std::vector<std::int64_t> cold_h(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    JobSlot cold;  // fresh arena per job: the pre-reuse serving shape
+    cold.run(instances[0], m.jobs[static_cast<std::size_t>(i)], &out);
+    ASSERT_TRUE(out.ok) << out.error;
+    cold_h[static_cast<std::size_t>(i)] = out.h_rounds;
+  }
+  const long long cold_allocs = alloc_count() - cold_before;
+
+  // Bit-identical rounds per job, strictly fewer allocations per pass.
+  EXPECT_EQ(warm_h, cold_h);
+  EXPECT_LT(warm_allocs, cold_allocs)
+      << "warm --algo low pass should skip the per-job arena build ("
+      << warm_allocs << " vs " << cold_allocs << " allocs over " << kJobs
+      << " jobs)";
+}
+
 TEST(SvcReuse, ResetStateIsBitIdenticalToFreshState) {
   // The reuse contract behind the zero-alloc loop: a reset State is
   // indistinguishable from a fresh one. Color the same instance with the
