@@ -8,13 +8,21 @@
 //   ccg_batch --manifest jobs.txt --sched-workers 8 --out report.json
 //   ccg_batch --manifest jobs.txt --no-timing    (deterministic output:
 //       byte-identical for every --sched-workers value and job order)
+//   ccg_batch --manifest jobs.txt --max-retries 2 --degrade
+//             --deadline-ms 5000                 (fault-tolerant serving)
+//
+// Exit codes: 0 = every job ok and none degraded; 1 = at least one job
+// failed; 2 = usage or manifest error; 3 = no failures but at least one
+// job was served by the degradation fallback. (Documented in API.md.)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "ccg/ccg.hpp"
+#include "common/failpoint.hpp"
 #include "common/parse.hpp"
 
 namespace {
@@ -24,12 +32,21 @@ int usage() {
       stderr,
       "usage: ccg_batch --manifest <path|-> [--sched-workers w]\n"
       "                 [--out report.json] [--no-timing] [--quiet]\n"
+      "                 [--max-retries r] [--degrade] [--deadline-ms ms]\n"
       "  --manifest       job manifest file; '-' reads stdin\n"
       "  --sched-workers  inter-job scheduler workers (0 = hardware)\n"
       "  --out            write the JSON report here instead of stdout\n"
       "  --no-timing      omit timing/config fields: output is\n"
       "                   byte-identical for every worker count\n"
-      "  --quiet          no summary line on stderr\n");
+      "  --quiet          no summary line on stderr\n"
+      "  --max-retries    deterministic retries per job after an internal\n"
+      "                   failure or missed deadline (default 0)\n"
+      "  --degrade        retries exhausted: serve the sequential greedy\n"
+      "                   (Delta+1)-coloring, flagged 'degraded'\n"
+      "  --deadline-ms    per-attempt deadline for jobs without their own\n"
+      "                   --deadline-ms (0 = none)\n"
+      "exit codes: 0 all ok, 1 failed jobs, 2 usage/manifest error,\n"
+      "            3 degraded jobs only\n");
   return 2;
 }
 
@@ -54,6 +71,9 @@ int main(int argc, char** argv) {
   std::string manifest_path;
   std::string out_path;
   int sched_workers = 1;
+  int max_retries = 0;
+  std::int64_t deadline_ms = 0;
+  bool degrade = false;
   bool include_timing = true;
   bool quiet = false;
 
@@ -63,6 +83,8 @@ int main(int argc, char** argv) {
       include_timing = false;
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (a == "--degrade") {
+      degrade = true;
     } else if (a == "--help") {
       return usage();
     } else if (a == "--manifest" && i + 1 < argc) {
@@ -72,6 +94,11 @@ int main(int argc, char** argv) {
     } else if (a == "--sched-workers" && i + 1 < argc) {
       sched_workers = parse_int_arg("--sched-workers", argv[++i], 0,
                                     ccg::Options::kMaxThreads);
+    } else if (a == "--max-retries" && i + 1 < argc) {
+      max_retries = parse_int_arg("--max-retries", argv[++i], 0, 1000);
+    } else if (a == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = parse_int_arg("--deadline-ms", argv[++i], 0,
+                                  std::numeric_limits<int>::max());
     } else {
       std::fprintf(stderr, "ccg_batch: unknown or incomplete flag '%s'\n",
                    a.c_str());
@@ -90,8 +117,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Environment-armed failpoints (CCG_FAILPOINTS="site=throw;...") for
+  // fault drills against the stock binary; a no-op when unset.
+  try {
+    ccg::fail::arm_from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ccg_batch: bad CCG_FAILPOINTS spec: %s\n",
+                 e.what());
+    return 2;
+  }
+
   ccg::svc::BatchOptions opt;
   opt.sched_workers = sched_workers;
+  opt.max_retries = max_retries;
+  opt.degrade = degrade;
+  opt.deadline_ms = deadline_ms;
   const auto report = ccg::svc::run_batch(manifest, opt);
   const auto json = ccg::svc::report_json(manifest, report, include_timing);
 
@@ -115,6 +155,14 @@ int main(int argc, char** argv) {
                  "%d scheduler worker(s), %.1f jobs/sec\n",
                  ok, report.jobs.size(), report.num_instances,
                  report.sched_workers, report.jobs_per_sec);
+    if (report.jobs_failed + report.jobs_retried + report.jobs_degraded >
+        0) {
+      std::fprintf(stderr,
+                   "ccg_batch: %d job(s) failed, %d retried, %d degraded\n",
+                   report.jobs_failed, report.jobs_retried,
+                   report.jobs_degraded);
+    }
   }
-  return ok == static_cast<int>(report.jobs.size()) ? 0 : 1;
+  if (report.jobs_failed > 0) return 1;
+  return report.jobs_degraded > 0 ? 3 : 0;
 }

@@ -45,6 +45,7 @@
 #include "cluster/virtual_graph.hpp"
 #include "color/params.hpp"
 #include "color/pipeline.hpp"
+#include "common/cancel.hpp"
 #include "graph/graph.hpp"
 #include "net/ledger.hpp"
 
@@ -79,6 +80,9 @@ enum class ErrorCode {
   kBuildFailed,     // instance construction failed (DIMACS I/O, generator
                     // contract violation)
   kInternal,        // contract violation inside the coloring pipeline
+  kDeadlineExceeded,  // Options::deadline_ms elapsed mid-run (cooperative:
+                      // detected at a phase/round boundary, never a hang)
+  kCancelled,         // Solver::request_cancel() arrived mid-run
 };
 
 const char* error_code_name(ErrorCode c);
@@ -189,6 +193,13 @@ struct Options {
   bool oracle = false;
   color::Params::Finisher finisher = color::Params::Finisher::kRandomizedList;
   bool use_representative_sets = false;
+  // Wall-clock budget for the call in milliseconds (0 = none). Checked
+  // cooperatively at phase boundaries and round-engine forks, so a
+  // pathological instance costs at most one phase/round past the budget
+  // before the call returns kDeadlineExceeded. Applies on top of
+  // `params` when both are set (the deadline is a serving concern, not a
+  // Params knob). Negative values are kInvalidOptions.
+  std::int64_t deadline_ms = 0;
   // Full override: used verbatim when set (the knobs above are ignored,
   // including seed and threads — they live inside Params). Validated at
   // the boundary: out-of-range eps/threads/fingerprint_t/round budgets
@@ -235,6 +246,13 @@ class Solver {
   // One entry point for every algorithm and graph mode. Never throws.
   Outcome solve(const Problem& problem, const Options& options = {});
 
+  // Cooperatively cancel the solve() in flight on another thread: it
+  // returns kCancelled at the next phase/round boundary. Each solve()
+  // entry rearms the token, so a request only affects the call it lands
+  // in. Safe to call from any thread at any time; a no-op when nothing
+  // is running.
+  void request_cancel() { cancel_.cancel(); }
+
   // Reusing form: `out` is cleared and refilled, keeping its buffer
   // capacity — with copy_colors = false this is the zero-allocation
   // serving call. Never throws.
@@ -261,6 +279,7 @@ class Solver {
   void run_fast(color::State& st);
 
   net::Ledger ledger_{1};
+  CancelToken cancel_;  // deadline_ms + request_cancel, rearmed per solve
   std::optional<cluster::Runtime> rt_;
   std::unique_ptr<color::State> st_;
   bool last_ok_ = false;    // gates colors(): no partial colorings leak

@@ -4,6 +4,7 @@
 
 #include "cluster/validate.hpp"
 #include "color/primitives.hpp"
+#include "common/failpoint.hpp"
 #include "lowdeg/lowdeg.hpp"
 #include "lowdeg/virtual_color.hpp"
 #include "svc/manifest.hpp"
@@ -33,6 +34,10 @@ std::optional<Error> validate_options(const Options& o) {
                       "threads must be in [0, " +
                           std::to_string(Options::kMaxThreads) +
                           "] (0 = hardware concurrency)");
+  }
+  if (o.deadline_ms < 0) {
+    return make_error(ErrorCode::kInvalidOptions,
+                      "deadline_ms must be >= 0 (0 = no deadline)");
   }
   if (!o.params) {
     if (o.eps != 0.0 && !eps_in_range(o.eps)) {
@@ -117,6 +122,10 @@ const char* error_code_name(ErrorCode c) {
       return "build_failed";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
@@ -145,12 +154,15 @@ const std::vector<std::pair<int, int>>& Solver::edge_map() const {
 // deterministic fallback finishes the stragglers. Proper unconditionally;
 // every step runs on reused scratch, so warm calls are allocation-free.
 void Solver::run_fast(color::State& st) {
+  st.check_cancel();
+  CCG_FAILPOINT_ARG("solver.fast", st.params.seed);
   const auto& h = st.h();
   auto& s = verts_;
   s.clear();
   for (int v = 0; v < h.n(); ++v) s.push_back(v);
   const auto sampler = color::uniform_sampler(st.num_colors(), 0);
   while (!s.empty()) {
+    st.check_cancel();
     const int got = color::try_color_round(st, s, sampler, 0.5);
     color::prune_colored(st, &s);
     if (got == 0) break;
@@ -300,6 +312,15 @@ void Solver::solve_impl(const Problem& p, const Options& o, Outcome* out) {
     out->error = std::move(*err);
     return;
   }
+  // Rearm the cancellation token for this call: a request_cancel() that
+  // raced the previous call dies here, and the deadline clock starts
+  // before binding so slow instance builds count against the budget too.
+  // The scope also hands the token to failpoint delay actions on this
+  // thread, so an injected spin cannot outlive the deadline.
+  cancel_.reset();
+  cancel_.set_deadline_ms(o.deadline_ms);
+  fail::ScopedThreadCancel fp_cancel(&cancel_);
+  CCG_FAILPOINT_ARG("solver.bind", o.seed);
   Bound b;
   if (auto err = bind(p, o, &b)) {
     out->error = std::move(*err);
@@ -337,6 +358,7 @@ void Solver::solve_impl(const Problem& p, const Options& o, Outcome* out) {
   } else {
     st_->reset(*rt_, params);
   }
+  st_->set_cancel(&cancel_);
   out->n = h.n();
   out->machines = b.cg->n_machines();
   out->result.num_colors = rt_->delta() + 1;
@@ -376,6 +398,11 @@ void Solver::solve_impl(const Problem& p, const Options& o, Outcome* out) {
     color::finalize_result_into(st, o.copy_colors, &out->result);
     out->g_rounds_with_congestion =
         out->result.g_rounds * static_cast<std::int64_t>(out->congestion);
+  } catch (const CancelledError& e) {
+    out->uncolored = cluster::count_uncolored(st_->phi.vec());
+    out->error = make_error(e.deadline_exceeded ? ErrorCode::kDeadlineExceeded
+                                                : ErrorCode::kCancelled,
+                            e.what());
   } catch (const std::exception& e) {
     out->uncolored = cluster::count_uncolored(st_->phi.vec());
     out->error = make_error(ErrorCode::kInternal, e.what());
@@ -388,6 +415,12 @@ void Solver::solve(const Problem& problem, const Options& options,
   edge_map_.clear();
   try {
     solve_impl(problem, options, out);
+  } catch (const CancelledError& e) {
+    // A deadline that expired during binding (before the pipeline's own
+    // catch was in place) still surfaces structured.
+    out->error = make_error(e.deadline_exceeded ? ErrorCode::kDeadlineExceeded
+                                                : ErrorCode::kCancelled,
+                            e.what());
   } catch (const std::exception& e) {
     // Belt and braces: boundary validation or binding itself misbehaved.
     out->error = make_error(ErrorCode::kInternal, e.what());

@@ -60,6 +60,8 @@ void State::reset(cluster::Runtime& runtime, const Params& p) {
   wscratch.ensure_workers(par->workers());
   fallback_count = 0;
   retry_count = 0;
+  cancel = nullptr;
+  par->set_cancel(nullptr);
   trial_round_ = 0;
   trial_base_ = mix64(mix64(p.seed ^ kStreamRngTag) ^ trial_round_);
 }

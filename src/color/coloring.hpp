@@ -97,6 +97,7 @@ struct State {
   ScratchPool wscratch;    // pool-owned per-worker scratch set
   int fallback_count = 0;  // safety-net interventions (should be ~0)
   int retry_count = 0;     // phase-level retries after failed postconditions
+  const CancelToken* cancel = nullptr;  // optional deadline/cancel (Solver)
 
   State(cluster::Runtime& runtime, const Params& p)
       : rt(&runtime),
@@ -112,6 +113,16 @@ struct State {
     wscratch.ensure_workers(par->workers());
     trial_base_ = mix64(mix64(p.seed ^ kStreamRngTag) ^ trial_round_);
   }
+
+  // Arm (or with nullptr disarm) cooperative cancellation for this run:
+  // phase boundaries call check_cancel() and the round engine checks at
+  // every fork, so an expired token surfaces as a CancelledError within
+  // one phase/round. reset() disarms.
+  void set_cancel(const CancelToken* token) {
+    cancel = token;
+    par->set_cancel(token);
+  }
+  void check_cancel() const { ccg::check_cancel(cancel); }
 
   // Rearm this state for a fresh run, possibly on a different runtime /
   // instance: the batch service (src/svc/) keeps one State per scheduler

@@ -10,6 +10,7 @@
 #include "color/putaside.hpp"
 #include "color/slack_generation.hpp"
 #include "color/sync_trial.hpp"
+#include "common/failpoint.hpp"
 #include "common/mathutil.hpp"
 
 namespace ccg::color {
@@ -401,26 +402,41 @@ Result finalize_result(State& st) {
 
 void run_high_degree(State& st) {
   auto& ledger = st.rt->ledger();
+  // Each phase boundary is a cooperative cancellation point and a named
+  // fault-injection site; the failpoint hit is tagged with the run's seed
+  // so a fault can be pinned to one specific (job, attempt) regardless of
+  // scheduling (see common/failpoint.hpp).
   {
+    st.check_cancel();
+    CCG_FAILPOINT_ARG("pipeline.phase.acd", st.params.seed);
     net::PhaseScope p(ledger, "1-acd");
     build_dense_context(st);
   }
   {
+    st.check_cancel();
+    CCG_FAILPOINT_ARG("pipeline.phase.slackgen", st.params.seed);
     net::PhaseScope p(ledger, "2-slack-generation");
     slack_generation(st);
   }
   {
+    st.check_cancel();
+    CCG_FAILPOINT_ARG("pipeline.phase.sparse", st.params.seed);
     net::PhaseScope p(ledger, "3-sparse");
     coloring_sparse(st);
   }
   {
+    st.check_cancel();
+    CCG_FAILPOINT_ARG("pipeline.phase.noncabals", st.params.seed);
     net::PhaseScope p(ledger, "4-noncabals");
     coloring_noncabals(st);
   }
   {
+    st.check_cancel();
+    CCG_FAILPOINT_ARG("pipeline.phase.cabals", st.params.seed);
     net::PhaseScope p(ledger, "5-cabals");
     coloring_cabals(st);
   }
+  st.check_cancel();
   // Safety net: should be a no-op.
   std::vector<int> all(static_cast<std::size_t>(st.h().n()));
   for (int v = 0; v < st.h().n(); ++v) all[static_cast<std::size_t>(v)] = v;

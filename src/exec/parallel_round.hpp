@@ -37,6 +37,10 @@ class ParallelRound {
 
   int workers() const { return pool_.workers(); }
 
+  // Forwarded to the pool; also checked at every shards() entry so the
+  // single-worker inline path reacts to deadlines at round granularity.
+  void set_cancel(const CancelToken* token) { pool_.set_cancel(token); }
+
   // Fork/join body(worker, begin, end) over a static chunking of
   // [0, total). Allocation-free at every worker count: single-worker
   // pools call body inline, multi-worker pools pass the stack lambda
@@ -44,6 +48,7 @@ class ParallelRound {
   template <class Body>
   void shards(std::int64_t total, Body&& body) {
     if (pool_.workers() == 1) {
+      check_cancel(pool_.cancel_token());
       if (total > 0) body(0, std::int64_t{0}, total);
       return;
     }

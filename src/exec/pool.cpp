@@ -71,6 +71,7 @@ void ThreadPool::run_dynamic(int w, RawShardFn fn, void* ctx,
   // static path does.
   try {
     for (;;) {
+      check_cancel(cancel_);
       const std::int64_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) break;
       fn(ctx, w, i, i + 1);
@@ -82,6 +83,7 @@ void ThreadPool::run_dynamic(int w, RawShardFn fn, void* ctx,
 
 void ThreadPool::for_shards(std::int64_t total, RawShardFn fn, void* ctx) {
   CCG_CHECK(total >= 0);
+  check_cancel(cancel_);
   if (total == 0) return;
   if (workers_ == 1) {
     fn(ctx, 0, 0, total);
@@ -120,7 +122,10 @@ void ThreadPool::for_dynamic(std::int64_t total, RawShardFn fn, void* ctx) {
   CCG_CHECK(total >= 0);
   if (total == 0) return;
   if (workers_ == 1) {
-    for (std::int64_t i = 0; i < total; ++i) fn(ctx, 0, i, i + 1);
+    for (std::int64_t i = 0; i < total; ++i) {
+      check_cancel(cancel_);
+      fn(ctx, 0, i, i + 1);
+    }
     return;
   }
   {

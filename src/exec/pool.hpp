@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
+
 namespace ccg::exec {
 
 class ThreadPool {
@@ -81,6 +83,14 @@ class ThreadPool {
         const_cast<void*>(static_cast<const void*>(&fn)));
   }
 
+  // Install a cooperative cancellation token (nullptr disarms). Checked
+  // at for_shards entry and at every for_dynamic claim; expiry surfaces
+  // as a CancelledError rethrown on the calling thread like any shard
+  // exception. The caller must keep the token alive across dispatches and
+  // must not swap it while a dispatch is in flight.
+  void set_cancel(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
+
   // workers <= 0 -> hardware concurrency (at least 1).
   static int resolve(int requested);
 
@@ -103,6 +113,7 @@ class ThreadPool {
   bool dynamic_ = false;
   std::atomic<std::int64_t> cursor_{0};
   std::vector<std::exception_ptr> errors_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 // Static chunk of [0, total) assigned to worker w out of `workers`.

@@ -24,43 +24,65 @@ Graph read_dimacs(std::istream& in) {
       case 'c':
         break;  // comment
       case 'p': {
-        CCG_CHECK_MSG(n == -1, "duplicate problem line at " << line_no);
+        if (n != -1) throw IoError("duplicate problem line", line_no);
         std::string kind;
         ls >> kind >> n >> m_declared;
-        CCG_CHECK_MSG(!ls.fail() && (kind == "edge" || kind == "col"),
-                      "bad problem line at " << line_no);
-        CCG_CHECK_MSG(n >= 0 && m_declared >= 0,
-                      "bad problem sizes at " << line_no);
+        // operator>> sets failbit on both garbage and int64 overflow, so
+        // oversize declared counts land here instead of wrapping.
+        if (ls.fail() || (kind != "edge" && kind != "col")) {
+          throw IoError("bad problem line (want 'p edge <n> <m>')",
+                        line_no);
+        }
+        if (n < 0 || m_declared < 0) {
+          throw IoError("bad problem sizes (n and m must be >= 0)",
+                        line_no);
+        }
         g = Graph(n);
         break;
       }
       case 'e': {
-        CCG_CHECK_MSG(n != -1, "edge before problem line at " << line_no);
+        if (n == -1) throw IoError("edge before problem line", line_no);
         int u = 0, v = 0;
         ls >> u >> v;
-        CCG_CHECK_MSG(!ls.fail(), "bad edge line at " << line_no);
-        CCG_CHECK_MSG(u >= 1 && u <= n && v >= 1 && v <= n,
-                      "vertex id out of range at " << line_no);
+        // failbit covers garbage and ids overflowing int.
+        if (ls.fail()) {
+          throw IoError("bad edge line (want 'e <u> <v>')", line_no);
+        }
+        if (u < 1 || u > n || v < 1 || v > n) {
+          throw IoError("vertex id out of range [1, " + std::to_string(n) +
+                            "]",
+                        line_no);
+        }
         g.add_edge(u - 1, v - 1);
         ++edges_seen;
         break;
       }
       default:
-        CCG_CHECK_MSG(false, "unknown line tag '" << tag << "' at line "
-                                                  << line_no);
+        throw IoError(std::string("unknown line tag '") + tag + "'",
+                      line_no);
     }
   }
-  CCG_CHECK_MSG(n != -1, "missing problem line");
-  CCG_CHECK_MSG(edges_seen == m_declared,
-                "edge count mismatch: declared " << m_declared << ", got "
-                                                 << edges_seen);
-  g.finalize();  // rejects duplicates/self-loops
+  if (in.bad()) throw IoError("read error", line_no);
+  if (n == -1) throw IoError("missing problem line");
+  if (edges_seen != m_declared) {
+    // Also the truncated-file signature: the declared count outruns the
+    // edges actually present.
+    throw IoError("edge count mismatch: declared " +
+                      std::to_string(m_declared) + ", got " +
+                      std::to_string(edges_seen),
+                  line_no);
+  }
+  try {
+    g.finalize();  // rejects duplicates/self-loops
+  } catch (const std::exception& e) {
+    throw IoError(std::string("invalid graph: ") + e.what());
+  }
   return g;
 }
 
 Graph read_dimacs_file(const std::string& path) {
   std::ifstream in(path);
-  CCG_CHECK_MSG(in.good(), "cannot open " << path);
+  if (!in.good()) throw IoError("cannot open " + path);
   return read_dimacs(in);
 }
 

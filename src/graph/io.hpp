@@ -7,15 +7,39 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "graph/graph.hpp"
 
 namespace ccg::graph {
 
-// Parses a DIMACS "edge" stream; throws ContractViolation on malformed
-// input (missing problem line, out-of-range ids, duplicate edges).
+// Malformed or unreadable input. A *data* error, not a programming error:
+// callers that accept external files (the CLIs, the batch service's
+// prepare_instances) catch it and report a structured build failure
+// instead of treating it like an internal contract violation. `line()`
+// is the 1-based input line (0 when no line applies, e.g. an unreadable
+// path); the message already includes it.
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& message, int line = 0)
+      : std::runtime_error(line > 0 ? "line " + std::to_string(line) + ": " +
+                                          message
+                                    : message),
+        line_(line) {}
+
+  int line() const { return line_; }
+
+ private:
+  int line_ = 0;
+};
+
+// Parses a DIMACS "edge" stream; throws IoError (with the offending line
+// number) on malformed input: missing/duplicate problem line, truncated
+// input (declared edge count not met), negative / out-of-range /
+// overflowing vertex ids, self-loops, duplicate edges, stream failures.
 Graph read_dimacs(std::istream& in);
+// Additionally throws IoError for unreadable paths.
 Graph read_dimacs_file(const std::string& path);
 
 void write_dimacs(const Graph& g, std::ostream& out);

@@ -8,6 +8,7 @@
 #include "color/primitives.hpp"
 #include "color/relays.hpp"
 #include "color/slack_generation.hpp"
+#include "common/failpoint.hpp"
 #include "common/mathutil.hpp"
 #include "gk/gk.hpp"
 
@@ -310,6 +311,8 @@ void run_low_degree(State& st) {
 
   if (delta + 1 <= 4 * logn) {
     // ---- Logarithmic regime (Algorithm 12): palettes are bitmaps. ----
+    st.check_cancel();
+    CCG_FAILPOINT_ARG("lowdeg.phase.logarithmic", st.params.seed);
     net::PhaseScope p(rt.ledger(), "lowdeg-logarithmic");
     std::vector<int> all(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
@@ -345,7 +348,11 @@ void run_low_degree(State& st) {
     if (!left.empty()) color::fallback_finish(st, left);
   } else {
     // ---- Polylogarithmic regime (Algorithms 13/14/15). ----
+    // Phase boundaries double as cancellation points and seed-tagged
+    // failpoints, mirroring color::run_high_degree.
     {
+      st.check_cancel();
+      CCG_FAILPOINT_ARG("lowdeg.phase.acd", st.params.seed);
       net::PhaseScope p(rt.ledger(), "lowdeg-acd");
       color::build_dense_context(st);
       // Section 9.2: the cabal threshold moves to Theta(log n) and no
@@ -360,6 +367,8 @@ void run_low_degree(State& st) {
       st.dc.reserved_cap = 0;
     }
     {
+      st.check_cancel();
+      CCG_FAILPOINT_ARG("lowdeg.phase.slackgen", st.params.seed);
       net::PhaseScope p(rt.ledger(), "lowdeg-slackgen");
       color::slack_generation(st);
     }
@@ -367,6 +376,8 @@ void run_low_degree(State& st) {
     const auto palette = color::clique_palette_sampler(
         st, [](int) { return 0; });
     {
+      st.check_cancel();
+      CCG_FAILPOINT_ARG("lowdeg.phase.sparse", st.params.seed);
       net::PhaseScope p(rt.ledger(), "lowdeg-sparse");
       std::vector<int> sparse;
       for (int v = 0; v < n; ++v) {
@@ -375,6 +386,8 @@ void run_low_degree(State& st) {
       reduce_learn_shatter_finish(st, std::move(sparse), uniform, uniform);
     }
     {
+      st.check_cancel();
+      CCG_FAILPOINT_ARG("lowdeg.phase.noncabals", st.params.seed);
       net::PhaseScope p(rt.ledger(), "lowdeg-noncabals");
       std::vector<int> ids;
       for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
@@ -405,6 +418,8 @@ void run_low_degree(State& st) {
       }
     }
     {
+      st.check_cancel();
+      CCG_FAILPOINT_ARG("lowdeg.phase.cabals", st.params.seed);
       net::PhaseScope p(rt.ledger(), "lowdeg-cabals");
       std::vector<int> ids;
       for (int k = 0; k < st.dc.acd.num_cliques; ++k) {

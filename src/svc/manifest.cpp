@@ -15,6 +15,9 @@ namespace {
 // entity = job index, so every job owns an independent stream regardless
 // of scheduling.
 constexpr std::uint64_t kJobSeedRound = 0x6A6F6273ULL;  // "jobs"
+// Retry-seed stream: a different round tag keeps every retry stream
+// disjoint from the attempt-0 job-seed stream.
+constexpr std::uint64_t kRetrySeedRound = 0x72747279ULL;  // "rtry"
 
 [[noreturn]] void fail(int lineno, const std::string& what) {
   std::ostringstream os;
@@ -189,6 +192,11 @@ void parse_job_line(const std::vector<std::string>& toks, int lineno,
       if (!(job.eps > 0 && job.eps < 1)) {
         fail(lineno, "--eps must lie in (0, 1)");
       }
+    } else if (key == "deadline-ms") {
+      job.deadline_ms = parse_i64(lineno, key, val);
+      if (job.deadline_ms < 0) {
+        fail(lineno, "--deadline-ms must be >= 0 (0 = no deadline)");
+      }
     } else {
       fail(lineno, "unknown flag --" + key);
     }
@@ -242,6 +250,17 @@ std::uint64_t derive_job_seed(std::uint64_t manifest_seed, int job_index) {
   return stream_rng(manifest_seed, kJobSeedRound,
                     static_cast<std::uint64_t>(job_index))
       .next_u64();
+}
+
+std::uint64_t derive_retry_seed(std::uint64_t manifest_seed, int job_index,
+                                int attempt) {
+  // entity = (index, attempt) packed: attempts are small (bounded by the
+  // retry budget), indices fit 32 bits by construction.
+  const std::uint64_t entity =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(job_index))
+       << 16) ^
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt));
+  return stream_rng(manifest_seed, kRetrySeedRound, entity).next_u64();
 }
 
 void finalize_job_seeds(Manifest& m) {

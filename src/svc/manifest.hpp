@@ -108,6 +108,10 @@ struct JobSpec {
   bool explicit_seed = false;      // --seed pinned params_seed
   double eps = -1.0;               // <0: keep Params default
   bool oracle = false;             // exact-oracle ACD + unmeasured bits
+  // Per-job wall-clock budget (Options::deadline_ms). 0 = none; a
+  // negative value means "unset" so the batch runner's default (ccg_batch
+  // --deadline-ms) can fill it without clobbering an explicit 0.
+  std::int64_t deadline_ms = -1;
 };
 
 struct Manifest {
@@ -135,6 +139,13 @@ JobSpec parse_job_flags(const std::string& flags);
 // through the counter-based stream RNG, so any scheduler assignment
 // reproduces the same bits.
 std::uint64_t derive_job_seed(std::uint64_t manifest_seed, int job_index);
+
+// Seed of retry `attempt` (>= 1) of a job: a pure function of (manifest
+// seed, job index, attempt), distinct from every attempt-0 seed, so the
+// whole retry trajectory of a batch is scheduler-independent too.
+// Attempt 0 is the job's own params_seed.
+std::uint64_t derive_retry_seed(std::uint64_t manifest_seed, int job_index,
+                                int attempt);
 
 // Fills params_seed for every job that has no explicit seed. parse_manifest
 // calls this; programmatic manifest builders (benches, tests) must call it

@@ -3,9 +3,13 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "baseline/baselines.hpp"
+#include "cluster/validate.hpp"
 #include "common/assert.hpp"
+#include "common/failpoint.hpp"
 #include "common/json.hpp"
 #include "exec/pool.hpp"
+#include "graph/io.hpp"
 
 namespace ccg::svc {
 
@@ -19,10 +23,111 @@ double elapsed_ns(clock_type::time_point t0, clock_type::time_point t1) {
           .count());
 }
 
+// True for errors raised mid-pipeline: the arena may hold arbitrary
+// partial state, so the session must be quarantined before reuse.
+bool is_midrun_failure(ErrorCode c) {
+  return c == ErrorCode::kInternal || c == ErrorCode::kDeadlineExceeded ||
+         c == ErrorCode::kCancelled;
+}
+
 }  // namespace
+
+void JobSlot::run_attempt(const Instance& inst, const JobSpec& job,
+                          std::uint64_t seed, std::int64_t deadline_ms,
+                          JobResult* out) {
+  // The manifest surface maps 1:1 onto the facade: the JobSpec's
+  // execution knobs become ccg::Options, the prepared instance becomes a
+  // borrowed ccg::Problem. copy_colors stays off — properness is checked
+  // inside the Solver and the report only needs the scalar stats, so the
+  // warm fast path performs zero heap allocations.
+  Options opt;
+  opt.algo = job.algo;
+  opt.threads = job.threads;
+  opt.seed = seed;
+  if (job.eps > 0) opt.eps = job.eps;
+  opt.oracle = job.oracle;
+  opt.deadline_ms = deadline_ms;
+  opt.copy_colors = false;
+
+  // Scheduler-level injection site: a fault here models the job dying
+  // outside the Solver (whose facade never throws). Contained to this
+  // attempt like any mid-run failure, quarantine included.
+  try {
+    CCG_FAILPOINT_ARG("svc.job.run", seed);
+  } catch (const std::exception& e) {
+    ++out->attempts;
+    out->ok = false;
+    out->error = e.what();
+    out->code = ErrorCode::kInternal;
+    solver_ = std::make_unique<Solver>();
+    return;
+  }
+  const auto t0 = clock_type::now();
+  if (inst.vg) {
+    solver_->solve(Problem::virtual_graph(*inst.vg), opt, &outcome_);
+  } else {
+    solver_->solve(Problem::cluster(inst.cg), opt, &outcome_);
+  }
+  out->wall_ns += elapsed_ns(t0, clock_type::now());
+  ++out->attempts;
+
+  out->n = outcome_.n;
+  out->num_colors = outcome_.result.num_colors;
+  out->delta = out->num_colors > 0 ? out->num_colors - 1 : 0;
+  out->congestion = outcome_.congestion;
+  out->ok = outcome_.ok();
+  out->uncolored = outcome_.uncolored;
+  out->code = outcome_.error.code;
+  if (!outcome_.ok()) {
+    out->error = outcome_.error.message;
+    // Quarantine: whatever broke mid-run may have corrupted the arena.
+    // Cold-rebuild the session before it serves anything else, so the
+    // next job on this slot is bit-identical to one on a fresh slot.
+    if (is_midrun_failure(out->code)) solver_ = std::make_unique<Solver>();
+    return;
+  }
+  out->error.clear();
+  out->fallback_count = outcome_.result.fallback_count;
+  out->retry_count = outcome_.result.retry_count;
+  out->num_cliques = outcome_.result.num_cliques;
+  out->num_cabals = outcome_.result.num_cabals;
+  out->h_rounds = outcome_.result.h_rounds;
+  out->g_rounds = outcome_.result.g_rounds;
+  out->total_bits = solver_->ledger().total_bits();
+  out->max_bits_per_link_round = outcome_.result.max_bits_per_link_round;
+}
+
+void JobSlot::degrade(const Instance& inst, JobResult* out) {
+  // Graceful degradation: the sequential greedy baseline always yields a
+  // proper (Delta+1)-coloring, deterministically (no RNG), so a degraded
+  // batch report is still byte-identical across scheduler configurations.
+  // The last failure's error/code are kept for the report.
+  const graph::Graph& h = inst.vg ? inst.vg->h() : inst.cg.h();
+  degrade_colors_ = baseline::greedy_coloring(h);
+  const int num_colors = h.max_degree() + 1;
+  if (!cluster::is_proper_total(h, degrade_colors_, num_colors)) {
+    // Cannot happen for a correct baseline; keep the job failed rather
+    // than serve an invalid coloring.
+    out->error += " (degradation fallback produced an improper coloring)";
+    out->code = ErrorCode::kInternal;
+    return;
+  }
+  out->ok = true;
+  out->degraded = true;
+  out->n = h.n();
+  out->num_colors = num_colors;
+  out->delta = num_colors - 1;
+  out->uncolored = 0;
+  out->congestion = inst.vg ? inst.vg->congestion() : 1;
+}
 
 void JobSlot::run(const Instance& inst, const JobSpec& job,
                   JobResult* out) {
+  run(inst, job, RunPolicy{}, out);
+}
+
+void JobSlot::run(const Instance& inst, const JobSpec& job,
+                  const RunPolicy& policy, JobResult* out) {
   // Drivers reuse one JobResult across jobs; start from a clean slate so
   // nothing (stale error text, dense-structure counts) leaks between
   // jobs. JobResult owns no containers besides the (empty) error string,
@@ -32,48 +137,28 @@ void JobSlot::run(const Instance& inst, const JobSpec& job,
   if (!inst.error.empty()) {
     out->ok = false;
     out->error = inst.error;
+    out->code = inst.error_code != ErrorCode::kOk ? inst.error_code
+                                                  : ErrorCode::kBuildFailed;
     return;
   }
 
-  // The manifest surface maps 1:1 onto the facade: the JobSpec's
-  // execution knobs become ccg::Options, the prepared instance becomes a
-  // borrowed ccg::Problem. copy_colors stays off — properness is checked
-  // inside the Solver and the report only needs the scalar stats, so the
-  // warm fast path performs zero heap allocations.
-  Options opt;
-  opt.algo = job.algo;
-  opt.threads = job.threads;
-  opt.seed = job.params_seed;
-  if (job.eps > 0) opt.eps = job.eps;
-  opt.oracle = job.oracle;
-  opt.copy_colors = false;
-
-  const auto t0 = clock_type::now();
-  if (inst.vg) {
-    solver_.solve(Problem::virtual_graph(*inst.vg), opt, &outcome_);
-  } else {
-    solver_.solve(Problem::cluster(inst.cg), opt, &outcome_);
+  const std::int64_t deadline_ms =
+      job.deadline_ms >= 0 ? job.deadline_ms : policy.deadline_ms;
+  const int max_retries = policy.max_retries > 0 ? policy.max_retries : 0;
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    // Attempt 0 runs the job's own seed; retries draw fresh deterministic
+    // seeds from (manifest seed, job index, attempt) so a seed-dependent
+    // failure (or a seed-matched failpoint) is not replayed verbatim.
+    const std::uint64_t seed =
+        attempt == 0 ? job.params_seed
+                     : derive_retry_seed(policy.manifest_seed, job.index,
+                                         attempt);
+    run_attempt(inst, job, seed, deadline_ms, out);
+    if (out->ok) return;
+    // Input errors are permanent: retrying the same bytes cannot help.
+    if (!is_midrun_failure(out->code)) return;
   }
-  out->wall_ns = elapsed_ns(t0, clock_type::now());
-
-  out->n = outcome_.n;
-  out->num_colors = outcome_.result.num_colors;
-  out->delta = out->num_colors > 0 ? out->num_colors - 1 : 0;
-  out->congestion = outcome_.congestion;
-  out->ok = outcome_.ok();
-  out->uncolored = outcome_.uncolored;
-  if (!outcome_.ok()) {
-    out->error = outcome_.error.message;
-    return;
-  }
-  out->fallback_count = outcome_.result.fallback_count;
-  out->retry_count = outcome_.result.retry_count;
-  out->num_cliques = outcome_.result.num_cliques;
-  out->num_cabals = outcome_.result.num_cabals;
-  out->h_rounds = outcome_.result.h_rounds;
-  out->g_rounds = outcome_.result.g_rounds;
-  out->total_bits = solver_.ledger().total_bits();
-  out->max_bits_per_link_round = outcome_.result.max_bits_per_link_round;
+  if (policy.degrade) degrade(inst, out);
 }
 
 std::vector<Instance> prepare_instances(const Manifest& m,
@@ -91,6 +176,7 @@ std::vector<Instance> prepare_instances(const Manifest& m,
     Instance inst;
     inst.key = job.key;
     try {
+      CCG_FAILPOINT("svc.prepare");
       Rng rng(job.graph_seed);
       auto g = build_job_graph(job, rng);
       // parse_manifest rejects virtual modes with a layout, but
@@ -127,8 +213,21 @@ std::vector<Instance> prepare_instances(const Manifest& m,
         }
         inst.bandwidth = inst.cg.default_bandwidth();
       }
+    } catch (const ManifestError& e) {
+      // Recipe semantics violated (bad mode/layout combination, ...).
+      inst.error = e.what();
+      inst.error_code = ErrorCode::kInvalidProblem;
+    } catch (const graph::IoError& e) {
+      // Unreadable or malformed external input (DIMACS).
+      inst.error = e.what();
+      inst.error_code = ErrorCode::kBuildFailed;
+    } catch (const ContractViolation& e) {
+      // A generator (or injected fault) tripped a library contract.
+      inst.error = e.what();
+      inst.error_code = ErrorCode::kInternal;
     } catch (const std::exception& e) {
       inst.error = e.what();
+      inst.error_code = ErrorCode::kBuildFailed;
     }
     const int id = static_cast<int>(instances.size());
     by_key.emplace(job.key, id);
@@ -168,6 +267,12 @@ BatchReport run_batch(const Manifest& m, const BatchOptions& opt) {
     order = opt.order;
   }
 
+  RunPolicy policy;
+  policy.manifest_seed = m.seed;
+  policy.max_retries = opt.max_retries;
+  policy.degrade = opt.degrade;
+  policy.deadline_ms = opt.deadline_ms;
+
   std::vector<JobSlot> slots(static_cast<std::size_t>(workers));
   const auto t1 = clock_type::now();
   if (num_jobs > 0) {
@@ -176,9 +281,10 @@ BatchReport run_batch(const Manifest& m, const BatchOptions& opt) {
       const std::vector<Instance>* instances;
       const std::vector<int>* instance_of;
       const std::vector<int>* order;
+      const RunPolicy* policy;
       std::vector<JobSlot>* slots;
       BatchReport* rep;
-    } ctx{&m, &instances, &instance_of, &order, &slots, &rep};
+    } ctx{&m, &instances, &instance_of, &order, &policy, &slots, &rep};
     exec::ThreadPool pool(workers);
     pool.for_dynamic(
         num_jobs,
@@ -189,10 +295,16 @@ BatchReport run_batch(const Manifest& m, const BatchOptions& opt) {
           const int inst_id = (*ctx.instance_of)[static_cast<std::size_t>(ji)];
           auto* out = &ctx.rep->jobs[static_cast<std::size_t>(ji)];
           (*ctx.slots)[static_cast<std::size_t>(w)].run(
-              (*ctx.instances)[static_cast<std::size_t>(inst_id)], job, out);
+              (*ctx.instances)[static_cast<std::size_t>(inst_id)], job,
+              *ctx.policy, out);
           out->instance = inst_id;  // after run(): run() resets *out
         },
         &ctx);
+  }
+  for (const auto& jr : rep.jobs) {
+    if (!jr.ok) ++rep.jobs_failed;
+    if (jr.attempts > 1) ++rep.jobs_retried;
+    if (jr.degraded) ++rep.jobs_degraded;
   }
   const auto t2 = clock_type::now();
   rep.sched_wall_ns = elapsed_ns(t1, t2);
@@ -229,6 +341,9 @@ std::string report_json(const Manifest& m, const BatchReport& r,
     j.key("seed").value(js.params_seed);
     j.key("instance").value(jr.instance);
     j.key("ok").value(jr.ok);
+    j.key("degraded").value(jr.degraded);
+    j.key("attempts").value(jr.attempts);
+    j.key("error_code").value(ccg::error_code_name(jr.code));
     if (!jr.error.empty()) j.key("error").value(jr.error);
     j.key("n").value(jr.n);
     j.key("delta").value(jr.delta);
@@ -254,6 +369,9 @@ std::string report_json(const Manifest& m, const BatchReport& r,
 
   j.key("aggregate").begin_object();
   j.key("ok_jobs").value(ok_jobs);
+  j.key("jobs_failed").value(r.jobs_failed);
+  j.key("jobs_retried").value(r.jobs_retried);
+  j.key("jobs_degraded").value(r.jobs_degraded);
   j.key("total_h_rounds").value(total_h);
   j.key("total_g_rounds").value(total_g);
   j.key("total_fallbacks").value(total_fallbacks);

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,6 +54,10 @@ struct Instance {
   std::optional<cluster::VirtualGraph> vg;  // virtual modes
   int bandwidth = 0;
   std::string error;  // non-empty: build failed with this message
+  // Structured classification of a failed build, so reports distinguish
+  // bad input (kInvalidProblem: malformed recipe; kBuildFailed: unreadable
+  // or malformed DIMACS, generator failure) from library bugs (kInternal).
+  ErrorCode error_code = ErrorCode::kOk;
 };
 
 // Plain-data result of one job. No owned containers on the success path,
@@ -75,24 +80,85 @@ struct JobResult {
   int num_cabals = 0;
   int congestion = 1;  // > 1 only for virtual-graph modes
   double wall_ns = 0;  // timing; excluded from deterministic reports
-  std::string error;   // failure path only
+                       // (summed over attempts when the job retried)
+  std::string error;   // failure path only; on a degraded job it keeps
+                       // the last pre-degradation failure message
+  // Structured error classification. kOk when a solver attempt succeeded
+  // (retried or not); the last attempt's failure code when the job failed
+  // or was served degraded.
+  ErrorCode code = ErrorCode::kOk;
+  // Solver attempts executed (1 = no retries; 0 = the instance build
+  // already failed so the solver never ran).
+  int attempts = 0;
+  // Retries exhausted and the degradation fallback (sequential greedy
+  // coloring, a valid (Delta+1)-coloring) served the job: ok is true but
+  // round/bit stats are absent (the greedy path is not a round-model
+  // execution).
+  bool degraded = false;
+};
+
+// How run_batch / JobSlot::run treat a failed job. Defaults reproduce
+// the policy-free behavior: one attempt, no degradation.
+struct RunPolicy {
+  // Seeds retry attempts via derive_retry_seed(manifest_seed, job index,
+  // attempt) — the whole retry trajectory is scheduler-independent.
+  std::uint64_t manifest_seed = 0;
+  // Extra attempts after the first for *internal* failures (kInternal /
+  // kDeadlineExceeded / kCancelled). Input errors (kInvalidOptions /
+  // kInvalidProblem / kBuildFailed) never retry: the same bytes would
+  // fail the same way.
+  int max_retries = 0;
+  // Retries exhausted: serve a valid (Delta+1)-coloring from the
+  // sequential greedy baseline and flag the result `degraded` instead of
+  // failing the job.
+  bool degrade = false;
+  // Default per-attempt deadline for jobs that do not set their own
+  // JobSpec::deadline_ms (0 = none).
+  std::int64_t deadline_ms = 0;
 };
 
 // The arena one scheduler worker owns: a ccg::Solver session plus a
 // reused Outcome. Public so callers with their own scheduling (async
 // ingest, tests, the reuse bench) can drive slots directly; run() is
 // exactly what the batch scheduler executes per job.
+//
+// Quarantine guarantee: an attempt that dies *mid-run* (kInternal /
+// kDeadlineExceeded / kCancelled) may leave the session arena in an
+// arbitrary state, so the slot discards the whole Solver and cold-builds
+// a fresh one before anything else runs on it — the next job (or retry)
+// is bit-identical to one served by a brand-new slot (pinned by
+// tests/test_failure_injection.cpp). Boundary failures (invalid options /
+// problem, failed builds) never enter the pipeline and do not quarantine.
 class JobSlot {
  public:
-  // Execute `job` on `inst` through the slot's Solver session. Boundary
-  // and pipeline failures come back as out->error (the facade never
+  // Execute `job` on `inst` through the slot's Solver session: one
+  // attempt, no retries (RunPolicy{} semantics). Boundary and pipeline
+  // failures come back as out->error / out->code (the facade never
   // throws). Allocation-free in steady state for Algo::kFast jobs whose
   // instance sizes stay at or below the session's high-water marks.
   void run(const Instance& inst, const JobSpec& job, JobResult* out);
 
+  // Policy form: bounded deterministic retries, then optional graceful
+  // degradation (see RunPolicy).
+  void run(const Instance& inst, const JobSpec& job, const RunPolicy& policy,
+           JobResult* out);
+
+  // The session, for callers that read the coloring of the last run
+  // directly (Solver::colors()). Degraded results do NOT live here — the
+  // greedy coloring bypasses the session.
+  const Solver& solver() const { return *solver_; }
+
  private:
-  Solver solver_;
+  void run_attempt(const Instance& inst, const JobSpec& job,
+                   std::uint64_t seed, std::int64_t deadline_ms,
+                   JobResult* out);
+  void degrade(const Instance& inst, JobResult* out);
+
+  // unique_ptr rather than a member: Solver sessions are pinned
+  // (non-movable), and quarantining swaps the whole session out.
+  std::unique_ptr<Solver> solver_ = std::make_unique<Solver>();
   Outcome outcome_;  // reused across jobs (buffer capacity persists)
+  std::vector<int> degrade_colors_;  // scratch for the greedy fallback
 };
 
 struct BatchOptions {
@@ -101,6 +167,11 @@ struct BatchOptions {
   // order. Empty = manifest order. Results are independent of it (the
   // determinism tests permute it to prove that).
   std::vector<int> order;
+  // Failure policy (RunPolicy minus manifest_seed, which run_batch takes
+  // from the manifest).
+  int max_retries = 0;
+  bool degrade = false;
+  std::int64_t deadline_ms = 0;  // default for jobs without --deadline-ms
 };
 
 struct BatchReport {
@@ -108,6 +179,13 @@ struct BatchReport {
   int sched_workers = 1;
   int num_instances = 0;
   std::vector<JobResult> jobs;  // manifest order
+  // Failure/recovery tallies (deterministic, derived from `jobs`):
+  // jobs_failed counts !ok jobs, jobs_retried counts jobs that needed
+  // more than one attempt (whatever the final verdict), jobs_degraded
+  // counts ok-but-degraded jobs.
+  int jobs_failed = 0;
+  int jobs_retried = 0;
+  int jobs_degraded = 0;
   double wall_ns = 0;        // whole batch, instance builds included
   double sched_wall_ns = 0;  // scheduling span only
   double jobs_per_sec = 0;   // jobs / sched_wall

@@ -5,12 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
+#include "baseline/baselines.hpp"
+#include "ccg/solver.hpp"
 #include "cluster/validate.hpp"
+#include "common/failpoint.hpp"
 #include "helpers.hpp"
 #include "sketch/approx_count.hpp"
 #include "color/relays.hpp"
 #include "lowdeg/lowdeg.hpp"
+#include "svc/service.hpp"
 
 namespace ccg {
 namespace {
@@ -260,6 +266,359 @@ TEST(FailureInjection, PowerLawHubsAtTinyBandwidth) {
   const auto res = lowdeg::color_cluster_graph(
       rt, tough_params(g.n(), 337));
   cluster::check_proper_total(g, res.colors, res.num_colors);
+}
+
+// ---- failpoint-driven fault tolerance (src/common/failpoint.hpp) ----
+//
+// The tests below exercise the serving fault paths: injected faults,
+// deadlines, bounded retries, quarantine and graceful degradation. They
+// skip when the library was built with -DCCG_FAILPOINTS=0.
+
+class Failpoints : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+    fail::disarm_all();
+  }
+  void TearDown() override { fail::disarm_all(); }
+};
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST_F(Failpoints, ArmSpecStringGrammar) {
+  EXPECT_EQ(fail::arm_spec_string("a=throw;b=badalloc;c=delay:25"), 3);
+  fail::disarm_all();
+  EXPECT_THROW(fail::arm_spec_string("a"), std::invalid_argument);
+  EXPECT_THROW(fail::arm_spec_string("a=explode"), std::invalid_argument);
+  EXPECT_THROW(fail::arm_spec_string("a=delay:"), std::invalid_argument);
+  EXPECT_THROW(fail::arm_spec_string("a=delay:-5"), std::invalid_argument);
+}
+
+TEST_F(Failpoints, InjectedThrowSurfacesAsInternalNeverEscapes) {
+  Rng rng(11);
+  const auto g = graph::gnm(200, 1200, rng);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  fail::arm("solver.fast", {});  // default: throw on every hit
+  Solver solver;
+  Options opt;
+  opt.algo = Algo::kFast;
+  const auto out = solver.solve(Problem::cluster(cg), opt);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error.code, ErrorCode::kInternal);
+  EXPECT_NE(out.error.message.find("failpoint solver.fast"),
+            std::string::npos);
+  EXPECT_TRUE(solver.colors().empty());  // no partial colorings leak
+  EXPECT_EQ(fail::fire_count("solver.fast"), 1);
+  // Disarmed again, the same session serves the instance normally.
+  fail::disarm_all();
+  const auto ok = solver.solve(Problem::cluster(cg), opt);
+  ASSERT_TRUE(ok.ok()) << ok.error.message;
+  cluster::check_proper_total(g, solver.colors(), ok.result.num_colors);
+}
+
+TEST_F(Failpoints, InjectedBadAllocSurfacesAsInternal) {
+  Rng rng(13);
+  const auto g = graph::gnm(150, 900, rng);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  fail::ArmSpec spec;
+  spec.action = fail::Action::kBadAlloc;
+  fail::arm("pipeline.phase.sparse", spec);
+  Solver solver;
+  Options opt;
+  opt.algo = Algo::kHighDegree;
+  const auto out = solver.solve(Problem::cluster(cg), opt);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error.code, ErrorCode::kInternal);
+  EXPECT_GE(fail::fire_count("pipeline.phase.sparse"), 1);
+}
+
+TEST_F(Failpoints, SkipAndTimesWindows) {
+  Rng rng(17);
+  const auto g = graph::gnm(100, 500, rng);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  fail::ArmSpec spec;
+  spec.skip = 1;   // first hit passes
+  spec.times = 1;  // second hit fires, then dormant
+  fail::arm("solver.fast", spec);
+  Solver solver;
+  Options opt;
+  opt.algo = Algo::kFast;
+  EXPECT_TRUE(solver.solve(Problem::cluster(cg), opt).ok());
+  EXPECT_FALSE(solver.solve(Problem::cluster(cg), opt).ok());
+  EXPECT_TRUE(solver.solve(Problem::cluster(cg), opt).ok());
+  EXPECT_EQ(fail::fire_count("solver.fast"), 1);
+}
+
+TEST_F(Failpoints, DeadlineInterruptsInjectedDelayWithinBound) {
+  // A 10-second spin injected into the pipeline against a 500 ms
+  // deadline: the cooperative delay aborts once the solve's CancelToken
+  // expires and the next check surfaces kDeadlineExceeded — well within
+  // 2x the deadline, never the full delay.
+  Rng rng(19);
+  const auto g = graph::gnm(200, 1200, rng);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  fail::ArmSpec spec;
+  spec.action = fail::Action::kDelayMs;
+  spec.delay_ms = 10000;
+  fail::arm("solver.fast", spec);
+  Solver solver;
+  Options opt;
+  opt.algo = Algo::kFast;
+  opt.deadline_ms = 500;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto out = solver.solve(Problem::cluster(cg), opt);
+  const double ms = elapsed_ms(t0);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_LT(ms, 2.0 * 500) << "deadline must interrupt the injected delay";
+  // The quarantine story is the caller's (JobSlot discards the session);
+  // the facade itself must stay usable for a fresh attempt.
+  fail::disarm_all();
+  Options retry = opt;
+  retry.deadline_ms = 0;
+  EXPECT_TRUE(solver.solve(Problem::cluster(cg), retry).ok());
+}
+
+TEST_F(Failpoints, RequestCancelInterruptsMidRun) {
+  Rng rng(23);
+  const auto g = graph::gnm(200, 1200, rng);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  fail::ArmSpec spec;
+  spec.action = fail::Action::kDelayMs;
+  spec.delay_ms = 10000;
+  fail::arm("solver.fast", spec);
+  Solver solver;
+  std::thread canceller([&solver] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    solver.request_cancel();
+  });
+  Options opt;
+  opt.algo = Algo::kFast;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto out = solver.solve(Problem::cluster(cg), opt);
+  canceller.join();
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error.code, ErrorCode::kCancelled);
+  EXPECT_LT(elapsed_ms(t0), 5000) << "cancel must not wait out the delay";
+}
+
+TEST_F(Failpoints, NegativeDeadlineIsInvalidOptions) {
+  Rng rng(27);
+  const auto g = graph::gnm(50, 200, rng);
+  const auto cg = cluster::ClusterGraph::singleton(g);
+  Solver solver;
+  Options opt;
+  opt.deadline_ms = -1;
+  const auto out = solver.solve(Problem::cluster(cg), opt);
+  EXPECT_EQ(out.error.code, ErrorCode::kInvalidOptions);
+}
+
+TEST_F(Failpoints, FaultedJobRetriesAndSucceedsDeterministically) {
+  // Fault job 1's first attempt only: the failpoint matches its attempt-0
+  // seed, the retry draws a fresh deterministic seed that no longer
+  // matches, so attempt 1 succeeds — on every scheduler configuration.
+  const auto m = svc::parse_manifest_string(
+      "seed 42\n"
+      "job --gen gnm --n 300 --m 2400 --algo fast --repeat 3\n");
+  ASSERT_EQ(m.jobs.size(), 3u);
+  std::string reference;
+  for (const int workers : {1, 2, 8}) {
+    fail::ArmSpec spec;
+    spec.match_arg = m.jobs[1].params_seed;
+    fail::arm("svc.job.run", spec);
+    svc::BatchOptions opt;
+    opt.sched_workers = workers;
+    opt.max_retries = 2;
+    const auto rep = svc::run_batch(m, opt);
+    EXPECT_EQ(fail::fire_count("svc.job.run"), 1);
+    ASSERT_EQ(rep.jobs.size(), 3u);
+    EXPECT_TRUE(rep.jobs[1].ok) << rep.jobs[1].error;
+    EXPECT_EQ(rep.jobs[1].attempts, 2);
+    EXPECT_FALSE(rep.jobs[1].degraded);
+    EXPECT_EQ(rep.jobs[0].attempts, 1);
+    EXPECT_EQ(rep.jobs[2].attempts, 1);
+    EXPECT_EQ(rep.jobs_failed, 0);
+    EXPECT_EQ(rep.jobs_retried, 1);
+    EXPECT_EQ(rep.jobs_degraded, 0);
+    const auto json = svc::report_json(m, rep, /*include_timing=*/false);
+    if (reference.empty()) {
+      reference = json;
+    } else {
+      ASSERT_EQ(json, reference) << "sched_workers " << workers;
+    }
+  }
+}
+
+TEST_F(Failpoints, RetriesExhaustedDegradesToValidColoring) {
+  // Every attempt of the only job faults; with degradation on, the job is
+  // served by the sequential greedy baseline — a proper (Delta+1)-
+  // coloring — and flagged instead of failed.
+  const auto m = svc::parse_manifest_string(
+      "job --gen gnm --n 300 --m 2400 --algo fast\n");
+  std::vector<int> instance_of;
+  const auto instances = svc::prepare_instances(m, &instance_of);
+  ASSERT_EQ(instances.size(), 1u);
+  ASSERT_TRUE(instances[0].error.empty());
+
+  fail::arm("svc.job.run", {});  // matches every attempt
+  svc::RunPolicy policy;
+  policy.manifest_seed = m.seed;
+  policy.max_retries = 2;
+  policy.degrade = true;
+  svc::JobSlot slot;
+  svc::JobResult out;
+  slot.run(instances[0], m.jobs[0], policy, &out);
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_TRUE(out.ok);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.code, ErrorCode::kInternal);  // last failure is kept
+  EXPECT_EQ(out.uncolored, 0);
+
+  // The coloring the fallback serves: validate it independently.
+  const auto& h = instances[0].cg.h();
+  EXPECT_EQ(out.n, h.n());
+  EXPECT_EQ(out.num_colors, h.max_degree() + 1);
+  const auto colors = baseline::greedy_coloring(h);
+  cluster::check_proper_total(h, colors, h.max_degree() + 1);
+
+  // Without degradation the same exhaustion is a hard failure.
+  fail::arm("svc.job.run", {});
+  policy.degrade = false;
+  slot.run(instances[0], m.jobs[0], policy, &out);
+  EXPECT_FALSE(out.ok);
+  EXPECT_FALSE(out.degraded);
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(out.code, ErrorCode::kInternal);
+}
+
+TEST_F(Failpoints, QuarantinedSlotMatchesFreshSolverBitForBit) {
+  // A fault mid-job i may leave the session arena in an arbitrary state.
+  // The slot quarantines (cold-rebuilds) the session, so job i+1 on the
+  // same slot must be bit-identical to the same job on a brand-new
+  // Solver.
+  const auto m = svc::parse_manifest_string(
+      "seed 7\n"
+      "job --gen gnm --n 400 --m 3600 --algo fast\n"
+      "job --gen planted --delta 64 --cliques 2 --ext 6 --algo fast\n");
+  std::vector<int> instance_of;
+  const auto instances = svc::prepare_instances(m, &instance_of);
+  ASSERT_EQ(instances.size(), 2u);
+
+  fail::ArmSpec spec;
+  spec.match_arg = m.jobs[0].params_seed;  // fault job 0 only
+  fail::arm("solver.fast", spec);
+
+  svc::JobSlot slot;
+  svc::JobResult out;
+  slot.run(instances[0], m.jobs[0], &out);
+  ASSERT_FALSE(out.ok);
+  ASSERT_EQ(out.code, ErrorCode::kInternal);  // mid-run => quarantined
+  slot.run(instances[1], m.jobs[1], &out);
+  ASSERT_TRUE(out.ok) << out.error;
+  const std::vector<int> via_slot = slot.solver().colors();
+
+  Solver fresh;
+  Options opt;
+  opt.algo = m.jobs[1].algo;
+  opt.threads = m.jobs[1].threads;
+  opt.seed = m.jobs[1].params_seed;
+  const auto ref = fresh.solve(Problem::cluster(instances[1].cg), opt);
+  ASSERT_TRUE(ref.ok()) << ref.error.message;
+  EXPECT_EQ(via_slot, fresh.colors());
+}
+
+TEST_F(Failpoints, BatchReportByteIdenticalAcrossWorkersWithFaults) {
+  // The full recovery spectrum in one manifest — a transient fault that
+  // retries into success, a persistent fault that degrades, a build
+  // failure, and healthy jobs — must still produce byte-identical
+  // deterministic reports for every worker count and execution order.
+  const auto m = svc::parse_manifest_string(
+      "seed 99\n"
+      "job --gen gnm --n 300 --m 2400 --algo fast --repeat 2\n"
+      "job --gen planted --delta 96 --cliques 2 --ext 8 --algo high\n"
+      "job --dimacs /nonexistent/ccg-missing.col\n"
+      "job --gen cycle --n 120 --algo fast\n");
+  ASSERT_EQ(m.jobs.size(), 5u);
+
+  const auto arm_all = [&m] {
+    fail::disarm_all();
+    // Transient: job 1's attempt-0 seed only.
+    fail::ArmSpec transient;
+    transient.match_arg = m.jobs[1].params_seed;
+    fail::arm("svc.job.run", transient);
+    // Persistent: the only --algo high job hits this site every attempt.
+    fail::arm("pipeline.phase.acd", {});
+  };
+
+  std::string reference;
+  for (const int workers : {1, 2, 8}) {
+    for (const bool reversed : {false, true}) {
+      arm_all();
+      svc::BatchOptions opt;
+      opt.sched_workers = workers;
+      opt.max_retries = 1;
+      opt.degrade = true;
+      if (reversed) {
+        opt.order = {4, 3, 2, 1, 0};
+      }
+      const auto rep = svc::run_batch(m, opt);
+      EXPECT_EQ(rep.jobs_failed, 1);    // the missing DIMACS file
+      EXPECT_EQ(rep.jobs_retried, 2);   // transient + persistent faults
+      EXPECT_EQ(rep.jobs_degraded, 1);  // the persistent fault
+      EXPECT_TRUE(rep.jobs[1].ok);
+      EXPECT_EQ(rep.jobs[1].attempts, 2);
+      EXPECT_TRUE(rep.jobs[2].degraded);
+      EXPECT_EQ(rep.jobs[2].attempts, 2);
+      EXPECT_FALSE(rep.jobs[3].ok);
+      EXPECT_EQ(rep.jobs[3].code, ErrorCode::kBuildFailed);
+      EXPECT_EQ(rep.jobs[3].attempts, 0);
+      const auto json = svc::report_json(m, rep, /*include_timing=*/false);
+      if (reference.empty()) {
+        reference = json;
+      } else {
+        ASSERT_EQ(json, reference)
+            << "sched_workers " << workers << " reversed " << reversed;
+      }
+    }
+  }
+}
+
+TEST_F(Failpoints, PrepareFaultIsContainedToTheInstance) {
+  // A fault during instance build must fail that instance's jobs with a
+  // structured code, not take down the batch.
+  const auto m = svc::parse_manifest_string(
+      "job --gen gnm --n 200 --m 800 --algo fast\n");
+  fail::arm("svc.prepare", {});
+  const auto rep = svc::run_batch(m, {});
+  ASSERT_EQ(rep.jobs.size(), 1u);
+  EXPECT_FALSE(rep.jobs[0].ok);
+  EXPECT_EQ(rep.jobs[0].code, ErrorCode::kInternal);
+  EXPECT_EQ(rep.jobs[0].attempts, 0);
+  EXPECT_EQ(rep.jobs_failed, 1);
+}
+
+TEST_F(Failpoints, JobDeadlineOverridesBatchDefault) {
+  // Job 0 pins --deadline-ms 0 (no deadline) and must survive the
+  // injected delay; job 1 inherits the batch default and must miss it.
+  const auto m = svc::parse_manifest_string(
+      "job --gen gnm --n 200 --m 800 --algo fast --deadline-ms 0\n"
+      "job --gen gnm --n 200 --m 800 --algo fast --graph-seed 5\n");
+  fail::ArmSpec spec;
+  spec.action = fail::Action::kDelayMs;
+  spec.delay_ms = 1200;
+  spec.match_arg = m.jobs[1].params_seed;
+  fail::arm("solver.fast", spec);
+  svc::BatchOptions opt;
+  opt.deadline_ms = 300;
+  const auto rep = svc::run_batch(m, opt);
+  EXPECT_TRUE(rep.jobs[0].ok) << rep.jobs[0].error;
+  EXPECT_FALSE(rep.jobs[1].ok);
+  EXPECT_EQ(rep.jobs[1].code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(rep.jobs_failed, 1);
 }
 
 }  // namespace

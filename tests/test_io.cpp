@@ -38,26 +38,87 @@ TEST(DimacsIo, ParsesCommentsAndColKind) {
 }
 
 TEST(DimacsIo, RejectsMalformedInput) {
+  // Malformed external data is an IoError (a structured, catchable data
+  // error), never a ContractViolation (reserved for library bugs).
   {
     std::stringstream ss("e 1 2\n");  // edge before problem line
-    EXPECT_THROW(read_dimacs(ss), ContractViolation);
+    EXPECT_THROW(read_dimacs(ss), IoError);
   }
   {
     std::stringstream ss("p edge 2 1\ne 1 5\n");  // id out of range
-    EXPECT_THROW(read_dimacs(ss), ContractViolation);
+    EXPECT_THROW(read_dimacs(ss), IoError);
   }
   {
     std::stringstream ss("p edge 3 2\ne 1 2\n");  // count mismatch
-    EXPECT_THROW(read_dimacs(ss), ContractViolation);
+    EXPECT_THROW(read_dimacs(ss), IoError);
   }
   {
     std::stringstream ss("p edge 3 2\ne 1 2\ne 1 2\n");  // duplicate
-    EXPECT_THROW(read_dimacs(ss), ContractViolation);
+    EXPECT_THROW(read_dimacs(ss), IoError);
   }
   {
     std::stringstream ss("x nonsense\n");
-    EXPECT_THROW(read_dimacs(ss), ContractViolation);
+    EXPECT_THROW(read_dimacs(ss), IoError);
   }
+}
+
+TEST(DimacsIo, RejectsHostileInputWithLineNumbers) {
+  {
+    // Truncated file: problem line declares more edges than arrive.
+    std::stringstream ss("p edge 10 5\ne 1 2\ne 2 3\n");
+    try {
+      read_dimacs(ss);
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find("edge count mismatch"),
+                std::string::npos);
+    }
+  }
+  {
+    // Negative vertex id.
+    std::stringstream ss("p edge 4 1\ne -1 2\n");
+    try {
+      read_dimacs(ss);
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.line(), 2);
+    }
+  }
+  {
+    // Vertex id overflowing int: failbit, not silent wraparound.
+    std::stringstream ss("p edge 4 1\ne 99999999999999999999 2\n");
+    EXPECT_THROW(read_dimacs(ss), IoError);
+  }
+  {
+    // Negative sizes on the problem line.
+    std::stringstream ss("p edge -3 2\n");
+    EXPECT_THROW(read_dimacs(ss), IoError);
+  }
+  {
+    // Declared edge count overflowing int64.
+    std::stringstream ss("p edge 4 99999999999999999999999999\n");
+    EXPECT_THROW(read_dimacs(ss), IoError);
+  }
+  {
+    // Duplicate problem line.
+    std::stringstream ss("p edge 3 0\np edge 4 0\n");
+    try {
+      read_dimacs(ss);
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.line(), 2);
+    }
+  }
+  {
+    // Empty input: no problem line at all.
+    std::stringstream ss("");
+    EXPECT_THROW(read_dimacs(ss), IoError);
+  }
+}
+
+TEST(DimacsIo, UnreadablePathIsIoError) {
+  EXPECT_THROW(read_dimacs_file("/nonexistent/definitely/missing.col"),
+               IoError);
 }
 
 TEST(DimacsIo, WriteColoringFormat) {
