@@ -6,6 +6,7 @@
 
 #include "ccg/ccg.hpp"
 #include "color/clique_palette.hpp"
+#include "color/color_set.hpp"
 #include "color/primitives.hpp"
 #include "gk/candidate_family.hpp"
 #include "gk/rounding.hpp"
@@ -74,6 +75,94 @@ static void BM_PaletteSelectFree(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PaletteSelectFree)->Arg(256)->Arg(4096)->Arg(65536);
+
+// First-free-color lookup, the inner step of fallback_finish and every
+// palette replenish: the pre-ColorSet color-by-color scan vs. the
+// word-parallel complement walk, on the same occupancy pattern (a solid
+// used prefix ending at a rotating first-free position, 70% fill above).
+namespace {
+void fill_first_free_pattern(int colors, int first_free, Rng& rng,
+                             std::vector<char>* marks,
+                             color::ColorSet* set) {
+  marks->assign(static_cast<std::size_t>(colors), 0);
+  set->rebind(colors);
+  for (int c = 0; c < colors; ++c) {
+    const bool used =
+        c < first_free || (c > first_free && rng.next_bool(0.7));
+    if (used) {
+      (*marks)[static_cast<std::size_t>(c)] = 1;
+      set->add(c);
+    }
+  }
+}
+}  // namespace
+
+static void BM_FirstFreeScan(benchmark::State& state) {
+  const int colors = static_cast<int>(state.range(0));
+  Rng rng(21);
+  std::vector<char> marks;
+  color::ColorSet set;
+  fill_first_free_pattern(colors, colors / 2, rng, &marks, &set);
+  for (auto _ : state) {
+    int c = 0;
+    while (c < colors && marks[static_cast<std::size_t>(c)]) ++c;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_FirstFreeScan)->Arg(257)->Arg(4097);
+
+static void BM_FirstFreeColorSet(benchmark::State& state) {
+  const int colors = static_cast<int>(state.range(0));
+  Rng rng(21);
+  std::vector<char> marks;
+  color::ColorSet set;
+  fill_first_free_pattern(colors, colors / 2, rng, &marks, &set);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.first_free());
+  }
+}
+BENCHMARK(BM_FirstFreeColorSet)->Arg(257)->Arg(4097);
+
+// Palette intersection (|A ∩ B| over the color universe), the shape of
+// list-pruning and donation checks: per-color AND loop vs. word-wise
+// popcount.
+static void BM_PaletteIntersectScan(benchmark::State& state) {
+  const int colors = static_cast<int>(state.range(0));
+  Rng rng(22);
+  std::vector<char> a(static_cast<std::size_t>(colors), 0);
+  std::vector<char> b(static_cast<std::size_t>(colors), 0);
+  for (int c = 0; c < colors; ++c) {
+    a[static_cast<std::size_t>(c)] = rng.next_bool(0.5) ? 1 : 0;
+    b[static_cast<std::size_t>(c)] = rng.next_bool(0.5) ? 1 : 0;
+  }
+  for (auto _ : state) {
+    int cnt = 0;
+    for (int c = 0; c < colors; ++c) {
+      if (a[static_cast<std::size_t>(c)] &&
+          b[static_cast<std::size_t>(c)]) {
+        ++cnt;
+      }
+    }
+    benchmark::DoNotOptimize(cnt);
+  }
+}
+BENCHMARK(BM_PaletteIntersectScan)->Arg(257)->Arg(4097);
+
+static void BM_PaletteIntersectColorSet(benchmark::State& state) {
+  const int colors = static_cast<int>(state.range(0));
+  Rng rng(22);
+  color::ColorSet a, b;
+  a.rebind(colors);
+  b.rebind(colors);
+  for (int c = 0; c < colors; ++c) {
+    if (rng.next_bool(0.5)) a.add(c);
+    if (rng.next_bool(0.5)) b.add(c);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect_count(b));
+  }
+}
+BENCHMARK(BM_PaletteIntersectColorSet)->Arg(257)->Arg(4097);
 
 static void BM_FeistelPermutation(benchmark::State& state) {
   FeistelPermutation pi(100000, 99);

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "color/color_set.hpp"
 #include "color/primitives.hpp"
 #include "util.hpp"
 
@@ -105,6 +106,105 @@ bench::TimedStats run_try_color_micro(int warmup, int reps) {
       static_cast<std::int64_t>(g.n()) * kRoundsPerRep);
 }
 
+struct MicroRow {
+  const char* name;
+  bench::TimedStats stats;
+};
+
+// Palette-scan micro pair at the paper regime (Delta ~ 256): the former
+// color-by-color first-free query over an epoch-stamp/char mark array vs
+// the word-parallel ColorSet complement walk, over 64 occupancy patterns
+// whose first free color sweeps the palette (average ~Delta/2, the shape
+// late fallback/MCT rounds see). Same query, same answer — the pair is
+// the before/after figure check_regression.py gates at >= 4x.
+void run_palette_micros(int warmup, int reps, std::vector<MicroRow>* out) {
+  const int nc = 257;
+  const int kPatterns = 64;
+  Rng rng(17);
+  std::vector<std::vector<char>> marks(kPatterns);
+  std::vector<color::ColorSet> sets(kPatterns);
+  std::vector<std::vector<char>> marks_b(kPatterns);
+  std::vector<color::ColorSet> sets_b(kPatterns);
+  for (int p = 0; p < kPatterns; ++p) {
+    const int first_free = (p * 4) % nc;
+    marks[p].assign(nc, 0);
+    sets[p].rebind(nc);
+    for (int c = 0; c < nc; ++c) {
+      const bool used = c < first_free || (c > first_free && rng.next_bool(0.7));
+      if (used) {
+        marks[p][static_cast<std::size_t>(c)] = 1;
+        sets[p].add(c);
+      }
+    }
+    // Independent ~50% occupancies for the intersection pair.
+    marks_b[p].assign(nc, 0);
+    sets_b[p].rebind(nc);
+    for (int c = 0; c < nc; ++c) {
+      if (rng.next_bool(0.5)) {
+        marks_b[p][static_cast<std::size_t>(c)] = 1;
+        sets_b[p].add(c);
+      }
+    }
+  }
+  constexpr int kIters = 20000;
+  const auto ops = static_cast<std::int64_t>(kIters) * kPatterns;
+  long long sink = 0;
+  out->push_back(
+      {"first_free_scan", bench::timed(
+                              [&] {
+                                for (int i = 0; i < kIters; ++i) {
+                                  for (int p = 0; p < kPatterns; ++p) {
+                                    int c = 0;
+                                    while (c < nc &&
+                                           marks[p][static_cast<std::size_t>(
+                                               c)]) {
+                                      ++c;
+                                    }
+                                    sink += c;
+                                  }
+                                }
+                              },
+                              warmup, reps, ops)});
+  out->push_back({"first_free_colorset",
+                  bench::timed(
+                      [&] {
+                        for (int i = 0; i < kIters; ++i) {
+                          for (int p = 0; p < kPatterns; ++p) {
+                            sink += sets[p].first_free();
+                          }
+                        }
+                      },
+                      warmup, reps, ops)});
+  out->push_back({"palette_intersect_scan",
+                  bench::timed(
+                      [&] {
+                        for (int i = 0; i < kIters; ++i) {
+                          for (int p = 0; p < kPatterns; ++p) {
+                            int s = 0;
+                            for (int c = 0; c < nc; ++c) {
+                              if (marks[p][static_cast<std::size_t>(c)] &&
+                                  marks_b[p][static_cast<std::size_t>(c)]) {
+                                ++s;
+                              }
+                            }
+                            sink += s;
+                          }
+                        }
+                      },
+                      warmup, reps, ops)});
+  out->push_back({"palette_intersect_colorset",
+                  bench::timed(
+                      [&] {
+                        for (int i = 0; i < kIters; ++i) {
+                          for (int p = 0; p < kPatterns; ++p) {
+                            sink += sets[p].intersect_count(sets_b[p]);
+                          }
+                        }
+                      },
+                      warmup, reps, ops)});
+  if (sink == 42) std::printf(" ");  // defeat dead-code elimination
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,6 +265,12 @@ int main(int argc, char** argv) {
               bench::fmt(micro.min_ns / 1e6), "-", "-", "-"});
   std::printf("try_color_round: %.2f ns/op\n", micro.ns_per_op());
 
+  std::vector<MicroRow> palette_micros;
+  run_palette_micros(warmup, reps, &palette_micros);
+  for (const auto& m : palette_micros) {
+    std::printf("%s: %.2f ns/op\n", m.name, m.stats.ns_per_op());
+  }
+
   const double baseline_ns =
       bench::json_number_field(baseline_path, "total_wall_ns");
 
@@ -216,6 +322,13 @@ int main(int argc, char** argv) {
   j.key("ns_per_op").value(micro.ns_per_op());
   j.key("wall_ns").value(micro.min_ns);
   j.end_object();
+  for (const auto& m : palette_micros) {
+    j.begin_object();
+    j.key("name").value(m.name);
+    j.key("ns_per_op").value(m.stats.ns_per_op());
+    j.key("wall_ns").value(m.stats.min_ns);
+    j.end_object();
+  }
   j.end_array();
   j.key("by_threads_total").begin_array();
   for (std::size_t t = 0; t < kThreadCounts.size(); ++t) {

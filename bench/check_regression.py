@@ -51,13 +51,48 @@ def reference_total_ns(doc: dict) -> float:
     return float(total)
 
 
-def micro_ns_per_op(doc: dict) -> float | None:
+def micro_ns_per_op(doc: dict, name: str = "try_color_round") -> float | None:
     for row in doc.get("micro", []):
-        if row.get("name") == "try_color_round":
+        if row.get("name") == name:
             value = row.get("ns_per_op")
             if isinstance(value, (int, float)) and value > 0:
                 return float(value)
     return None
+
+
+def check_colorset_speedup(fresh: dict, min_speedup: float) -> bool:
+    """Gate the word-parallel palette micros within the fresh JSON.
+
+    The first-free / intersect pairs compare the former color-by-color
+    scan against the ColorSet word walk on the same machine in the same
+    process, so no reference JSON or machine normalization is involved.
+    Returns False on a violated floor; JSONs predating the palette
+    micros (no such entries) skip the gate with a note.
+    """
+    ok = True
+    any_present = False
+    for scan_name, fast_name in (
+        ("first_free_scan", "first_free_colorset"),
+        ("palette_intersect_scan", "palette_intersect_colorset"),
+    ):
+        scan = micro_ns_per_op(fresh, scan_name)
+        fast = micro_ns_per_op(fresh, fast_name)
+        if scan is None or fast is None:
+            continue
+        any_present = True
+        ratio = scan / fast
+        verdict = "OK" if ratio >= min_speedup else "REGRESSION"
+        print(
+            f"palette micro gate: {scan_name} {scan:.2f} ns/op vs "
+            f"{fast_name} {fast:.2f} ns/op -> speedup {ratio:.1f}x "
+            f"(floor {min_speedup:.1f}x) {verdict}"
+        )
+        if ratio < min_speedup:
+            ok = False
+    if not any_present:
+        print("palette micro gate: no palette micro figures (pre-ColorSet "
+              "JSON); skipped")
+    return ok
 
 
 def main() -> int:
@@ -75,6 +110,14 @@ def main() -> int:
         action="store_true",
         help="scale the reference total by the try_color_round micro "
         "ratio (machine-speed proxy for cross-machine CI gating)",
+    )
+    ap.add_argument(
+        "--min-colorset-speedup",
+        type=float,
+        default=4.0,
+        help="minimum required speedup of the ColorSet palette micros "
+        "over their color-by-color reference scans, measured within the "
+        "fresh JSON (default 4.0; set 0 to disable)",
     )
     ap.add_argument(
         "--allow-unnormalized",
@@ -160,7 +203,10 @@ def main() -> int:
             f"{row['total_wall_ns'] / 1e6:.1f} ms "
             f"(speedup vs t=1: {row.get('speedup_vs_t1', 0):.2f}x)"
         )
-    return 0 if ratio <= args.threshold else 1
+    micro_ok = True
+    if args.min_colorset_speedup > 0:
+        micro_ok = check_colorset_speedup(fresh, args.min_colorset_speedup)
+    return 0 if ratio <= args.threshold and micro_ok else 1
 
 
 if __name__ == "__main__":

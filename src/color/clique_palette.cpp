@@ -4,79 +4,44 @@ namespace ccg::color {
 
 CliquePalette::CliquePalette(int num_colors)
     : num_colors_(num_colors),
-      mult_(static_cast<std::size_t>(num_colors), 0),
-      bit_(static_cast<std::size_t>(num_colors) + 1, 0) {
+      mult_(static_cast<std::size_t>(num_colors), 0) {
   CCG_CHECK(num_colors >= 1);
-}
-
-void CliquePalette::bit_update(int i, int delta) {
-  for (int j = i + 1; j <= num_colors_; j += j & (-j)) {
-    bit_[static_cast<std::size_t>(j)] += delta;
-  }
-}
-
-int CliquePalette::bit_prefix(int i) const {
-  int s = 0;
-  for (int j = i + 1; j > 0; j -= j & (-j)) {
-    s += bit_[static_cast<std::size_t>(j)];
-  }
-  return s;
+  used_.rebind(num_colors);
 }
 
 void CliquePalette::add(int c) {
   CCG_CHECK(c >= 0 && c < num_colors_);
-  if (mult_[static_cast<std::size_t>(c)]++ == 0) bit_update(c, +1);
+  if (mult_[static_cast<std::size_t>(c)]++ == 0) used_.add(c);
   ++colored_total_;
 }
 
 void CliquePalette::remove(int c) {
   CCG_CHECK(c >= 0 && c < num_colors_);
   CCG_CHECK(mult_[static_cast<std::size_t>(c)] > 0);
-  if (--mult_[static_cast<std::size_t>(c)] == 0) bit_update(c, -1);
+  if (--mult_[static_cast<std::size_t>(c)] == 0) used_.remove(c);
   --colored_total_;
 }
 
 int CliquePalette::used_distinct(int lo, int hi) const {
   CCG_CHECK(lo >= 0 && hi < num_colors_);
-  if (lo > hi) return 0;
-  return bit_prefix(hi) - (lo > 0 ? bit_prefix(lo - 1) : 0);
+  return used_.count_in(lo, hi);
 }
 
 int CliquePalette::free_count(int lo, int hi) const {
-  if (lo > hi) return 0;
-  return (hi - lo + 1) - used_distinct(lo, hi);
+  CCG_CHECK(lo >= 0 && hi < num_colors_);
+  return used_.free_count_in(lo, hi);
 }
 
 int CliquePalette::select_free(int lo, int hi, int i) const {
   CCG_CHECK(i >= 0);
-  if (free_count(lo, hi) <= i) return -1;
-  // Binary search for the smallest c in [lo, hi] with
-  // free_count(lo, c) == i + 1 and c free.
-  int a = lo, b = hi;
-  while (a < b) {
-    const int mid = a + (b - a) / 2;
-    if (free_count(lo, mid) >= i + 1) {
-      b = mid;
-    } else {
-      a = mid + 1;
-    }
-  }
-  return a;
+  CCG_CHECK(lo >= 0 && hi < num_colors_);
+  return used_.select_free_in(lo, hi, i);
 }
 
 int CliquePalette::select_used(int lo, int hi, int i) const {
   CCG_CHECK(i >= 0);
-  if (used_distinct(lo, hi) <= i) return -1;
-  int a = lo, b = hi;
-  while (a < b) {
-    const int mid = a + (b - a) / 2;
-    if (used_distinct(lo, mid) >= i + 1) {
-      b = mid;
-    } else {
-      a = mid + 1;
-    }
-  }
-  return a;
+  CCG_CHECK(lo >= 0 && hi < num_colors_);
+  return used_.select_in(lo, hi, i);
 }
 
 }  // namespace ccg::color

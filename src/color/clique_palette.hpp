@@ -10,10 +10,17 @@
 // It also tracks color multiplicities, giving M_K = |K ∩ dom phi| - |phi(K)|
 // (the colorful-matching size / reuse-slack measure used throughout
 // Sections 4.2/4.3).
+//
+// Representation: a word-parallel ColorSet over the used-color indicator
+// (bit c set iff mult_[c] > 0). Range counts are masked popcounts and
+// selects are a popcount walk — O(palette words) instead of the former
+// Fenwick tree's O(log^2 Delta) per select — with identical results: the
+// i-th free/used color of [lo, hi] in increasing color order.
 #pragma once
 
 #include <vector>
 
+#include "color/color_set.hpp"
 #include "common/assert.hpp"
 
 namespace ccg::color {
@@ -36,21 +43,22 @@ class CliquePalette {
   int select_used(int lo, int hi, int i) const;
 
   int colored_total() const { return colored_total_; }
-  int distinct_total() const { return used_distinct(0, num_colors_ - 1); }
+  int distinct_total() const { return used_.count(); }
   // Reuse slack M_K: members colored minus distinct colors used.
   int repeats() const { return colored_total_ - distinct_total(); }
 
   // Multiplicity of one color.
   int count(int c) const { return mult_[static_cast<std::size_t>(c)]; }
 
- private:
-  void bit_update(int i, int delta);
-  int bit_prefix(int i) const;  // # distinct used colors in [0, i]
+  // The used-color indicator, for word-wise consumers (benches, batched
+  // free-color enumeration in synchronized_color_trial).
+  const ColorSet& used() const { return used_; }
 
+ private:
   int num_colors_;
   int colored_total_ = 0;
   std::vector<int> mult_;
-  std::vector<int> bit_;  // Fenwick tree over the used-color indicator
+  ColorSet used_;  // bit c set iff mult_[c] > 0
 };
 
 }  // namespace ccg::color

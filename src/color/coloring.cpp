@@ -177,13 +177,17 @@ int fallback_finish(State& st, const std::vector<int>& vertices) {
           ws.kept.push_back(v);
           continue;
         }
-        int c = -1;
-        for (int cand = 0; cand < st.num_colors(); ++cand) {
-          if (!st.phi.neighbor_uses(h, v, cand)) {
-            c = cand;
-            break;
-          }
+        // Smallest free color, word-wise: one pass over N(v) builds the
+        // used-color set, first_free() is a complement walk + ctz. Same
+        // index as the former per-color neighbor_uses scan at O(deg +
+        // palette words) instead of O(c * deg).
+        auto& used = ws.blocked;
+        used.rebind(st.num_colors());
+        for (const int u : h.neighbors(v)) {
+          const int cu = st.phi.get(u);
+          if (cu >= 0) used.add(cu);
         }
+        const int c = used.first_free();
         CCG_CHECK_MSG(c >= 0, "no free color in fallback; graph violates "
                               "Delta+1 colorability assumption");
         ws.adopted.emplace_back(v, c);

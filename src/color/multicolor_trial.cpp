@@ -26,7 +26,6 @@ std::vector<int> multicolor_trial(State& st, std::vector<int> S,
   auto& sc = st.scratch;
   auto& par = *st.par;
   sc.ensure_vertices(n);
-  sc.ensure_colors(st.num_colors());
   sc.ensure_workers(par.workers());
   const int num_colors = st.num_colors();
   for (int round = 0; round < opt.max_rounds && !S.empty(); ++round) {
@@ -77,26 +76,28 @@ std::vector<int> multicolor_trial(State& st, std::vector<int> S,
         1, par.acc_max()));
 
     // Adoption phase (Algorithm 16 step 3; parallel shards): adopt some
-    // c in X(v) ∩ L(v) with c ∉ X(N(v)). The blocked-color marks are a
-    // vertex-scoped temporary, so each worker uses its own ColorMarks.
+    // c in X(v) ∩ L(v) with c ∉ X(N(v)). One pass over N(v) builds the
+    // blocked set — colors tried by a neighbor this round OR already held
+    // by one — as a per-worker word-parallel ColorSet; the pick is the
+    // first set entry not blocked, identical to the former marked-colors
+    // + neighbor_uses double scan.
     auto& verdicts = sc.verdicts;
     verdicts.resize(S.size());
     par.shards(total, [&](int w, std::int64_t b, std::int64_t e) {
-      auto& marks = st.wscratch.at(w).marks;
-      marks.ensure(num_colors);
+      auto& blocked = st.wscratch.at(w).blocked;
       for (std::int64_t i = b; i < e; ++i) {
         const int v = S[static_cast<std::size_t>(i)];
         const auto set = sc.set_of(v);
         int pick = -1;
         if (!set.empty()) {
-          // Colors tried by neighbors this round.
-          marks.begin();
+          blocked.rebind(num_colors);
           for (const int u : h.neighbors(v)) {
-            for (const int c : sc.set_of(u)) marks.mark(c);
+            for (const int c : sc.set_of(u)) blocked.add(c);
+            const int cu = st.phi.get(u);
+            if (cu >= 0) blocked.add(cu);
           }
           for (const int c : set) {
-            if (marks.marked(c)) continue;
-            if (st.phi.neighbor_uses(h, v, c)) continue;
+            if (blocked.contains(c)) continue;
             pick = c;
             break;
           }

@@ -34,17 +34,18 @@ int try_color_round(State& st, const std::vector<int>& S,
   // Adoption phase (Algorithm 17, step 4; parallel shards): keep c(v) iff
   // it is free among colored neighbors and no smaller-ID active neighbor
   // picked it too — a pure read of the frozen candidate table, written
-  // into per-position verdict slots.
+  // into per-position verdict slots. Both conditions test the single
+  // candidate color, so one pass over N(v) covers them.
   auto& verdicts = sc.verdicts;
   verdicts.resize(S.size());
   par.shards(total, [&](int, std::int64_t b, std::int64_t e) {
     for (std::int64_t i = b; i < e; ++i) {
       const int v = S[static_cast<std::size_t>(i)];
       const int c = sc.candidate(v);
-      bool ok = c >= 0 && !st.phi.neighbor_uses(h, v, c);
+      bool ok = c >= 0;
       if (ok) {
         for (const int u : h.neighbors(v)) {
-          if (u < v && sc.candidate(u) == c) {
+          if (st.phi.get(u) == c || (u < v && sc.candidate(u) == c)) {
             ok = false;
             break;
           }

@@ -235,30 +235,30 @@ void try_free_colors(const State& st, int k, const std::vector<int>& put,
   // ID order simulates the collision-free-hash disambiguation among the
   // <= r put-aside vertices of K (paper uses h_K collision-free on the
   // ell_s smallest palette colors; cost charged below).
-  ws.marks.ensure(n_colors);
-  ws.marks.begin();  // marks = colors taken within K this step
+  auto& taken = ws.blocked;
+  taken.rebind(n_colors);  // colors taken within K this step
   for (const int u : put) {
     int got = -1;
     st.external_neighbors(u, &ws.ext);
+    // External conflicts only: put-aside sets are independent and K's
+    // members don't use palette colors. One pass over ext builds the
+    // word-parallel used-color set; each sample then probes it in O(1)
+    // instead of rescanning ext.
+    ws.ext_used.rebind(n_colors);
+    for (const int w : ws.ext) {
+      const int cw = st.phi.get(w);
+      if (cw >= 0) ws.ext_used.add(cw);
+    }
     Rng rng = st.trial_rng(static_cast<std::uint64_t>(u));
     for (int s = 0; s < k_samples && got < 0; ++s) {
       const int idx = static_cast<int>(
           rng.next_below(static_cast<std::uint64_t>(window)));
       const int c = pal.select_free(0, n_colors - 1, idx);
-      if (c < 0 || ws.marks.marked(c)) continue;
-      // External conflicts only: put-aside sets are independent and K's
-      // members don't use palette colors.
-      bool ok = true;
-      for (const int w : ws.ext) {
-        if (st.phi.get(w) == c) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) got = c;
+      if (c < 0 || taken.contains(c)) continue;
+      if (!ws.ext_used.contains(c)) got = c;
     }
     if (got >= 0) {
-      ws.marks.mark(got);
+      taken.add(got);
       ws.adopted.emplace_back(u, got);
     } else {
       ws.kept.push_back(u);
@@ -352,20 +352,20 @@ bool donate_for_cabal(const State& st, int k, const std::vector<int>& put,
     ++matched;
     int donor = -1;
     st.external_neighbors(u, &ws.ext);
+    // Word-parallel external-color set: each donor offer is one
+    // contains() probe instead of an ext rescan.
+    ws.ext_used.rebind(n_colors);
+    for (const int w : ws.ext) {
+      const int cw = st.phi.get(w);
+      if (cw >= 0) ws.ext_used.add(cw);
+    }
     Rng rng = st.trial_rng(static_cast<std::uint64_t>(u));
     for (int s = 0; s < k_samples && donor < 0; ++s) {
       const int pick = static_cast<int>(rng.next_below(
           static_cast<std::uint64_t>(donors.size())));
       const int v = donors[static_cast<std::size_t>(pick)];
       const int c_don = st.phi.get(v);
-      bool ok = true;
-      for (const int w : ws.ext) {
-        if (st.phi.get(w) == c_don) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) donor = v;
+      if (!ws.ext_used.contains(c_don)) donor = v;
     }
     if (donor >= 0) {
       ws.don_ops.push_back({donor, static_cast<int>(c), u,

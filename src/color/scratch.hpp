@@ -10,8 +10,10 @@
 // reuse their high-water capacity.
 //
 // One State owns one TrialScratch. Primitives use it strictly within one
-// synchronized round: a later begin_round()/begin_vertex_marks()/
-// begin_color_marks() invalidates the respective previous round's data.
+// synchronized round: a later begin_round()/begin_vertex_marks()
+// invalidates the respective previous round's data. Per-color sets are
+// not epoch-stamped at all any more: they are word-parallel ColorSets
+// (color_set.hpp) whose clear() is a handful of word stores.
 //
 // The parallel round engine (exec/parallel_round.hpp) shares the
 // vertex-indexed tables across workers — stamping is per-vertex disjoint,
@@ -26,35 +28,10 @@
 #include <utility>
 #include <vector>
 
+#include "color/color_set.hpp"
 #include "common/assert.hpp"
 
 namespace ccg::color {
-
-// Epoch-stamped per-color set membership, one instance per worker: the
-// MultiColorTrial verdict phase marks the colors tried by v's neighbors,
-// which is a vertex-scoped temporary and cannot share one array across
-// workers.
-class ColorMarks {
- public:
-  void ensure(int num_colors) {
-    const auto sz = static_cast<std::size_t>(num_colors);
-    if (epoch_of_.size() < sz) epoch_of_.resize(sz, 0);
-  }
-  void begin() {
-    if (++epoch_ == 0) {
-      std::fill(epoch_of_.begin(), epoch_of_.end(), 0);
-      epoch_ = 1;
-    }
-  }
-  void mark(int c) { epoch_of_[static_cast<std::size_t>(c)] = epoch_; }
-  bool marked(int c) const {
-    return epoch_of_[static_cast<std::size_t>(c)] == epoch_;
-  }
-
- private:
-  std::uint32_t epoch_ = 0;
-  std::vector<std::uint32_t> epoch_of_;
-};
 
 // Buffers a single worker owns for the duration of a parallel phase.
 struct WorkerScratch {
@@ -62,7 +39,14 @@ struct WorkerScratch {
   std::vector<int> tmp;       // short-lived id lists (per-clique S copies)
   std::vector<int> ext;       // external-neighbor lists (put-aside phases)
   std::vector<int> kept;      // shard-local retry / carry-over id lists
-  ColorMarks marks;           // per-vertex blocked-color set (MCT verdicts)
+  // Word-parallel per-vertex color sets, vertex-scoped temporaries that
+  // cannot share one array across workers. `blocked`: colors unavailable
+  // to the current vertex (MCT verdict marks, fallback_finish used-color
+  // set, TryFreeColors taken-in-K set, low-degree list pruning).
+  // `ext_used`: colors held by the current vertex's external neighbors
+  // (put-aside sampling / donation probes).
+  ColorSet blocked;
+  ColorSet ext_used;
   std::vector<std::pair<int, int>> adopted;  // shard-local (vertex, value)
   // Sort-based grouping buffer ((composite key, id) pairs), replacing the
   // per-call std::map temporaries of the donation scheme.
@@ -109,10 +93,6 @@ class TrialScratch {
       set_home_.resize(sz, 0);
       mark_epoch_of_.resize(sz, 0);
     }
-  }
-  void ensure_colors(int num_colors) {
-    const auto sz = static_cast<std::size_t>(num_colors);
-    if (color_epoch_of_.size() < sz) color_epoch_of_.resize(sz, 0);
   }
   // Size the per-worker color-set pools (MCT sampling phase). Worker 0
   // always exists, so sequential call sites need no setup.
@@ -210,21 +190,6 @@ class TrialScratch {
     return mark_epoch_of_[static_cast<std::size_t>(v)] == mark_epoch_;
   }
 
-  // ---- color marks: per-vertex blocked/taken color sets ----
-
-  void begin_color_marks() {
-    if (++color_epoch_ == 0) {
-      std::fill(color_epoch_of_.begin(), color_epoch_of_.end(), 0);
-      color_epoch_ = 1;
-    }
-  }
-  void mark_color(int c) {
-    color_epoch_of_[static_cast<std::size_t>(c)] = color_epoch_;
-  }
-  bool color_marked(int c) const {
-    return color_epoch_of_[static_cast<std::size_t>(c)] == color_epoch_;
-  }
-
   // ---- reusable buffers (capacity persists across rounds) ----
 
   std::vector<int> tmp_ints;  // short-lived id lists
@@ -255,7 +220,6 @@ class TrialScratch {
  private:
   std::uint32_t epoch_ = 0;
   std::uint32_t mark_epoch_ = 0;
-  std::uint32_t color_epoch_ = 0;
   std::vector<std::uint32_t> epoch_of_;
   std::vector<int> value_;
   std::vector<std::int64_t> set_begin_;
@@ -263,7 +227,6 @@ class TrialScratch {
   std::vector<std::int32_t> set_home_;
   std::vector<std::vector<int>> pools_{1, std::vector<int>{}};
   std::vector<std::uint32_t> mark_epoch_of_;
-  std::vector<std::uint32_t> color_epoch_of_;
   std::vector<int> proposers_;
 };
 

@@ -56,11 +56,24 @@ std::vector<SyncTrialResult> synchronized_color_trial(
       std::sort(S.begin(), S.end());  // enumeration order (prefix sums)
       const FeistelPermutation pi(
           S.size(), st.trial_rng(static_cast<std::uint64_t>(k)).next_u64());
+      // Permutation positions cover exactly the |S| lowest free colors of
+      // [r, Delta], so one word-parallel walk enumerates them all; each
+      // position is then an index into the buffer, identical to the former
+      // per-position select_free query.
+      auto& freec = ws.set_buf;
+      freec.clear();
+      {
+        const auto& used = pal.used();
+        int c = used.next_free(r);
+        while (freec.size() < S.size()) {
+          CCG_CHECK(c >= 0);
+          freec.push_back(c);
+          c = used.next_free(c + 1);
+        }
+      }
       for (std::size_t i = 0; i < S.size(); ++i) {
         const int pos = static_cast<int>(pi(i));
-        const int c = pal.select_free(r, pal.num_colors() - 1, pos);
-        CCG_CHECK(c >= 0);
-        sc.propose_at(S[i], c);
+        sc.propose_at(S[i], freec[static_cast<std::size_t>(pos)]);
       }
       results[static_cast<std::size_t>(idx)].participated =
           static_cast<int>(S.size());

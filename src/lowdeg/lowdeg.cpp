@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "color/color_set.hpp"
 #include "color/matching.hpp"
 #include "color/primitives.hpp"
 #include "color/relays.hpp"
@@ -29,27 +30,45 @@ int loglog(int n) {
                                                      4, n)))))));
 }
 
-// Live entries of v's learned list: colors still free among colored
-// neighbors (list freshness is maintained with O(|list|)-bit bitmaps each
-// round; |list| <= Delta+1 = poly(log n) here).
-std::vector<int> live_list(const State& st, int v,
-                           const std::vector<int>& list) {
-  std::vector<int> out;
-  for (const int c : list) {
-    if (!st.phi.neighbor_uses(st.h(), v, c)) out.push_back(c);
+// Prune v's learned list to its live entries: colors still free among
+// colored neighbors (list freshness is maintained with O(|list|)-bit
+// bitmaps each round; |list| <= Delta+1 = poly(log n) here). In place,
+// because deadness is permanent here: within the lists' lifetime phi
+// only grows (the cabal-redo unassigns happen before any list is
+// built), so a pruned entry could never come back. One pass over N(v)
+// fills `used` — a word-parallel scratch set (per-worker in parallel
+// passes, worker 0 otherwise) that callers may keep probing while phi
+// is unchanged.
+void prune_dead(const State& st, int v, std::vector<int>* list,
+                color::ColorSet& used) {
+  used.rebind(st.num_colors());
+  for (const int u : st.h().neighbors(v)) {
+    const int cu = st.phi.get(u);
+    if (cu >= 0) used.add(cu);
   }
-  return out;
+  list->erase(std::remove_if(list->begin(), list->end(),
+                             [&used](int c) { return used.contains(c); }),
+              list->end());
 }
 
 // Enumerate v's entire palette: a (Delta+1)-bit bitmap aggregation —
 // cheap in the low-degree regime; this is the paper's "learn the whole
 // clique palette / all used colors" step. Runs for any number of
 // vertices in parallel: call sites charge one batch per super-step via
-// charge_palette_round.
+// charge_palette_round. Sequential call sites only (uses worker 0's
+// scratch set); free colors come out in increasing order, exactly like
+// the former per-color neighbor_uses scan.
 std::vector<int> enumerate_palette(State& st, int v) {
+  auto& used = st.wscratch.at(0).blocked;
+  used.rebind(st.num_colors());
+  for (const int u : st.h().neighbors(v)) {
+    const int cu = st.phi.get(u);
+    if (cu >= 0) used.add(cu);
+  }
   std::vector<int> out;
-  for (int c = 0; c < st.num_colors(); ++c) {
-    if (!st.phi.neighbor_uses(st.h(), v, c)) out.push_back(c);
+  out.reserve(static_cast<std::size_t>(st.num_colors() - used.count()));
+  for (int c = used.first_free(); c >= 0; c = used.next_free(c + 1)) {
+    out.push_back(c);
   }
   return out;
 }
@@ -65,22 +84,25 @@ void learn_colors(State& st, const std::vector<int>& S,
                   const color::ColorSampler& src,
                   std::vector<std::vector<int>>& lists) {
   const auto& h = st.h();
+  auto& used = st.wscratch.at(0).blocked;  // sequential phase
   const int max_batches = 2 * loglog(h.n()) + 4;
   for (int batch = 0; batch < max_batches; ++batch) {
     bool all_done = true;
     for (const int v : S) {
       if (st.phi.colored(v)) continue;
       auto& list = lists[static_cast<std::size_t>(v)];
+      prune_dead(st, v, &list, used);
       const int need =
-          st.phi.uncolored_degree(h, v) + 1 -
-          static_cast<int>(live_list(st, v, list).size());
+          st.phi.uncolored_degree(h, v) + 1 - static_cast<int>(list.size());
       if (need <= 0) continue;
       all_done = false;
       const int tries = 2 * need + 2;
       for (int i = 0; i < tries; ++i) {
         const int c = src(v, st.rng);
         if (c < 0) continue;
-        if (st.phi.neighbor_uses(h, v, c)) continue;
+        // `used` still holds N(v)'s colors (no assigns since the prune),
+        // so the freshness test is one word probe.
+        if (used.contains(c)) continue;
         if (std::find(list.begin(), list.end(), c) != list.end()) continue;
         list.push_back(c);
       }
@@ -94,7 +116,8 @@ void learn_colors(State& st, const std::vector<int>& S,
   for (const int v : S) {
     if (st.phi.colored(v)) continue;
     auto& list = lists[static_cast<std::size_t>(v)];
-    if (static_cast<int>(live_list(st, v, list).size()) <
+    prune_dead(st, v, &list, used);
+    if (static_cast<int>(list.size()) <
         st.phi.uncolored_degree(st.h(), v) + 1) {
       list = enumerate_palette(st, v);
       any = true;
@@ -110,23 +133,38 @@ void learn_colors(State& st, const std::vector<int>& S,
 std::vector<int> list_trial_rounds(State& st, std::vector<int> S,
                                    std::vector<std::vector<int>>& lists,
                                    int rounds, double activation) {
-  const auto sampler = [&st, &lists](int v, Rng& rng) -> int {
-    const auto live =
-        live_list(st, v, lists[static_cast<std::size_t>(v)]);
-    if (live.empty()) return -1;
-    return live[static_cast<std::size_t>(
-        rng.next_below(static_cast<std::uint64_t>(live.size())))];
+  // Entry prune (parallel shards, per-worker scratch sets): bring every
+  // list to exactly its live set. phi is frozen during a round's
+  // sampling phase and each round re-prunes after its commit, so the
+  // sampler below draws straight from the list — same live set, same
+  // draw as the former filter-per-call, with no per-call allocation.
+  st.par->shards(static_cast<std::int64_t>(S.size()),
+                 [&](int w, std::int64_t b, std::int64_t e) {
+    auto& used = st.wscratch.at(w).blocked;
+    for (std::int64_t i = b; i < e; ++i) {
+      const int v = S[static_cast<std::size_t>(i)];
+      prune_dead(st, v, &lists[static_cast<std::size_t>(v)], used);
+    }
+  });
+  const auto sampler = [&lists](int v, Rng& rng) -> int {
+    const auto& list = lists[static_cast<std::size_t>(v)];
+    if (list.empty()) return -1;
+    return list[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(list.size())))];
   };
   for (int r = 0; r < rounds && !S.empty(); ++r) {
     color::try_color_round(st, S, sampler, activation);
     color::prune_colored(st, &S);
-    // Replenish dead lists (can only happen when neighbors ate every
-    // learned color; bounded by the low-degree palette enumeration).
-    // One parallel bitmap round per trial round when needed.
+    // Re-prune against the post-commit coloring and replenish dead lists
+    // (can only happen when neighbors ate every learned color; bounded
+    // by the low-degree palette enumeration). One parallel bitmap round
+    // per trial round when needed.
     bool any = false;
+    auto& used = st.wscratch.at(0).blocked;
     for (const int v : S) {
       auto& list = lists[static_cast<std::size_t>(v)];
-      if (live_list(st, v, list).empty()) {
+      prune_dead(st, v, &list, used);
+      if (list.empty()) {
         list = enumerate_palette(st, v);
         any = true;
       }
@@ -237,14 +275,18 @@ void deterministic_finish(State& st, const std::vector<int>& S,
   }
 
   // Class sweep: classes are independent sets; one round per class.
+  // Assigns happen between visits, so each vertex re-prunes its list at
+  // visit time (prune-in-place stays exact: deadness is monotone here).
+  auto& used = st.wscratch.at(0).blocked;
   for (int c = 0; c < num_colors; ++c) {
     bool any = false;
     for (const int v : S) {
       if (st.phi.colored(v) || lin[v] != c) continue;
       any = true;
-      const auto live = live_list(st, v, lists[static_cast<std::size_t>(v)]);
-      if (!live.empty()) {
-        st.assign(v, live.front());
+      auto& list = lists[static_cast<std::size_t>(v)];
+      prune_dead(st, v, &list, used);
+      if (!list.empty()) {
+        st.assign(v, list.front());
       } else {
         const auto palette = enumerate_palette(st, v);
         CCG_CHECK_MSG(!palette.empty(), "no free color in class sweep");
