@@ -2,9 +2,14 @@
 // eps-almost-clique decomposition in O(eps^-2) H-rounds.
 //
 // Planted ground truth: measure detection quality (dense vertices
-// recovered, blocks kept whole) and the charged rounds as t grows.
+// recovered, blocks kept whole) and the charged rounds as t grows. A
+// by_threads sweep times the stream-based decomposition on the round
+// engine (results are bit-identical across worker counts) and counts
+// warm-pass allocations on reused AcdResult/AcdScratch storage.
 #include <string>
 
+#include "common/alloc_count.hpp"
+#include "exec/parallel_round.hpp"
 #include "util.hpp"
 
 using namespace ccg;
@@ -99,6 +104,50 @@ int main() {
     const auto q = compare(planted, res);
     bench::row({bench::fmt(eps, 2), bench::fmt(q.dense_recall, 3),
                 bench::fmt(ledger.h_rounds())});
+  }
+
+  // by_threads: the stream-based scratch-backed decomposition on the
+  // round engine. Two warmup passes take the grow-only storage to its
+  // high-water mark; the timed passes then run (near) allocation-free and
+  // must reproduce the single-threaded clique structure bit for bit.
+  std::printf("\nby_threads at t=512 (stream-based API, warm scratch; "
+              "identical output required)\n");
+  bench::row({"threads", "ms/run", "allocs/run", "identical"});
+  std::vector<int> base_clique_of;
+  for (const int threads : {1, 2, 4, 8}) {
+    const auto cg = cluster::ClusterGraph::singleton(planted.g);
+    net::Ledger ledger(cg.default_bandwidth());
+    cluster::Runtime rt(cg, ledger);
+    exec::ParallelRound par(threads);
+    acd::AcdParams params;
+    params.eps = 0.2;
+    params.t = 512;
+    params.measure_bits = false;
+    params.par = &par;
+    acd::AcdResult res;
+    acd::AcdScratch scratch;
+    StreamCtx streams(0);
+    auto run_once = [&] {
+      streams.reseed(3000);
+      acd::compute_acd(rt, params, streams, &res, &scratch);
+    };
+    constexpr int kReps = 5;
+    const auto stats = bench::timed(run_once, /*warmup=*/2, kReps);
+    long long a0 = alloc_count();
+    for (int i = 0; i < kReps; ++i) run_once();
+    const double allocs_per_run =
+        static_cast<double>(alloc_count() - a0) / kReps;
+    if (threads == 1) base_clique_of = res.clique_of;
+    const bool identical = res.clique_of == base_clique_of;
+    bench::row({bench::fmt(threads), bench::fmt(stats.mean_ns / 1e6, 3),
+                bench::fmt(allocs_per_run, 1), identical ? "yes" : "NO"});
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: ACD differs at threads=%d (stream RNG broke "
+                   "worker-count independence)\n",
+                   threads);
+      return 1;
+    }
   }
   return 0;
 }

@@ -161,16 +161,36 @@ int main(int argc, char** argv) {
       1);
   const auto low_steady = measure_slot(
       slot_manifest("job --gen gnm --n 1200 --m 4000 --algo low\n", 4), 1);
+  // Warm-path allocation budgets, enforced here and re-checked against the
+  // JSON by scripts/check_regression.py --max-steady-allocs. The fast path
+  // must stay exactly allocation-free; the full high/low pipelines tolerate
+  // a small fixed number of grow-only stragglers (currently ~8/~3).
+  constexpr double kAutoAllocBudget = 64;
+  constexpr double kLowAllocBudget = 64;
   std::printf("fast path:  %.2f allocs/job, %.2f ms/job (must be 0 allocs)\n",
               fast_steady.allocs_per_job, fast_steady.ns_per_job / 1e6);
-  std::printf("auto path:  %.0f allocs/job, %.2f ms/job (trajectory metric)\n",
-              auto_steady.allocs_per_job, auto_steady.ns_per_job / 1e6);
-  std::printf("low path:   %.0f allocs/job, %.2f ms/job (trajectory metric)\n",
-              low_steady.allocs_per_job, low_steady.ns_per_job / 1e6);
+  std::printf("auto path:  %.0f allocs/job, %.2f ms/job (budget %.0f)\n",
+              auto_steady.allocs_per_job, auto_steady.ns_per_job / 1e6,
+              kAutoAllocBudget);
+  std::printf("low path:   %.0f allocs/job, %.2f ms/job (budget %.0f)\n",
+              low_steady.allocs_per_job, low_steady.ns_per_job / 1e6,
+              kLowAllocBudget);
   if (fast_steady.allocs_per_job != 0) {
     std::fprintf(stderr,
                  "FATAL: warm fast path allocated (%.3f allocs/job)\n",
                  fast_steady.allocs_per_job);
+    return 1;
+  }
+  if (auto_steady.allocs_per_job > kAutoAllocBudget) {
+    std::fprintf(stderr,
+                 "FATAL: warm auto path over budget (%.1f > %.0f allocs/job)\n",
+                 auto_steady.allocs_per_job, kAutoAllocBudget);
+    return 1;
+  }
+  if (low_steady.allocs_per_job > kLowAllocBudget) {
+    std::fprintf(stderr,
+                 "FATAL: warm low path over budget (%.1f > %.0f allocs/job)\n",
+                 low_steady.allocs_per_job, kLowAllocBudget);
     return 1;
   }
 

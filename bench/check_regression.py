@@ -95,6 +95,38 @@ def check_colorset_speedup(fresh: dict, min_speedup: float) -> bool:
     return ok
 
 
+def check_steady_allocs(fresh: dict, max_allocs: float) -> bool:
+    """Gate warm-slot allocations in a BENCH_throughput.json.
+
+    The fast path must be exactly allocation-free; the auto (full
+    high-degree pipeline) and low paths must stay within the budget. A
+    JSON predating the auto/low counters (no such keys) gates only on the
+    keys it carries.
+    """
+    ok = True
+    any_present = False
+    for key, budget in (
+        ("fast_steady_allocs_per_job", 0.0),
+        ("auto_steady_allocs_per_job", max_allocs),
+        ("low_steady_allocs_per_job", max_allocs),
+    ):
+        value = fresh.get(key)
+        if not isinstance(value, (int, float)):
+            continue
+        any_present = True
+        verdict = "OK" if value <= budget else "REGRESSION"
+        print(
+            f"steady-alloc gate: {key} = {value:.1f} "
+            f"(budget {budget:.0f}) {verdict}"
+        )
+        if value > budget:
+            ok = False
+    if not any_present:
+        print("steady-alloc gate: no *_steady_allocs_per_job figures; "
+              "skipped")
+    return ok
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("fresh", help="freshly measured BENCH_pipeline.json")
@@ -120,6 +152,14 @@ def main() -> int:
         "fresh JSON (default 4.0; set 0 to disable)",
     )
     ap.add_argument(
+        "--max-steady-allocs",
+        type=float,
+        default=64.0,
+        help="for BENCH_throughput.json fresh files: maximum allowed "
+        "auto/low warm-slot allocations per job (fast must be exactly 0; "
+        "default 64; set negative to disable)",
+    )
+    ap.add_argument(
         "--allow-unnormalized",
         action="store_true",
         help="with --normalize-micro: fall back to comparing raw totals "
@@ -141,6 +181,14 @@ def main() -> int:
     # file is a misconfigured baseline, and silently skipping it would
     # disable the gate — fail loudly instead.
     fresh_kind = fresh.get("bench")
+    if fresh_kind == "throughput":
+        # Throughput JSONs carry no comparable totals, but they do carry
+        # the warm-slot allocation counters — gate those here so the CI
+        # bench-regression job catches steady-state allocation creep.
+        if args.max_steady_allocs < 0:
+            print("steady-alloc gate disabled (--max-steady-allocs < 0)")
+            return 0
+        return 0 if check_steady_allocs(fresh, args.max_steady_allocs) else 1
     if fresh_kind is not None and fresh_kind != "pipeline":
         print(
             f"ignoring fresh JSON: bench '{fresh_kind}' is not gated by "

@@ -1,7 +1,6 @@
 #include "acd/acd.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <string>
 
 #include "common/mathutil.hpp"
@@ -13,11 +12,8 @@ namespace ccg::acd {
 
 namespace {
 
-struct BuddyGraph {
-  std::vector<std::vector<int>> adj;  // buddy adjacency (both high-degree)
-};
-
-AcdResult attempt(cluster::Runtime& rt, const AcdParams& params, Rng& rng) {
+void attempt(cluster::Runtime& rt, const AcdParams& params,
+             StreamCtx& streams, AcdResult& res, AcdScratch& s) {
   const auto& h = rt.h();
   const int n = h.n();
   const int delta = rt.delta();
@@ -32,22 +28,31 @@ AcdResult attempt(cluster::Runtime& rt, const AcdParams& params, Rng& rng) {
   opt.t = params.t;
   opt.measure_bits = params.measure_bits;
 
-  AcdResult res;
-  res.degree_est.resize(static_cast<std::size_t>(n));
+  res.reset(n);
 
-  std::vector<double> union_est;  // per h.edges() entry
+  auto& union_est = s.union_est;  // per h.edges() entry
   const auto edges = h.edges();
 
   if (params.use_fingerprints) {
-    // Step 1: degree estimates.
-    const auto deg_counts = sketch::approximate_neighborhood_counts(
-        rt, [](int, int) { return true; }, opt, rng);
-    res.degree_est = deg_counts.estimate;
+    // Step 1: degree estimates. The sampling draws from per-(round,
+    // vertex) counter streams — sharded by params.par with bit-identical
+    // results for every worker count. Samples and aggregates live in the
+    // grow-only scratch, so warm attempts run the whole estimation
+    // without per-vertex buffer rebuilds.
+    streams.bump();
+    sketch::sample_raw_fingerprints_stream(n, params.t, streams,
+                                           params.par, &s.raw);
+    sketch::neighborhood_counts_into(
+        rt, s.raw, [](int, int) { return true; }, opt, &s.counts);
+    res.degree_est = s.counts.estimate;
     // Step 2: joint-neighborhood estimates from a fresh sampling (the
     // paper samples new variables for the union step).
-    const auto fresh = sketch::approximate_neighborhood_counts(
-        rt, [](int, int) { return true; }, opt, rng);
-    union_est = sketch::edge_union_estimates(rt, fresh, opt);
+    streams.bump();
+    sketch::sample_raw_fingerprints_stream(n, params.t, streams,
+                                           params.par, &s.raw);
+    sketch::neighborhood_counts_into(
+        rt, s.raw, [](int, int) { return true; }, opt, &s.counts);
+    sketch::edge_union_estimates_into(rt, s.counts, opt, &union_est);
   } else {
     // Oracle mode: exact values, identical round charges.
     for (int v = 0; v < n; ++v) {
@@ -82,12 +87,13 @@ AcdResult attempt(cluster::Runtime& rt, const AcdParams& params, Rng& rng) {
             h.degree(u) + h.degree(v) - common;
       }
     };
-    std::vector<std::vector<int>> stamps(
-        static_cast<std::size_t>(params.par ? params.par->workers() : 1));
+    const auto workers =
+        static_cast<std::size_t>(params.par ? params.par->workers() : 1);
+    if (s.stamps.size() < workers) s.stamps.resize(workers);
     exec::shards_or_inline(
         params.par, static_cast<std::int64_t>(edges.size()),
         [&](int w, std::int64_t b, std::int64_t e) {
-          auto& stamp = stamps[static_cast<std::size_t>(w)];
+          auto& stamp = s.stamps[static_cast<std::size_t>(w)];
           stamp.assign(static_cast<std::size_t>(n), -1);
           stamp_rows(stamp, b, e);
         });
@@ -95,36 +101,60 @@ AcdResult attempt(cluster::Runtime& rt, const AcdParams& params, Rng& rng) {
   }
 
   // High-degree filter (Lemma 5.8): low-degree vertices answer No.
-  std::vector<bool> high(static_cast<std::size_t>(n));
+  s.high.assign(static_cast<std::size_t>(n), 0);
   for (int v = 0; v < n; ++v) {
-    high[static_cast<std::size_t>(v)] =
+    s.high[static_cast<std::size_t>(v)] =
         res.degree_est[static_cast<std::size_t>(v)] >=
         (1.0 - 2.0 * xi) * delta;
   }
 
-  // Buddy edges.
-  BuddyGraph buddy;
-  buddy.adj.assign(static_cast<std::size_t>(n), {});
-  for (std::size_t e = 0; e < edges.size(); ++e) {
+  // Buddy edges, stored as a flat CSR built by count -> prefix-sum ->
+  // fill. The predicate is evaluated twice per edge, which is far cheaper
+  // than the doubling reallocations of a per-vertex vector-of-vectors —
+  // and leaves the whole build allocation-free on warm scratch.
+  const auto is_buddy = [&](std::size_t e) {
     const auto& [u, v] = edges[e];
-    if (!high[static_cast<std::size_t>(u)] ||
-        !high[static_cast<std::size_t>(v)]) {
-      continue;
-    }
-    if (union_est[e] <= (1.0 + xi) * delta) {
-      buddy.adj[static_cast<std::size_t>(u)].push_back(v);
-      buddy.adj[static_cast<std::size_t>(v)].push_back(u);
+    return s.high[static_cast<std::size_t>(u)] &&
+           s.high[static_cast<std::size_t>(v)] &&
+           union_est[e] <= (1.0 + xi) * delta;
+  };
+  s.buddy_deg.assign(static_cast<std::size_t>(n), 0);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (is_buddy(e)) {
+      ++s.buddy_deg[static_cast<std::size_t>(edges[e].first)];
+      ++s.buddy_deg[static_cast<std::size_t>(edges[e].second)];
     }
   }
+  s.buddy_off.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    s.buddy_off[static_cast<std::size_t>(v) + 1] =
+        s.buddy_off[static_cast<std::size_t>(v)] +
+        s.buddy_deg[static_cast<std::size_t>(v)];
+  }
+  s.buddy_cur.assign(s.buddy_off.begin(), s.buddy_off.end() - 1);
+  s.buddy_adj.resize(static_cast<std::size_t>(s.buddy_off.back()));
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (is_buddy(e)) {
+      const auto& [u, v] = edges[e];
+      s.buddy_adj[static_cast<std::size_t>(
+          s.buddy_cur[static_cast<std::size_t>(u)]++)] = v;
+      s.buddy_adj[static_cast<std::size_t>(
+          s.buddy_cur[static_cast<std::size_t>(v)]++)] = u;
+    }
+  }
+  const auto buddies = [&](int v) {
+    return std::make_pair(s.buddy_off[static_cast<std::size_t>(v)],
+                          s.buddy_off[static_cast<std::size_t>(v) + 1]);
+  };
 
   // Step 3: buddy-degree threshold. Counting buddy edges is one more
   // fingerprint aggregation (predicate known at link machines); the count
   // here is exact adjacency size, noise already lives in the buddy set.
   rt.charge(1, 2 * params.t + 16);
-  std::vector<bool> candidate(static_cast<std::size_t>(n), false);
+  s.candidate.assign(static_cast<std::size_t>(n), 0);
   for (int v = 0; v < n; ++v) {
-    candidate[static_cast<std::size_t>(v)] =
-        static_cast<double>(buddy.adj[static_cast<std::size_t>(v)].size()) >=
+    s.candidate[static_cast<std::size_t>(v)] =
+        static_cast<double>(s.buddy_deg[static_cast<std::size_t>(v)]) >=
         (1.0 - 2.0 * xi) * delta;
   }
 
@@ -132,36 +162,34 @@ AcdResult attempt(cluster::Runtime& rt, const AcdParams& params, Rng& rng) {
   // (diameter <= 2 per [ACK19]; leader election is an O(1)-round BFS,
   // Lemma 3.2).
   rt.charge(3, 2 * ceil_log2(static_cast<std::uint64_t>(std::max(2, n))));
-  res.clique_of.assign(static_cast<std::size_t>(n), -1);
   const int min_clique_size = std::max(2, delta / 2);
-  std::vector<int> comp;
-  for (int s = 0; s < n; ++s) {
-    if (!candidate[static_cast<std::size_t>(s)] ||
-        res.clique_of[static_cast<std::size_t>(s)] != -1) {
+  auto& comp = s.comp;
+  auto& bfs = s.bfs;  // queue as vector + cursor
+  for (int src = 0; src < n; ++src) {
+    if (!s.candidate[static_cast<std::size_t>(src)] ||
+        res.clique_of[static_cast<std::size_t>(src)] != -1) {
       continue;
     }
     comp.clear();
-    std::queue<int> q;
-    q.push(s);
-    res.clique_of[static_cast<std::size_t>(s)] = -2;  // visiting marker
-    comp.push_back(s);
-    while (!q.empty()) {
-      const int v = q.front();
-      q.pop();
-      for (const int u : buddy.adj[static_cast<std::size_t>(v)]) {
-        if (!candidate[static_cast<std::size_t>(u)] ||
+    bfs.clear();
+    bfs.push_back(src);
+    res.clique_of[static_cast<std::size_t>(src)] = -2;  // visiting marker
+    comp.push_back(src);
+    for (std::size_t head = 0; head < bfs.size(); ++head) {
+      const int v = bfs[head];
+      const auto [b, e] = buddies(v);
+      for (int i = b; i < e; ++i) {
+        const int u = s.buddy_adj[static_cast<std::size_t>(i)];
+        if (!s.candidate[static_cast<std::size_t>(u)] ||
             res.clique_of[static_cast<std::size_t>(u)] != -1) {
           continue;
         }
         res.clique_of[static_cast<std::size_t>(u)] = -2;
         comp.push_back(u);
-        q.push(u);
+        bfs.push_back(u);
       }
     }
     if (static_cast<int>(comp.size()) < min_clique_size) {
-      for (const int v : comp) {
-        res.clique_of[static_cast<std::size_t>(v)] = -1;
-      }
       // Too small to be an almost-clique; members stay sparse. Mark them
       // permanently so we do not revisit (use -3, normalized below).
       for (const int v : comp) {
@@ -173,36 +201,51 @@ AcdResult attempt(cluster::Runtime& rt, const AcdParams& params, Rng& rng) {
     for (const int v : comp) {
       res.clique_of[static_cast<std::size_t>(v)] = id;
     }
-    res.members.push_back(comp);
-    std::sort(res.members.back().begin(), res.members.back().end());
+    // Grow-only member storage: reuse the inner vector of this id when a
+    // previous run left one behind.
+    if (static_cast<int>(res.members.size()) < res.num_cliques) {
+      res.members.emplace_back();
+    }
+    auto& mem = res.members[static_cast<std::size_t>(id)];
+    mem.assign(comp.begin(), comp.end());
+    std::sort(mem.begin(), mem.end());
   }
   for (auto& c : res.clique_of) {
     if (c < -1) c = -1;
   }
-  return res;
 }
 
 }  // namespace
 
-AcdResult compute_acd(cluster::Runtime& rt, const AcdParams& params,
-                      Rng& rng) {
+void compute_acd(cluster::Runtime& rt, const AcdParams& params,
+                 StreamCtx& streams, AcdResult* out, AcdScratch* scratch) {
   const int delta = rt.delta();
   const int max_size =
       static_cast<int>((1.0 + 3.0 * params.eps) * delta) + 1;
   for (int tries = 0; tries < 3; ++tries) {
-    AcdResult res = attempt(rt, params, rng);
+    attempt(rt, params, streams, *out, *scratch);
     bool ok = true;
-    for (const auto& members : res.members) {
-      if (static_cast<int>(members.size()) > max_size) {
+    for (int id = 0; id < out->num_cliques; ++id) {
+      if (static_cast<int>(
+              out->members[static_cast<std::size_t>(id)].size()) >
+          max_size) {
         ok = false;
         break;
       }
     }
-    if (ok) return res;
+    if (ok) return;
   }
   CCG_CHECK_MSG(false, "ACD failed 3 attempts: merged almost-cliques; "
                        "raise AcdParams::t");
-  return {};
+}
+
+AcdResult compute_acd(cluster::Runtime& rt, const AcdParams& params,
+                      Rng& rng) {
+  StreamCtx streams(rng.next_u64());
+  AcdScratch scratch;
+  AcdResult res;
+  compute_acd(rt, params, streams, &res, &scratch);
+  return res;
 }
 
 bool verify_almost_cliques(const graph::Graph& h, const AcdResult& acd,
@@ -236,29 +279,34 @@ bool verify_almost_cliques(const graph::Graph& h, const AcdResult& acd,
   return true;
 }
 
-DenseInfo annotate_dense(cluster::Runtime& rt, const AcdResult& acd,
-                         double ell, int t, bool use_fingerprints,
-                         Rng& rng, exec::ParallelRound* par) {
+void annotate_dense(cluster::Runtime& rt, const AcdResult& acd, double ell,
+                    int t, bool use_fingerprints, StreamCtx& streams,
+                    exec::ParallelRound* par, DenseInfo* out,
+                    AcdScratch* scratch) {
   const auto& h = rt.h();
   const int n = h.n();
-  DenseInfo info;
+  DenseInfo& info = *out;
   info.ext_est.assign(static_cast<std::size_t>(n), 0.0);
 
   if (use_fingerprints) {
     sketch::CountOptions opt;
     opt.t = t;
-    const auto counts = sketch::approximate_neighborhood_counts(
-        rt,
+    AcdScratch local;
+    AcdScratch& s = scratch != nullptr ? *scratch : local;
+    streams.bump();
+    sketch::sample_raw_fingerprints_stream(n, t, streams, par, &s.raw);
+    sketch::neighborhood_counts_into(
+        rt, s.raw,
         [&acd](int v, int u) {
           return acd.clique_of[static_cast<std::size_t>(v)] >= 0 &&
                  acd.clique_of[static_cast<std::size_t>(u)] !=
                      acd.clique_of[static_cast<std::size_t>(v)];
         },
-        opt, rng);
+        opt, &s.counts);
     for (int v = 0; v < n; ++v) {
       if (acd.clique_of[static_cast<std::size_t>(v)] >= 0) {
         info.ext_est[static_cast<std::size_t>(v)] =
-            counts.estimate[static_cast<std::size_t>(v)];
+            s.counts.estimate[static_cast<std::size_t>(v)];
       }
     }
   } else {
@@ -301,6 +349,14 @@ DenseInfo annotate_dense(cluster::Runtime& rt, const AcdResult& acd,
     info.is_cabal[static_cast<std::size_t>(k)] =
         info.avg_ext_est[static_cast<std::size_t>(k)] < ell;
   }
+}
+
+DenseInfo annotate_dense(cluster::Runtime& rt, const AcdResult& acd,
+                         double ell, int t, bool use_fingerprints,
+                         Rng& rng, exec::ParallelRound* par) {
+  StreamCtx streams(rng.next_u64());
+  DenseInfo info;
+  annotate_dense(rt, acd, ell, t, use_fingerprints, streams, par, &info);
   return info;
 }
 

@@ -23,6 +23,7 @@
 
 #include "cluster/runtime.hpp"
 #include "common/rng.hpp"
+#include "sketch/approx_count.hpp"
 
 namespace ccg::exec {
 class ParallelRound;
@@ -48,10 +49,47 @@ struct AcdResult {
   int num_cliques = 0;
   // Degree estimates d̂(v) from step 1 (exact in oracle mode).
   std::vector<double> degree_est;
-  // Members per clique id.
+  // Members per clique id. Only entries [0, num_cliques) are meaningful:
+  // under reuse the outer vector is grow-only, so stale inner vectors may
+  // trail past num_cliques.
   std::vector<std::vector<int>> members;
+
+  // Rebind for a new run, keeping every capacity (outer members included).
+  void reset(int n) {
+    clique_of.assign(static_cast<std::size_t>(n), -1);
+    num_cliques = 0;
+    degree_est.assign(static_cast<std::size_t>(n), 0.0);
+  }
 };
 
+// Grow-only working storage for compute_acd/annotate_dense. Owned by the
+// caller (color::State keeps one per arena) so back-to-back jobs on warm
+// state run the whole decomposition without heap traffic.
+struct AcdScratch {
+  std::vector<double> union_est;        // per h.edges() entry
+  std::vector<char> high, candidate;    // per vertex
+  std::vector<std::vector<int>> stamps; // oracle stamp array per worker
+  // Fingerprint mode: raw per-vertex samples and the aggregated counts
+  // (estimates + per-vertex maxima). Both rebind in place, so warm
+  // fingerprint decompositions skip the per-vertex buffer rebuilds.
+  std::vector<sketch::Fingerprint> raw;
+  sketch::CountResult counts;
+  // Buddy graph as flat CSR (count -> prefix-sum -> fill): replaces the
+  // vector-of-vectors whose doubling reallocations dominated the old
+  // per-job allocation count.
+  std::vector<int> buddy_deg, buddy_off, buddy_cur, buddy_adj;
+  std::vector<int> comp, bfs;           // component collection + queue
+};
+
+// Stream-based, scratch-backed decomposition: every random draw comes from
+// a per-(round, vertex) counter stream of `streams` (bumped internally per
+// sampling sub-phase), so results are bit-identical for any worker count
+// of params.par. `out` and `scratch` are rebound, never shrunk.
+void compute_acd(cluster::Runtime& rt, const AcdParams& params,
+                 StreamCtx& streams, AcdResult* out, AcdScratch* scratch);
+
+// Convenience wrapper: fresh result, one-shot scratch, stream space seeded
+// from the caller's generator.
 AcdResult compute_acd(cluster::Runtime& rt, const AcdParams& params,
                       Rng& rng);
 
@@ -80,6 +118,17 @@ struct DenseInfo {
 // Computes ẽ_v by fingerprinting with predicate "u outside K_v"
 // (Lemma 5.7), aggregates per-clique averages on clique BFS trees, and
 // classifies cabals against the threshold ell (paper: Theta(log^1.1 n)).
+// Stream-based primary form: draws (fingerprint mode only) come from
+// per-vertex counter streams, results are worker-count independent, and
+// `out` is rebound in place.
+// `scratch` (optional) hosts the fingerprint-mode sampling buffers — pass
+// the compute_acd scratch so warm annotations stay allocation-free.
+void annotate_dense(cluster::Runtime& rt, const AcdResult& acd, double ell,
+                    int t, bool use_fingerprints, StreamCtx& streams,
+                    exec::ParallelRound* par, DenseInfo* out,
+                    AcdScratch* scratch = nullptr);
+
+// Convenience wrapper (fresh DenseInfo, stream space seeded from rng).
 DenseInfo annotate_dense(cluster::Runtime& rt, const AcdResult& acd,
                          double ell, int t, bool use_fingerprints,
                          Rng& rng, exec::ParallelRound* par = nullptr);

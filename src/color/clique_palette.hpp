@@ -29,6 +29,16 @@ class CliquePalette {
  public:
   explicit CliquePalette(int num_colors);
 
+  // Re-target this palette to a fresh clique/run: everything free, counts
+  // zero. Grow-only (assign + ColorSet::rebind keep capacity), so warm
+  // State arenas rebind their palette set without heap traffic.
+  void rebind(int num_colors) {
+    num_colors_ = num_colors;
+    colored_total_ = 0;
+    mult_.assign(static_cast<std::size_t>(num_colors), 0);
+    used_.rebind(num_colors);
+  }
+
   void add(int c);     // a member of K adopted color c
   void remove(int c);  // a member of K dropped color c
 

@@ -35,35 +35,25 @@ void State::reset(cluster::Runtime& runtime, const Params& p) {
   params = p;
   const int n = runtime.h().n();
   phi.reset(n);
-  // Dense structure back to the all-sparse post-construction shape.
-  // clear() keeps each vector's capacity; the members' inner vectors are
-  // released, but only the pipeline path fills them and it reallocates
-  // them per run regardless (compute_acd returns fresh vectors).
-  dc.acd.clique_of.assign(static_cast<std::size_t>(n), -1);
-  dc.acd.num_cliques = 0;
-  dc.acd.degree_est.clear();
-  dc.acd.members.clear();
-  dc.info.ext_est.clear();
-  dc.info.clique_size.clear();
-  dc.info.avg_ext_est.clear();
-  dc.info.is_cabal.clear();
-  dc.ell = 0;
-  dc.reserved.clear();
-  dc.reserved_cap = 0;
-  palettes.clear();
+  // Dense structure back to the all-sparse post-construction shape; every
+  // capacity (acd members' inner vectors included) persists as grow-only
+  // storage for the next build_dense_context. Stale palettes likewise stay
+  // allocated past the old clique count: nothing indexes them until
+  // init_palettes rebinds [0, num_cliques) for the new decomposition.
+  dc.reset(n);
   rng = Rng(p.seed);
   scratch.ensure_vertices(n);
-  if (par->workers() != exec::ThreadPool::resolve(p.threads)) {
-    par = std::make_unique<exec::ParallelRound>(p.threads);
-  }
+  // Heterogeneous-thread job streams: re-target the persistent pool in
+  // place (spawn/retire only the delta of workers) instead of discarding
+  // and reconstructing it.
+  par->resize(p.threads);
   scratch.ensure_workers(par->workers());
   wscratch.ensure_workers(par->workers());
   fallback_count = 0;
   retry_count = 0;
   cancel = nullptr;
   par->set_cancel(nullptr);
-  trial_round_ = 0;
-  trial_base_ = mix64(mix64(p.seed ^ kStreamRngTag) ^ trial_round_);
+  streams.reseed(p.seed);
 }
 
 void State::assign(int v, int c) {
@@ -85,10 +75,14 @@ void State::unassign(int v) {
 }
 
 void State::init_palettes() {
-  palettes.clear();
-  palettes.reserve(static_cast<std::size_t>(dc.acd.num_cliques));
-  for (int k = 0; k < dc.acd.num_cliques; ++k) {
+  // Grow-only: construct only the palettes this decomposition needs beyond
+  // the high-water count, then rebind the live prefix. Entries past
+  // num_cliques are stale and never indexed (clique ids bound them).
+  while (static_cast<int>(palettes.size()) < dc.acd.num_cliques) {
     palettes.emplace_back(num_colors());
+  }
+  for (int k = 0; k < dc.acd.num_cliques; ++k) {
+    palettes[static_cast<std::size_t>(k)].rebind(num_colors());
   }
   // Fold in any colors already assigned (normally none at this point).
   for (int v = 0; v < h().n(); ++v) {
@@ -122,10 +116,14 @@ double State::x_proxy(int v) const {
 
 std::vector<int> State::uncolored_members(int k) const {
   std::vector<int> out;
-  for (const int v : dc.acd.members[static_cast<std::size_t>(k)]) {
-    if (!phi.colored(v)) out.push_back(v);
-  }
+  append_uncolored_members(k, &out);
   return out;
+}
+
+void State::append_uncolored_members(int k, std::vector<int>* out) const {
+  for (const int v : dc.acd.members[static_cast<std::size_t>(k)]) {
+    if (!phi.colored(v)) out->push_back(v);
+  }
 }
 
 int fallback_finish(State& st, const std::vector<int>& vertices) {

@@ -67,6 +67,20 @@ struct DenseContext {
   std::vector<int> reserved;   // r_K per clique id (colors [0, r_K) reserved)
   int reserved_cap = 0;        // global exclusion prefix (paper: 300 eps Δ)
 
+  // Back to the all-sparse post-construction shape, keeping every
+  // capacity: acd.members' inner vectors and the info arrays survive as
+  // grow-only storage for the next build_dense_context.
+  void reset(int n) {
+    acd.reset(n);
+    info.ext_est.clear();
+    info.clique_size.clear();
+    info.avg_ext_est.clear();
+    info.is_cabal.clear();
+    ell = 0;
+    reserved.clear();
+    reserved_cap = 0;
+  }
+
   int clique_of(int v) const {
     return acd.clique_of[static_cast<std::size_t>(v)];
   }
@@ -95,6 +109,8 @@ struct State {
   TrialScratch scratch;    // per-round trial scratch (see scratch.hpp)
   std::unique_ptr<exec::ParallelRound> par;  // round engine (Params::threads)
   ScratchPool wscratch;    // pool-owned per-worker scratch set
+  acd::AcdScratch acd_scratch;  // ComputeACD working storage (grow-only)
+  PhaseScratch ph;         // phase-orchestration buffers (pipeline/lowdeg)
   int fallback_count = 0;  // safety-net interventions (should be ~0)
   int retry_count = 0;     // phase-level retries after failed postconditions
   const CancelToken* cancel = nullptr;  // optional deadline/cancel (Solver)
@@ -111,7 +127,7 @@ struct State {
     scratch.ensure_vertices(runtime.h().n());
     scratch.ensure_workers(par->workers());
     wscratch.ensure_workers(par->workers());
-    trial_base_ = mix64(mix64(p.seed ^ kStreamRngTag) ^ trial_round_);
+    streams.reseed(p.seed);
   }
 
   // Arm (or with nullptr disarm) cooperative cancellation for this run:
@@ -146,17 +162,17 @@ struct State {
   // Derivation is a pure function of (seed, round, entity), so workers
   // can evaluate shards in any order — or no threads at all — and produce
   // the same bits.
-  // trial_rng(e) == stream_rng(params.seed, trial_round_, e); the first
-  // two words of the key chain depend only on (seed, round), so they are
-  // hashed once per round here and the per-entity path pays one mix64
-  // plus the generator seeding.
-  void bump_trial_round() {
-    ++trial_round_;
-    trial_base_ = mix64(mix64(params.seed ^ kStreamRngTag) ^ trial_round_);
-  }
+  // trial_rng(e) == stream_rng(params.seed, round, e) — StreamCtx caches
+  // the (seed, round)-dependent key prefix, so the per-entity path pays
+  // one mix64 plus the generator seeding. The same StreamCtx also feeds
+  // ComputeACD/annotate_dense (they bump it per sampling sub-phase), so
+  // the whole pipeline's draw schedule is one shared round counter.
+  void bump_trial_round() { streams.bump(); }
   Rng trial_rng(std::uint64_t entity) const {
-    return Rng(mix64(trial_base_ ^ entity));
+    return streams.rng_for(entity);
   }
+
+  StreamCtx streams;  // counter-based (seed, round, entity) draw streams
 
   const graph::Graph& h() const { return rt->h(); }
   int delta() const { return rt->delta(); }
@@ -181,10 +197,9 @@ struct State {
 
   // Members of clique k that are uncolored.
   std::vector<int> uncolored_members(int k) const;
-
- private:
-  std::uint64_t trial_round_ = 0;  // synchronized-round counter (streams)
-  std::uint64_t trial_base_ = 0;   // cached mix of (seed, round)
+  // Appending buffer-out variant (does NOT clear `out`): hot phases
+  // accumulate several cliques' members into one reused buffer.
+  void append_uncolored_members(int k, std::vector<int>* out) const;
 };
 
 // Safety net: color every remaining uncolored vertex by local-minimum

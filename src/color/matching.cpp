@@ -10,9 +10,8 @@
 
 namespace ccg::color {
 
-std::vector<int> colorful_matching(State& st,
-                                   const std::vector<int>& clique_ids,
-                                   const std::function<int(int)>& target) {
+void colorful_matching_run(State& st, const std::vector<int>& clique_ids,
+                           const std::function<int(int)>& target) {
   const auto& h = st.h();
   const int prefix = st.dc.reserved_cap;
   const int span = st.num_colors() - prefix;
@@ -23,13 +22,15 @@ std::vector<int> colorful_matching(State& st,
   auto& sc = st.scratch;
   auto& par = *st.par;
   sc.ensure_vertices(h.n());
-  std::vector<char> done(clique_ids.size(), 0);
+  auto& done = st.ph.flags;
+  done.assign(clique_ids.size(), 0);
   // Flat participant list per round (shard domain), plus the
   // (clique, color)-keyed grouping buffer and per-bucket chosen list,
-  // all reused across rounds.
+  // all reused across rounds (and across calls: they live in the
+  // State-owned PhaseScratch).
   auto& participants = sc.tmp_ints;
-  std::vector<std::pair<std::int64_t, int>> keyed;
-  std::vector<int> chosen;
+  auto& keyed = st.ph.keyed;
+  auto& chosen = st.ph.chosen;
   for (int round = 0; round < st.params.matching_rounds; ++round) {
     // Enumerate this round's participants: uncolored members of cliques
     // still short of their target (sequential; no randomness).
@@ -128,7 +129,12 @@ std::vector<int> colorful_matching(State& st,
     }
     st.rt->charge(2, log_bits);
   }
+}
 
+std::vector<int> colorful_matching(State& st,
+                                   const std::vector<int>& clique_ids,
+                                   const std::function<int(int)>& target) {
+  colorful_matching_run(st, clique_ids, target);
   std::vector<int> achieved;
   achieved.reserve(clique_ids.size());
   for (const int k : clique_ids) {
@@ -151,14 +157,15 @@ void fingerprint_matching_charge(State& st) {
   st.rt->charge(2, k_trials);
 }
 
-std::vector<std::pair<int, int>> fingerprint_matching(
-    State& st, int clique_id, const std::vector<int>* subset, bool charge) {
+void fingerprint_matching_into(State& st, int clique_id,
+                               const std::vector<int>* subset, bool charge,
+                               std::vector<std::pair<int, int>>* out) {
   const auto& h = st.h();
   const auto& members =
       subset ? *subset
              : st.dc.acd.members[static_cast<std::size_t>(clique_id)];
   const int sz = static_cast<int>(members.size());
-  if (sz < 2) return {};
+  if (sz < 2) return;
   const int n = h.n();
   const int k_trials = std::max(
       8, static_cast<int>(std::lround(st.params.cabal_matching_kfactor *
@@ -192,8 +199,9 @@ std::vector<std::pair<int, int>> fingerprint_matching(
 
   // Clique maximum Y_K, aggregated on BFS trees in the model; one
   // deterministic sequential reduction here, charged with its measured
-  // encoded size.
-  sketch::Fingerprint yk = sketch::empty_fingerprint(k_trials);
+  // encoded size. The maxima buffer is scratch-owned (capacity reused).
+  auto& yk = fp.yk;
+  yk.maxima.assign(ktu, sketch::kEmpty);
   for (int i = 0; i < sz; ++i) {
     const int* row = fp.x.data() + static_cast<std::size_t>(i) * ktu;
     for (int t = 0; t < k_trials; ++t) {
@@ -311,7 +319,6 @@ std::vector<std::pair<int, int>> fingerprint_matching(
     if (wi >= 0) fp.sampled_w[static_cast<std::size_t>(wi)] = 1;
   }
   fp.w_seen.assign(szu, 0);
-  std::vector<std::pair<int, int>> matching;
   if (charge) st.rt->charge(2, k_trials);
   for (int t = 0; t < k_trials; ++t) {
     const int ui = fp.trial_u[static_cast<std::size_t>(t)];
@@ -324,10 +331,16 @@ std::vector<std::pair<int, int>> fingerprint_matching(
     const int w = members[static_cast<std::size_t>(wi)];
     CCG_CHECK_MSG(!h.has_edge(u, w),
                   "fingerprint matching produced a real edge");
-    matching.emplace_back(u, w);
+    out->emplace_back(u, w);
   }
   // The matching must be vertex-disjoint: u's are distinct by condition
   // (c), w's by step 11, and u's never appear as w's by step 10.
+}
+
+std::vector<std::pair<int, int>> fingerprint_matching(
+    State& st, int clique_id, const std::vector<int>* subset, bool charge) {
+  std::vector<std::pair<int, int>> matching;
+  fingerprint_matching_into(st, clique_id, subset, charge, &matching);
   return matching;
 }
 
@@ -340,7 +353,11 @@ int color_anti_matching(State& st,
   const int log_bits =
       2 * ceil_log2(static_cast<std::uint64_t>(std::max(2, h.n())));
 
-  std::vector<int> todo(pairs.size());
+  // Round worklists and the pair -> candidate-color table live in the
+  // State-owned PhaseScratch (dedicated buffers: both pipeline batch
+  // callers hold their pairs in ph.pairs while this runs).
+  auto& todo = st.ph.am_todo;
+  todo.resize(pairs.size());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     todo[i] = static_cast<int>(i);
   }
@@ -348,8 +365,10 @@ int color_anti_matching(State& st,
   auto& sc = st.scratch;
   auto& par = *st.par;
   sc.ensure_vertices(h.n());
-  std::vector<int> pair_cand(pairs.size(), -1);  // pair index -> color
-  std::vector<int> next;
+  auto& pair_cand = st.ph.am_cand;  // pair index -> color
+  pair_cand.assign(pairs.size(), -1);
+  auto& next = st.ph.am_next;
+  next.clear();
   // Pair-level synchronized trials (Algorithm 6 step 3, with the random
   // groups of Lemma 4.4 relaying between the pair's endpoints).
   for (int round = 0; round < st.params.mct_max_rounds && !todo.empty();

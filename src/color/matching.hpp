@@ -24,18 +24,31 @@ namespace ccg::color {
 
 // Lemma 4.9 matching on the given cliques; a clique stops once its palette
 // repeat count reaches target(k). Costs O(matching_rounds) H-rounds.
-// Returns per-clique repeats achieved (aligned with clique_ids).
+// Round state lives in the State-owned scratch, so a warm call is
+// allocation-free; read per-clique repeats off st.palettes afterwards.
+void colorful_matching_run(State& st, const std::vector<int>& clique_ids,
+                           const std::function<int(int)>& target);
+
+// Convenience wrapper returning per-clique repeats achieved (aligned with
+// clique_ids); allocates the result, so the pipeline drivers call
+// colorful_matching_run instead.
 std::vector<int> colorful_matching(State& st,
                                    const std::vector<int>& clique_ids,
                                    const std::function<int(int)>& target);
 
-// Algorithm 7 on one cabal: returns a matching of anti-edges (vertex
-// pairs, each pair non-adjacent, pairwise disjoint). Does not color.
-// `subset` restricts participation (e.g. to uncolored members when topping
-// up a too-small sampling matching); nullptr = the whole clique.
+// Algorithm 7 on one cabal: appends a matching of anti-edges (vertex
+// pairs, each pair non-adjacent, pairwise disjoint) to *out. Does not
+// color. `subset` restricts participation (e.g. to uncolored members when
+// topping up a too-small sampling matching); nullptr = the whole clique.
 // `charge` = false skips ledger charges: executions in vertex-disjoint
 // cliques are parallel, so a batch caller charges one execution shape
-// (fingerprint_matching_charge) for the whole batch.
+// (fingerprint_matching_charge) for the whole batch. Appending lets the
+// batch callers collect every cabal's pairs in one reusable buffer.
+void fingerprint_matching_into(State& st, int clique_id,
+                               const std::vector<int>* subset, bool charge,
+                               std::vector<std::pair<int, int>>* out);
+
+// Convenience wrapper returning the matching as a fresh vector.
 std::vector<std::pair<int, int>> fingerprint_matching(
     State& st, int clique_id, const std::vector<int>* subset = nullptr,
     bool charge = true);

@@ -13,6 +13,13 @@ namespace ccg::color {
 std::vector<int> multicolor_trial(State& st, std::vector<int> S,
                                   const SetSampler& sampler,
                                   const MctOptions& opt) {
+  multicolor_trial(st, &S, sampler, opt);
+  return S;
+}
+
+void multicolor_trial(State& st, std::vector<int>* S_ptr,
+                      const SetSampler& sampler, const MctOptions& opt) {
+  auto& S = *S_ptr;
   const auto& h = st.h();
   const int n = h.n();
   const int x_cap =
@@ -118,7 +125,6 @@ std::vector<int> multicolor_trial(State& st, std::vector<int> S,
     prune_colored(st, &S);
     x = std::min(x_cap, 2 * x);
   }
-  return S;
 }
 
 SetSampler uniform_set_sampler(int num_colors, int prefix) {
@@ -138,6 +144,19 @@ SetSampler reserved_set_sampler(std::function<int(int)> r_of) {
   return [r_of](int v, int x, Rng& rng, std::vector<int>* out) {
     out->clear();
     const int r = r_of(v);
+    if (r <= 0) return;
+    out->reserve(static_cast<std::size_t>(x));
+    for (int i = 0; i < x; ++i) {
+      out->push_back(
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(r))));
+    }
+  };
+}
+
+SetSampler reserved_set_sampler(const State& st) {
+  return [&st](int v, int x, Rng& rng, std::vector<int>* out) {
+    out->clear();
+    const int r = st.dc.r_of(v);
     if (r <= 0) return;
     out->reserve(static_cast<std::size_t>(x));
     for (int i = 0; i < x; ++i) {

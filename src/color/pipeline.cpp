@@ -23,12 +23,17 @@ void build_dense_context(State& st) {
   ap.use_fingerprints = st.params.use_fingerprint_acd;
   ap.measure_bits = st.params.measure_bits;
   ap.par = st.par.get();
-  st.dc.acd = acd::compute_acd(*st.rt, ap, st.rng);
+  // Decompose into State-owned storage: result arrays and the ACD working
+  // set (CSR buddy graph, component queues, fingerprint matrices) are
+  // grow-only members of State, so a warm run reuses every buffer. Draws
+  // come from the shared stream space (counter-based per-(round, entity)
+  // RNG), making the decomposition bit-identical for every thread count.
+  acd::compute_acd(*st.rt, ap, st.streams, &st.dc.acd, &st.acd_scratch);
 
   st.dc.ell = st.params.ell(n);
-  st.dc.info = acd::annotate_dense(
-      *st.rt, st.dc.acd, st.dc.ell, st.params.fingerprint_t,
-      st.params.use_fingerprint_acd, st.rng, st.par.get());
+  acd::annotate_dense(*st.rt, st.dc.acd, st.dc.ell, st.params.fingerprint_t,
+                      st.params.use_fingerprint_acd, st.streams,
+                      st.par.get(), &st.dc.info, &st.acd_scratch);
 
   st.dc.reserved_cap = st.params.reserved_cap(st.delta());
   st.dc.reserved.resize(static_cast<std::size_t>(st.dc.acd.num_cliques));
@@ -44,13 +49,17 @@ void build_dense_context(State& st) {
 }
 
 void coloring_sparse(State& st) {
-  std::vector<int> sparse;
+  // Phase input set lives in the State-owned orchestration scratch; the
+  // in-place trial variants prune it as vertices get colored, so the whole
+  // phase touches no per-call heap storage once warm.
+  auto& sparse = st.ph.verts;
+  sparse.clear();
   for (int v = 0; v < st.h().n(); ++v) {
     if (!st.dc.is_dense(v)) sparse.push_back(v);
   }
   if (sparse.empty()) return;
   const auto sampler = uniform_sampler(st.num_colors(), 0);
-  try_color_rounds(st, sparse, sampler, st.params.trycolor_activation,
+  try_color_rounds(st, &sparse, sampler, st.params.trycolor_activation,
                    st.params.trycolor_rounds);
   MctOptions mct;
   mct.max_rounds = st.params.mct_max_rounds;
@@ -62,9 +71,8 @@ void coloring_sparse(State& st) {
           ? representative_set_sampler(st.num_colors(), 0,
                                        st.params.seed ^ 0xC5C5C5C5ULL)
           : uniform_set_sampler(st.num_colors(), 0);
-  auto left =
-      multicolor_trial(st, uncolored_of(st, sparse), set_sampler, mct);
-  if (!left.empty()) fallback_finish(st, left);
+  multicolor_trial(st, &sparse, set_sampler, mct);
+  if (!sparse.empty()) fallback_finish(st, sparse);
 }
 
 namespace {
@@ -74,35 +82,34 @@ namespace {
 // + MCT finishes K directly.
 void color_easy_cliques(State& st, const std::vector<int>& easy) {
   if (easy.empty()) return;
-  std::vector<int> s;
-  for (const int k : easy) {
-    const auto unc = st.uncolored_members(k);
-    s.insert(s.end(), unc.begin(), unc.end());
-  }
+  auto& s = st.ph.verts;
+  s.clear();
+  for (const int k : easy) st.append_uncolored_members(k, &s);
   if (s.empty()) return;
   const auto sampler = uniform_sampler(st.num_colors(), 0);
-  try_color_rounds(st, s, sampler, st.params.trycolor_activation,
+  try_color_rounds(st, &s, sampler, st.params.trycolor_activation,
                    st.params.trycolor_rounds);
   MctOptions mct;
   mct.max_rounds = st.params.mct_max_rounds;
   const int slack =
       std::max(1, static_cast<int>(st.params.eps * st.delta()));
   mct.slack = [slack](int) { return slack; };
-  auto left = multicolor_trial(st, uncolored_of(st, s),
-                               uniform_set_sampler(st.num_colors(), 0), mct);
-  if (!left.empty()) fallback_finish(st, left);
+  multicolor_trial(st, &s, uniform_set_sampler(st.num_colors(), 0), mct);
+  if (!s.empty()) fallback_finish(st, s);
 }
 
 // Outliers are colored while Omega(Delta) uncolored inliers give temporary
-// slack; the candidate space excludes the reserved prefix (NC-3).
-void color_outliers(State& st, const std::vector<int>& outliers) {
+// slack; the candidate space excludes the reserved prefix (NC-3). Consumes
+// *outliers in place (a PhaseScratch buffer at both call sites).
+void color_outliers(State& st, std::vector<int>* outliers_ptr) {
+  auto& outliers = *outliers_ptr;
   if (outliers.empty()) return;
   const auto sampler = [&st](int v, Rng& rng) -> int {
     const int r = st.dc.r_of(v);
     return r + static_cast<int>(rng.next_below(
                    static_cast<std::uint64_t>(st.num_colors() - r)));
   };
-  try_color_rounds(st, outliers, sampler, st.params.trycolor_activation,
+  try_color_rounds(st, &outliers, sampler, st.params.trycolor_activation,
                    st.params.trycolor_rounds);
   MctOptions mct;
   mct.max_rounds = st.params.mct_max_rounds;
@@ -119,9 +126,8 @@ void color_outliers(State& st, const std::vector<int>& outliers) {
                                  st.num_colors() - r))));
     }
   };
-  auto left =
-      multicolor_trial(st, uncolored_of(st, outliers), set_sampler, mct);
-  if (!left.empty()) fallback_finish(st, left);
+  multicolor_trial(st, &outliers, set_sampler, mct);
+  if (!outliers.empty()) fallback_finish(st, outliers);
 }
 
 // Matching size the clique measurably needs: M_K must dominate the x̃_v
@@ -152,25 +158,33 @@ bool is_noncabal_inlier(State& st, int v) {
 }  // namespace
 
 void coloring_noncabals(State& st) {
-  std::vector<int> ids;
+  // Orchestration sets live in the State-owned PhaseScratch: id lists and
+  // split buckets reuse their high-water capacity, the per-clique inlier
+  // and SCT candidate sets share the grow-only GroupLists pair.
+  auto& ids = st.ph.ids;
+  ids.clear();
   for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
     if (!st.dc.info.is_cabal[static_cast<std::size_t>(k)]) ids.push_back(k);
   }
   if (ids.empty()) return;
 
   // Step 1: colorful matching everywhere (Lemma 4.9).
-  std::vector<int> easy, rest;
+  auto& easy = st.ph.easy;
+  auto& rest = st.ph.rest;
+  easy.clear();
+  rest.clear();
   {
     net::PhaseScope p(st.rt->ledger(), "4a-matching");
     const int target =
         std::max(1, static_cast<int>(2.2 * st.params.eps * st.delta()));
-    colorful_matching(st, ids, [target](int) { return target; });
+    colorful_matching_run(st, ids, [target](int) { return target; });
     // Cliques whose sampling matching is too small for their measured
     // x̃_max (sparse anti-edge regime) top up with the fingerprint
     // matching over their uncolored members. Cliques are vertex-disjoint,
     // so the executions are parallel: one charge for the whole batch.
     st.rt->charge(1, 32);  // x̃_max aggregation
-    std::vector<std::pair<int, int>> all_pairs;
+    auto& all_pairs = st.ph.pairs;
+    all_pairs.clear();
     bool any_topup = false;
     for (const int k : ids) {
       if (st.palettes[static_cast<std::size_t>(k)].repeats() >=
@@ -178,10 +192,10 @@ void coloring_noncabals(State& st) {
         continue;
       }
       any_topup = true;
-      const auto unc = st.uncolored_members(k);
-      const auto pairs =
-          fingerprint_matching(st, k, &unc, /*charge=*/false);
-      all_pairs.insert(all_pairs.end(), pairs.begin(), pairs.end());
+      auto& unc = st.ph.unc;
+      unc.clear();
+      st.append_uncolored_members(k, &unc);
+      fingerprint_matching_into(st, k, &unc, /*charge=*/false, &all_pairs);
     }
     if (any_topup) fingerprint_matching_charge(st);
     if (!all_pairs.empty()) color_anti_matching(st, all_pairs);
@@ -203,35 +217,41 @@ void coloring_noncabals(State& st) {
   if (rest.empty()) return;
 
   // Step 2: outliers first (they enjoy temporary slack from inliers).
-  std::vector<std::vector<int>> inliers_of(rest.size());
+  auto& inliers_of = st.ph.groups;
+  inliers_of.reset(static_cast<int>(rest.size()));
   {
     net::PhaseScope p(st.rt->ledger(), "4c-outliers");
-    std::vector<int> outliers;
+    auto& outliers = st.ph.outliers;
+    outliers.clear();
     for (std::size_t i = 0; i < rest.size(); ++i) {
-      for (const int v : st.uncolored_members(rest[i])) {
+      auto& unc = st.ph.unc;
+      unc.clear();
+      st.append_uncolored_members(rest[i], &unc);
+      for (const int v : unc) {
         if (is_noncabal_inlier(st, v)) {
-          inliers_of[i].push_back(v);
+          inliers_of.at(static_cast<int>(i)).push_back(v);
         } else {
           outliers.push_back(v);
         }
       }
     }
-    color_outliers(st, outliers);
+    color_outliers(st, &outliers);
   }
 
   // Step 3: synchronized color trial on all but r_K uncolored inliers.
   {
     net::PhaseScope p(st.rt->ledger(), "4d-sct");
-    std::vector<std::vector<int>> s_of(rest.size());
+    auto& s_of = st.ph.groups2;
+    s_of.reset(static_cast<int>(rest.size()));
     for (std::size_t i = 0; i < rest.size(); ++i) {
-      auto unc = uncolored_of(st, inliers_of[i]);
+      auto& s = s_of.at(static_cast<int>(i));
+      uncolored_of(st, inliers_of.at(static_cast<int>(i)), &s);
       const int r = st.dc.reserved[static_cast<std::size_t>(rest[i])];
-      const int keep = std::max(0, static_cast<int>(unc.size()) - r);
-      std::sort(unc.begin(), unc.end());
-      unc.resize(static_cast<std::size_t>(keep));
-      s_of[i] = std::move(unc);
+      const int keep = std::max(0, static_cast<int>(s.size()) - r);
+      std::sort(s.begin(), s.end());
+      s.resize(static_cast<std::size_t>(keep));
     }
-    synchronized_color_trial(st, rest, s_of);
+    synchronized_color_trial(st, rest, s_of.view(), nullptr);
   }
 
   // Step 4: Complete (Section 8).
@@ -242,7 +262,8 @@ void coloring_noncabals(State& st) {
 }
 
 void coloring_cabals(State& st) {
-  std::vector<int> ids;
+  auto& ids = st.ph.ids;
+  ids.clear();
   for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
     if (st.dc.info.is_cabal[static_cast<std::size_t>(k)]) ids.push_back(k);
   }
@@ -254,9 +275,10 @@ void coloring_cabals(State& st) {
   // algorithm when the sampling matching stays small (Prop 4.15).
   const int target =
       std::max(1, static_cast<int>(2.2 * st.params.eps * st.delta()));
-  colorful_matching(st, ids, [target](int) { return target; });
+  colorful_matching_run(st, ids, [target](int) { return target; });
   st.rt->charge(1, 32);  // x̃_max aggregation
-  std::vector<std::pair<int, int>> all_pairs;
+  auto& all_pairs = st.ph.pairs;
+  all_pairs.clear();
   bool any_redo = false;
   for (const int k : ids) {
     auto& pal = st.palettes[static_cast<std::size_t>(k)];
@@ -268,14 +290,15 @@ void coloring_cabals(State& st) {
     for (const int v : st.dc.acd.members[static_cast<std::size_t>(k)]) {
       if (st.phi.colored(v)) st.unassign(v);
     }
-    const auto pairs =
-        fingerprint_matching(st, k, nullptr, /*charge=*/false);
-    all_pairs.insert(all_pairs.end(), pairs.begin(), pairs.end());
+    fingerprint_matching_into(st, k, nullptr, /*charge=*/false, &all_pairs);
   }
   if (any_redo) fingerprint_matching_charge(st);
   if (!all_pairs.empty()) color_anti_matching(st, all_pairs);
 
-  std::vector<int> easy, rest;
+  auto& easy = st.ph.easy;
+  auto& rest = st.ph.rest;
+  easy.clear();
+  rest.clear();
   const double two_eps_delta = 2.0 * st.params.eps * st.delta();
   for (const int k : ids) {
     if (st.palettes[static_cast<std::size_t>(k)].repeats() >=
@@ -289,17 +312,21 @@ void coloring_cabals(State& st) {
   if (rest.empty()) return;
 
   // Step 2: outliers (cabal rule: high estimated external degree only).
-  std::vector<int> outliers;
+  auto& outliers = st.ph.outliers;
+  outliers.clear();
   for (const int k : rest) {
     const double e_k = std::max(
         1.0, st.dc.info.avg_ext_est[static_cast<std::size_t>(k)]);
-    for (const int v : st.uncolored_members(k)) {
+    auto& unc = st.ph.unc;
+    unc.clear();
+    st.append_uncolored_members(k, &unc);
+    for (const int v : unc) {
       if (st.dc.ext_est(v) > st.params.inlier_ext_factor * e_k) {
         outliers.push_back(v);
       }
     }
   }
-  color_outliers(st, outliers);
+  color_outliers(st, &outliers);
 
   // Step 3: put-aside sets (identical size across cabals; see
   // Params::putaside_factor for the calibrated |P_K| < r_K choice).
@@ -309,32 +336,43 @@ void coloring_cabals(State& st) {
       2, std::min(r_reserved,
                   static_cast<int>(std::lround(
                       st.params.putaside_factor * st.dc.ell))));
-  const auto put = compute_putaside(st, rest, r);
+  // Put-aside sets live in the State-owned grow-only scratch; they must
+  // survive steps 4-5 (which claim ph.groups for S_K), so they get their
+  // own GroupLists.
+  auto& put_sets = st.ph.putsets;
+  bool prop3_ok = true;
+  compute_putaside(st, rest, r, &put_sets, &prop3_ok);
 
   // Step 4: synchronized color trial on uncolored inliers minus P_K.
   // Put-aside membership rides on the scratch vertex marks (one O(1)
   // epoch bump instead of an O(n) bitmap per cabal).
-  std::vector<std::vector<int>> s_of(rest.size());
+  auto& s_of = st.ph.groups;
+  s_of.reset(static_cast<int>(rest.size()));
   auto& sc = st.scratch;
   sc.ensure_vertices(n);
   sc.begin_vertex_marks();
-  for (const auto& s : put.sets) {
+  for (const auto& s : put_sets.view()) {
     for (const int v : s) sc.mark_vertex(v);
   }
   for (std::size_t i = 0; i < rest.size(); ++i) {
-    for (const int v : st.uncolored_members(rest[i])) {
-      if (!sc.vertex_marked(v)) s_of[i].push_back(v);
+    auto& unc = st.ph.unc;
+    unc.clear();
+    st.append_uncolored_members(rest[i], &unc);
+    for (const int v : unc) {
+      if (!sc.vertex_marked(v)) s_of.at(static_cast<int>(i)).push_back(v);
     }
   }
-  synchronized_color_trial(st, rest, s_of);
+  synchronized_color_trial(st, rest, s_of.view(), nullptr);
 
   // Step 5: MultiColorTrial on the reserved prefix for the SCT leftovers.
-  std::vector<int> leftover;
-  for (std::size_t i = 0; i < rest.size(); ++i) {
-    for (const int v : uncolored_of(st, s_of[i])) leftover.push_back(v);
+  auto& leftover = st.ph.verts;
+  leftover.clear();
+  for (int i = 0; i < s_of.groups(); ++i) {
+    for (const int v : s_of.at(i)) {
+      if (!st.phi.colored(v)) leftover.push_back(v);
+    }
   }
   if (!leftover.empty()) {
-    const auto r_of = [&st](int v) { return st.dc.r_of(v); };
     MctOptions mct;
     mct.max_rounds = st.params.mct_max_rounds;
     mct.slack = [&st](int v) {
@@ -343,13 +381,12 @@ void coloring_cabals(State& st) {
       return std::max(
           1, static_cast<int>(st.dc.r_of(v) - st.dc.ext_est(v) - 1));
     };
-    auto left =
-        multicolor_trial(st, leftover, reserved_set_sampler(r_of), mct);
-    if (!left.empty()) fallback_finish(st, left);
+    multicolor_trial(st, &leftover, reserved_set_sampler(st), mct);
+    if (!leftover.empty()) fallback_finish(st, leftover);
   }
 
   // Step 6: color the put-aside sets via free colors / donation (Sec. 7).
-  color_putaside_sets(st, rest, put.sets);
+  color_putaside_sets(st, rest, put_sets.view());
 }
 
 void reset_result(Result* res) {
@@ -438,7 +475,8 @@ void run_high_degree(State& st) {
   }
   st.check_cancel();
   // Safety net: should be a no-op.
-  std::vector<int> all(static_cast<std::size_t>(st.h().n()));
+  auto& all = st.ph.all;
+  all.resize(static_cast<std::size_t>(st.h().n()));
   for (int v = 0; v < st.h().n(); ++v) all[static_cast<std::size_t>(v)] = v;
   fallback_finish(st, all);
 

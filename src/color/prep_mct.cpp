@@ -8,7 +8,7 @@
 
 namespace ccg::color {
 
-double z_estimate(State& st, int v) {
+double z_estimate(const State& st, int v) {
   const int k = st.dc.clique_of(v);
   CCG_CHECK(k >= 0);
   const auto& pal = st.palettes[static_cast<std::size_t>(k)];
@@ -22,9 +22,11 @@ double z_estimate(State& st, int v) {
 
   // External neighbors colored with non-reserved colors: the paper
   // estimates this by fingerprinting (Claim 8.3); the simulation computes
-  // it exactly and the caller charges the fingerprint round.
+  // it exactly and the caller charges the fingerprint round. One pass over
+  // N(v) skipping same-clique neighbors — no materialized neighbor list.
   int mu_e = 0;
-  for (const int u : st.external_neighbors(v)) {
+  for (const int u : st.h().neighbors(v)) {
+    if (st.dc.clique_of(u) == k) continue;
     if (st.phi.colored(u) && st.phi.get(u) >= r_v) ++mu_e;
   }
 
@@ -38,40 +40,76 @@ double z_estimate(State& st, int v) {
   return (delta + 1 - r_v) - mu_k - mu_e + reuse;
 }
 
+namespace {
+
+// Sharded z̃-threshold split over the still-uncolored vertices of `from`:
+// vertices with z_estimate > thr (or >= when `ge`) land in *sel, the rest
+// (when `rest` is non-null) in *rest, both in `from` order. z_estimate
+// reads only the frozen coloring/palettes, so shards evaluate it
+// independently; worker-order concatenation of the shard-local kept lists
+// reproduces the sequential order for every thread count.
+void select_by_z(State& st, const std::vector<int>& from, double factor,
+                 bool ge, std::vector<int>* sel, std::vector<int>* rest) {
+  auto& par = *st.par;
+  for (int w = 0; w < par.workers(); ++w) {
+    st.wscratch.at(w).kept.clear();
+    st.wscratch.at(w).kept2.clear();
+  }
+  const auto e_k_of = [&st](int v) {
+    return st.dc.info.avg_ext_est[static_cast<std::size_t>(
+        st.dc.clique_of(v))];
+  };
+  par.shards(static_cast<std::int64_t>(from.size()),
+             [&](int w, std::int64_t b, std::int64_t e) {
+    auto& ws = st.wscratch.at(w);
+    for (std::int64_t i = b; i < e; ++i) {
+      const int v = from[static_cast<std::size_t>(i)];
+      if (st.phi.colored(v)) continue;
+      const double z = z_estimate(st, v);
+      const double thr = factor * std::max(1.0, e_k_of(v));
+      if (ge ? z >= thr : z > thr) {
+        ws.kept.push_back(v);
+      } else if (rest != nullptr) {
+        ws.kept2.push_back(v);
+      }
+    }
+  });
+  sel->clear();
+  if (rest != nullptr) rest->clear();
+  for (int w = 0; w < par.workers(); ++w) {
+    auto& ws = st.wscratch.at(w);
+    sel->insert(sel->end(), ws.kept.begin(), ws.kept.end());
+    if (rest != nullptr) {
+      rest->insert(rest->end(), ws.kept2.begin(), ws.kept2.end());
+    }
+  }
+}
+
+}  // namespace
+
 int complete_noncabals(State& st, const std::vector<int>& clique_ids) {
   const auto& h = st.h();
   const int lb = 2 * ceil_log2(static_cast<std::uint64_t>(
                        std::max(2, h.n())));
 
-  std::vector<int> all;
-  for (const int k : clique_ids) {
-    const auto unc = st.uncolored_members(k);
-    all.insert(all.end(), unc.begin(), unc.end());
-  }
+  // Orchestration sets live in the State-owned PhaseScratch (ph.rest holds
+  // clique_ids at the call site; this phase claims verts/sel/sel2).
+  auto& all = st.ph.verts;
+  all.clear();
+  for (const int k : clique_ids) st.append_uncolored_members(k, &all);
   if (all.empty()) return 0;
-
-  const auto e_k_of = [&](int v) {
-    return st.dc.info.avg_ext_est[static_cast<std::size_t>(
-        st.dc.clique_of(v))];
-  };
-  const auto r_of = [&](int v) { return st.dc.r_of(v); };
 
   // Phase I: vertices whose z̃ certifies non-reserved palette slack try
   // palette colors above the reserved prefix; O(1) iterations.
   const int t_iters = std::max(2, st.params.trycolor_rounds / 2);
+  auto& s_i = st.ph.sel;
   for (int it = 0; it < t_iters; ++it) {
-    std::vector<int> s_i;
-    for (const int v : uncolored_of(st, all)) {
-      if (z_estimate(st, v) >=
-          0.25 * st.params.gamma_reuse * std::max(1.0, e_k_of(v))) {
-        s_i.push_back(v);
-      }
-    }
+    select_by_z(st, all, 0.25 * st.params.gamma_reuse, /*ge=*/true, &s_i,
+                nullptr);
     if (s_i.empty()) break;
     // z̃ recomputation: one fingerprint aggregation (Claim 8.3).
     st.rt->charge(1, 2 * st.params.fingerprint_t + 16);
-    try_color_round(st, s_i,
-                    clique_palette_sampler(st, r_of),
+    try_color_round(st, s_i, clique_palette_sampler(st),
                     st.params.trycolor_activation);
   }
 
@@ -79,16 +117,11 @@ int complete_noncabals(State& st, const std::vector<int>& clique_ids) {
   // with MCT on the reserved prefix; the rest have reserved slack by
   // Lemma 8.2 and follow in phase II.
   st.rt->charge(1, 2 * st.params.fingerprint_t + 16);
-  std::vector<int> s_last, phase2;
-  for (const int v : uncolored_of(st, all)) {
-    if (z_estimate(st, v) >
-        0.25 * st.params.gamma_reuse * std::max(1.0, e_k_of(v))) {
-      s_last.push_back(v);
-    } else {
-      phase2.push_back(v);
-    }
-  }
-  const auto reserved_slack = [&](int v) {
+  auto& s_last = st.ph.sel;
+  auto& phase2 = st.ph.sel2;
+  select_by_z(st, all, 0.25 * st.params.gamma_reuse, /*ge=*/false, &s_last,
+              &phase2);
+  const auto reserved_slack = [&st](int v) {
     // |[r_v] ∩ L(v)| >= r_v - e_v (Lemma 8.5): only external neighbors
     // consume reserved colors. The algorithm knows ẽ_v (Lemma 5.7), so
     // the per-vertex bound replaces the paper's worst-case 25 e_K figure
@@ -99,12 +132,12 @@ int complete_noncabals(State& st, const std::vector<int>& clique_ids) {
   MctOptions mct;
   mct.max_rounds = st.params.mct_max_rounds;
   mct.slack = reserved_slack;
-  auto left1 =
-      multicolor_trial(st, s_last, reserved_set_sampler(r_of), mct);
+  multicolor_trial(st, &s_last, reserved_set_sampler(st), mct);
 
-  // Phase II: O(1) reserved TryColor rounds, then MCT.
-  try_color_rounds(st, phase2,
-                   [&](int v, Rng& rng) -> int {
+  // Phase II: O(1) reserved TryColor rounds, then MCT. s_last now holds
+  // the phase-I leftovers; phase2 shrinks in place to its own leftovers.
+  try_color_rounds(st, &phase2,
+                   [&st](int v, Rng& rng) -> int {
                      const int r = st.dc.r_of(v);
                      if (r <= 0) return -1;
                      return static_cast<int>(
@@ -112,13 +145,12 @@ int complete_noncabals(State& st, const std::vector<int>& clique_ids) {
                    },
                    st.params.trycolor_activation,
                    std::max(2, st.params.trycolor_rounds / 2));
-  auto left2 = multicolor_trial(st, uncolored_of(st, phase2),
-                                reserved_set_sampler(r_of), mct);
+  multicolor_trial(st, &phase2, reserved_set_sampler(st), mct);
 
   st.rt->charge(1, lb);
-  left1.insert(left1.end(), left2.begin(), left2.end());
-  if (left1.empty()) return 0;
-  return fallback_finish(st, left1);
+  s_last.insert(s_last.end(), phase2.begin(), phase2.end());
+  if (s_last.empty()) return 0;
+  return fallback_finish(st, s_last);
 }
 
 }  // namespace ccg::color

@@ -26,7 +26,8 @@ namespace ccg::color {
 int complete_noncabals(State& st, const std::vector<int>& clique_ids);
 
 // z_v estimate (Eq. 14 with the computable reuse bound); exposed for tests
-// and the ablation bench.
-double z_estimate(State& st, int v);
+// and the ablation bench. Pure read of the frozen coloring with zero heap
+// traffic, so the selection sweeps evaluate it from parallel shards.
+double z_estimate(const State& st, int v);
 
 }  // namespace ccg::color

@@ -72,10 +72,16 @@ int try_color_round(State& st, const std::vector<int>& S,
 int try_color_rounds(State& st, std::vector<int> S,
                      const ColorSampler& sampler, double activation,
                      int rounds) {
+  return try_color_rounds(st, &S, sampler, activation, rounds);
+}
+
+int try_color_rounds(State& st, std::vector<int>* S,
+                     const ColorSampler& sampler, double activation,
+                     int rounds) {
   int total = 0;
-  for (int r = 0; r < rounds && !S.empty(); ++r) {
-    total += try_color_round(st, S, sampler, activation);
-    prune_colored(st, &S);
+  for (int r = 0; r < rounds && !S->empty(); ++r) {
+    total += try_color_round(st, *S, sampler, activation);
+    prune_colored(st, S);
   }
   return total;
 }
@@ -95,6 +101,20 @@ ColorSampler clique_palette_sampler(State& st,
     if (k < 0) return -1;
     const auto& pal = st.palettes[static_cast<std::size_t>(k)];
     const int lo = prefix_of(v);
+    const int free = pal.free_count(lo, pal.num_colors() - 1);
+    if (free <= 0) return -1;
+    const int idx = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(free)));
+    return pal.select_free(lo, pal.num_colors() - 1, idx);
+  };
+}
+
+ColorSampler clique_palette_sampler(State& st) {
+  return [&st](int v, Rng& rng) -> int {
+    const int k = st.dc.clique_of(v);
+    if (k < 0) return -1;
+    const auto& pal = st.palettes[static_cast<std::size_t>(k)];
+    const int lo = st.dc.r_of(v);
     const int free = pal.free_count(lo, pal.num_colors() - 1);
     if (free <= 0) return -1;
     const int idx = static_cast<int>(

@@ -31,6 +31,13 @@ int try_color_rounds(State& st, std::vector<int> S,
                      const ColorSampler& sampler, double activation,
                      int rounds);
 
+// In-place variant: prunes *S as rounds progress (on return *S holds the
+// still-uncolored survivors). Lets phase drivers run rounds on a reused
+// scratch buffer without the by-value copy.
+int try_color_rounds(State& st, std::vector<int>* S,
+                     const ColorSampler& sampler, double activation,
+                     int rounds);
+
 // ---- stock samplers ----
 
 // Uniform over {prefix, ..., num_colors-1} (excludes the reserved prefix).
@@ -41,6 +48,11 @@ ColorSampler uniform_sampler(int num_colors, int prefix);
 // Vertices outside any clique sit out.
 ColorSampler clique_palette_sampler(State& st,
                                     std::function<int(int)> prefix_of);
+
+// Same with prefix_of = st.dc.r_of (the common case). Captures only the
+// State reference — fits std::function's small-buffer storage, so the
+// warm pipeline paths construct it without heap traffic.
+ColorSampler clique_palette_sampler(State& st);
 
 // Uncolored vertices of S (helper).
 std::vector<int> uncolored_of(const State& st, const std::vector<int>& S);

@@ -29,14 +29,14 @@ void eligible_members(const State& st, int k, std::vector<int>* out) {
 
 }  // namespace
 
-PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
-                                int r) {
+int compute_putaside(State& st, const std::vector<int>& cabal_ids, int r,
+                     GroupLists* sets_out, bool* property3_ok) {
   CCG_CHECK(r >= 1);
   const auto& h = st.h();
   auto& sc = st.scratch;
   auto& par = *st.par;
-  PutAsideResult result;
-  result.sets.assign(cabal_ids.size(), {});
+  *property3_ok = true;
+  int attempts = 1;
 
   sc.ensure_vertices(h.n());
   const auto num_cabals = static_cast<std::int64_t>(cabal_ids.size());
@@ -44,9 +44,10 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
   // shard-local lists equals cabal order (shard bounds are static and
   // ordered), so the commit below is worker-count independent.
   auto& candidates = sc.tmp_ints;
-  std::vector<char> prop3_bad(cabal_ids.size(), 0);
+  auto& prop3_bad = st.ph.flags;
+  prop3_bad.assign(cabal_ids.size(), 0);
   for (int attempt = 0; attempt < 5; ++attempt) {
-    result.attempts = attempt + 1;
+    attempts = attempt + 1;
     // Propose (parallel shards over cabals — they are vertex-disjoint):
     // each cabal enumerates its eligible members into worker scratch and
     // every eligible vertex draws its activation from its private
@@ -98,15 +99,18 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
       }
     });
 
-    // Commit (sequential): collect the surviving sets in candidate order.
-    std::vector<std::vector<int>> sets(cabal_ids.size());
+    // Commit (sequential): collect the surviving sets in candidate order,
+    // into the caller's grow-only group storage (inner lists keep their
+    // capacity across attempts and across jobs).
+    sets_out->reset(static_cast<int>(cabal_ids.size()));
     for (const int v : candidates) {
       if (!sc.vertex_marked(v)) {
-        sets[static_cast<std::size_t>(sc.candidate(v))].push_back(v);
+        sets_out->at(sc.candidate(v)).push_back(v);
       }
     }
     bool ok = true;
-    for (auto& s : sets) {
+    for (int i = 0; i < sets_out->groups(); ++i) {
+      auto& s = sets_out->at(i);
       if (static_cast<int>(s.size()) < r) {
         ok = false;
         break;
@@ -125,11 +129,11 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
     // retry in the (rare) violating case. Membership rides on the vertex
     // marks; a put vertex's cabal index is its surviving candidate value.
     sc.begin_vertex_marks();  // marks = in some put-aside set
-    for (const auto& s : sets) {
+    for (const auto& s : sets_out->view()) {
       for (const int v : s) sc.mark_vertex(v);
     }
     bool independent = true;
-    for (const auto& s : sets) {
+    for (const auto& s : sets_out->view()) {
       for (const int v : s) {
         for (const int u : h.neighbors(v)) {
           if (sc.vertex_marked(u) &&
@@ -169,12 +173,10 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
             exposed > std::max(3, static_cast<int>(members.size()) / 4);
       }
     });
-    result.property3_ok = true;
     for (const char bad : prop3_bad) {
-      if (bad) result.property3_ok = false;
+      if (bad) *property3_ok = false;
     }
-    result.sets = std::move(sets);
-    return result;
+    return attempts;
   }
 
   // Deterministic fallback: greedy sequential selection across cabals,
@@ -182,9 +184,10 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
   ++st.fallback_count;
   sc.begin_vertex_marks();  // marks = chosen so far
   auto& eligible = sc.tmp_ints;
+  sets_out->reset(static_cast<int>(cabal_ids.size()));
   for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
     eligible_members(st, cabal_ids[i], &eligible);
-    std::vector<int> mine;
+    auto& mine = sets_out->at(static_cast<int>(i));
     for (const int v : eligible) {
       bool clash = false;
       for (const int u : h.neighbors(v)) {
@@ -202,9 +205,18 @@ PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
     CCG_CHECK_MSG(static_cast<int>(mine.size()) == r,
                   "cannot form put-aside set in cabal " << cabal_ids[i]);
     for (const int v : mine) sc.mark_vertex(v);
-    result.sets[i] = std::move(mine);
   }
   st.rt->charge(static_cast<int>(cabal_ids.size()), log_bits(st));
+  return attempts;
+}
+
+PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
+                                int r) {
+  GroupLists sets;
+  PutAsideResult result;
+  result.attempts =
+      compute_putaside(st, cabal_ids, r, &sets, &result.property3_ok);
+  result.sets.assign(sets.view().begin(), sets.view().end());
   return result;
 }
 
@@ -383,7 +395,7 @@ bool donate_for_cabal(const State& st, int k, const std::vector<int>& put,
 
 DonationStats color_putaside_sets(State& st,
                                   const std::vector<int>& cabal_ids,
-                                  const std::vector<std::vector<int>>& sets) {
+                                  std::span<const std::vector<int>> sets) {
   CCG_CHECK(cabal_ids.size() == sets.size());
   const auto& h = st.h();
   const int ell_s = st.params.ell_s(h.n());
@@ -391,11 +403,15 @@ DonationStats color_putaside_sets(State& st,
   auto& par = *st.par;
   sc.ensure_vertices(h.n());
   DonationStats stats;
-  std::vector<int> leftovers;
+  // Orchestration lists live in the State-owned PhaseScratch; the caller
+  // holds the put-aside sets themselves (ph.putsets in the pipeline).
+  auto& leftovers = st.ph.put_left;
+  leftovers.clear();
 
   // Step 1 (parallel in the model): palette occupancy decides the branch
   // per cabal.
-  std::vector<char> free_path(cabal_ids.size(), 0);
+  auto& free_path = st.ph.flags;
+  free_path.assign(cabal_ids.size(), 0);
   for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
     const auto& pal = st.palettes[static_cast<std::size_t>(cabal_ids[i])];
     free_path[i] =
@@ -407,9 +423,10 @@ DonationStats color_putaside_sets(State& st,
   // plans against the frozen coloring into its worker scratch; the commit
   // applies (vertex, color) adoptions in worker order, which equals cabal
   // order under the static shard bounds.
-  std::vector<std::size_t> free_idx;
+  auto& free_idx = st.ph.put_idx;
+  free_idx.clear();
   for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
-    if (free_path[i]) free_idx.push_back(i);
+    if (free_path[i]) free_idx.push_back(static_cast<int>(i));
   }
   if (!free_idx.empty()) {
     stats.free_path_cliques = static_cast<int>(free_idx.size());
@@ -422,7 +439,8 @@ DonationStats color_putaside_sets(State& st,
                [&](int w, std::int64_t b, std::int64_t e) {
       auto& ws = st.wscratch.at(w);
       for (std::int64_t j = b; j < e; ++j) {
-        const std::size_t i = free_idx[static_cast<std::size_t>(j)];
+        const auto i =
+            static_cast<std::size_t>(free_idx[static_cast<std::size_t>(j)]);
         try_free_colors(st, cabal_ids[i], sets[i], ws);
       }
     });
@@ -441,9 +459,10 @@ DonationStats color_putaside_sets(State& st,
   // Branch B: the donation scheme.
   // FindCandidateDonors runs synchronized across all donation cabals: the
   // activation sets must be simultaneous for the mutual-exclusion drop.
-  std::vector<std::size_t> donation_idx;
+  auto& donation_idx = st.ph.put_idx2;
+  donation_idx.clear();
   for (std::size_t i = 0; i < cabal_ids.size(); ++i) {
-    if (!free_path[i]) donation_idx.push_back(i);
+    if (!free_path[i]) donation_idx.push_back(static_cast<int>(i));
   }
   if (!donation_idx.empty()) {
     // Vertices of any put-aside set (all cabals) — excluded from Q^pre.
@@ -454,8 +473,8 @@ DonationStats color_putaside_sets(State& st,
       for (const int v : s) sc.mark_vertex(v);
     }
     auto& actives = sc.tmp_ints;
-    std::vector<char> attempt_failed;
-    std::vector<char> attempt_planned;
+    auto& attempt_failed = st.ph.flags2;
+    auto& attempt_planned = st.ph.flags3;
 
     for (int attempt = 0; attempt < 5 && !donation_idx.empty(); ++attempt) {
       const auto live = static_cast<std::int64_t>(donation_idx.size());
@@ -473,7 +492,8 @@ DonationStats color_putaside_sets(State& st,
       par.shards(live, [&](int w, std::int64_t b, std::int64_t e) {
         auto& ws = st.wscratch.at(w);
         for (std::int64_t jj = b; jj < e; ++jj) {
-          const std::size_t i = donation_idx[static_cast<std::size_t>(jj)];
+          const auto i = static_cast<std::size_t>(
+              donation_idx[static_cast<std::size_t>(jj)]);
           const int k = cabal_ids[i];
           const auto& pal = st.palettes[static_cast<std::size_t>(k)];
           const double e_k =
@@ -527,10 +547,11 @@ DonationStats color_putaside_sets(State& st,
           verdicts[static_cast<std::size_t>(i)] = clash ? -1 : ci;
         }
       });
-      std::vector<std::vector<int>> q(cabal_ids.size());
+      auto& q = st.ph.putq;
+      q.reset(static_cast<int>(cabal_ids.size()));
       for (std::size_t i = 0; i < actives.size(); ++i) {
         if (verdicts[i] >= 0) {
-          q[static_cast<std::size_t>(verdicts[i])].push_back(actives[i]);
+          q.at(verdicts[i]).push_back(actives[i]);
         }
       }
       st.rt->charge(3, log_bits(st));
@@ -549,10 +570,12 @@ DonationStats color_putaside_sets(State& st,
       par.shards(live, [&](int w, std::int64_t b, std::int64_t e) {
         auto& ws = st.wscratch.at(w);
         for (std::int64_t jj = b; jj < e; ++jj) {
-          const std::size_t i = donation_idx[static_cast<std::size_t>(jj)];
+          const auto i = static_cast<std::size_t>(
+              donation_idx[static_cast<std::size_t>(jj)]);
           bool got_plan = false;
-          const bool done = donate_for_cabal(st, cabal_ids[i], sets[i],
-                                             q[i], ws, &got_plan);
+          const bool done =
+              donate_for_cabal(st, cabal_ids[i], sets[i],
+                               q.at(static_cast<int>(i)), ws, &got_plan);
           attempt_planned[static_cast<std::size_t>(jj)] = got_plan ? 1 : 0;
           attempt_failed[static_cast<std::size_t>(jj)] = done ? 0 : 1;
         }
@@ -576,17 +599,18 @@ DonationStats color_putaside_sets(State& st,
                                std::max(1, ceil_log2(static_cast<std::uint64_t>(
                                                std::max(2, b)))) +
                            log_bits(st));
-      std::vector<std::size_t> failed;
+      // Compact the worklist in place to the cabals that must retry.
+      std::size_t kept = 0;
       for (std::size_t jj = 0; jj < donation_idx.size(); ++jj) {
-        if (attempt_failed[jj]) failed.push_back(donation_idx[jj]);
+        if (attempt_failed[jj]) donation_idx[kept++] = donation_idx[jj];
       }
-      if (!failed.empty()) ++st.retry_count;
-      donation_idx = std::move(failed);
+      if (kept != 0) ++st.retry_count;
+      donation_idx.resize(kept);
     }
     // Cabals still unfinished after the attempt budget: remaining
     // put-aside vertices go to the safety net.
-    for (const std::size_t i : donation_idx) {
-      for (const int u : sets[i]) {
+    for (const int i : donation_idx) {
+      for (const int u : sets[static_cast<std::size_t>(i)]) {
         if (!st.phi.colored(u)) leftovers.push_back(u);
       }
     }

@@ -18,9 +18,11 @@
 // (Eq. 11).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "color/coloring.hpp"
+#include "color/scratch.hpp"
 
 namespace ccg::color {
 
@@ -32,6 +34,14 @@ struct PutAsideResult {
 
 // r = number of reserved colors in cabals (identical across cabals,
 // Section 4.3). Eligible vertices are the uncolored inliers of each cabal.
+// Writes the sets (aligned with cabal_ids) into caller-owned grow-only
+// storage — the pipeline passes st.ph.putsets, so warm runs reuse every
+// inner list. Returns the attempt count; *property3_ok reports the
+// measured Lemma 4.18 (3) check.
+int compute_putaside(State& st, const std::vector<int>& cabal_ids, int r,
+                     GroupLists* sets, bool* property3_ok);
+
+// Convenience wrapper returning freshly allocated sets.
 PutAsideResult compute_putaside(State& st, const std::vector<int>& cabal_ids,
                                 int r);
 
@@ -43,8 +53,10 @@ struct DonationStats {
   int fallbacks = 0;  // vertices rescued by the safety net
 };
 
+// The span accepts a std::vector<std::vector<int>> directly or a
+// GroupLists::view() (the pipeline passes st.ph.putsets.view()).
 DonationStats color_putaside_sets(State& st,
                                   const std::vector<int>& cabal_ids,
-                                  const std::vector<std::vector<int>>& sets);
+                                  std::span<const std::vector<int>> sets);
 
 }  // namespace ccg::color

@@ -47,12 +47,17 @@ RelayResult find_relays(State& st, int clique_id,
       p = std::min(1.0, 2.0 * p);
       ++out.escalations;
     }
-    // Sample the relay pool; one announcement round.
+    // Sample the relay pool; one announcement round. Each member draws
+    // from its private counter-based stream (entity = vertex id), so the
+    // pool is a pure function of (seed, round) regardless of scan order.
+    st.bump_trial_round();
     std::vector<int> pool;
     std::vector<char> taken(static_cast<std::size_t>(h.n()), 0);
     for (const int m : members) {
       if (is_endpoint[static_cast<std::size_t>(m)]) continue;
-      if (st.rng.next_bool(p)) pool.push_back(m);
+      if (st.trial_rng(static_cast<std::uint64_t>(m)).next_bool(p)) {
+        pool.push_back(m);
+      }
     }
     for (const int r : out.relay) {
       if (r >= 0) taken[static_cast<std::size_t>(r)] = 1;
@@ -76,6 +81,9 @@ RelayResult find_relays(State& st, int clique_id,
                           8;
     for (int round = 0; round < round_cap; ++round) {
       bool progress = false;
+      // Each pair proposes from its own stream (entity = global pair
+      // index), one bump per proposal round.
+      st.bump_trial_round();
       std::vector<std::pair<int, std::size_t>> proposals;  // (relay, ui)
       for (std::size_t ui = 0; ui < unmatched.size(); ++ui) {
         if (unmatched[ui] < 0) continue;
@@ -87,8 +95,9 @@ RelayResult find_relays(State& st, int clique_id,
                  el.end());
         if (el.empty()) continue;
         proposals.emplace_back(
-            el[static_cast<std::size_t>(st.rng.next_below(
-                static_cast<std::uint64_t>(el.size())))],
+            el[static_cast<std::size_t>(
+                st.trial_rng(static_cast<std::uint64_t>(unmatched[ui]))
+                    .next_below(static_cast<std::uint64_t>(el.size())))],
             ui);
       }
       if (proposals.empty()) break;

@@ -30,6 +30,7 @@
 
 #include "color/color_set.hpp"
 #include "common/assert.hpp"
+#include "sketch/fingerprint.hpp"
 
 namespace ccg::color {
 
@@ -39,6 +40,7 @@ struct WorkerScratch {
   std::vector<int> tmp;       // short-lived id lists (per-clique S copies)
   std::vector<int> ext;       // external-neighbor lists (put-aside phases)
   std::vector<int> kept;      // shard-local retry / carry-over id lists
+  std::vector<int> kept2;     // second carry-over list (split selections)
   // Word-parallel per-vertex color sets, vertex-scoped temporaries that
   // cannot share one array across workers. `blocked`: colors unavailable
   // to the current vertex (MCT verdict marks, fallback_finish used-color
@@ -75,6 +77,126 @@ class ScratchPool {
 
  private:
   std::vector<WorkerScratch> ws_;
+};
+
+// Grow-only list-of-lists: reset(groups) clears the first `groups` inner
+// lists without releasing any capacity (outer or inner), so phases that
+// bucket vertices per clique (inlier splits, SCT candidate sets) reuse one
+// instance across jobs allocation-free once warm. view() exposes the live
+// prefix as a span for std::span<const std::vector<int>> consumers.
+class GroupLists {
+ public:
+  void reset(int groups) {
+    if (static_cast<int>(lists_.size()) < groups) {
+      lists_.resize(static_cast<std::size_t>(groups));
+    }
+    live_ = groups;
+    for (int g = 0; g < groups; ++g) {
+      lists_[static_cast<std::size_t>(g)].clear();
+    }
+  }
+  int groups() const { return live_; }
+  std::vector<int>& at(int g) { return lists_[static_cast<std::size_t>(g)]; }
+  const std::vector<int>& at(int g) const {
+    return lists_[static_cast<std::size_t>(g)];
+  }
+  std::span<const std::vector<int>> view() const {
+    return {lists_.data(), static_cast<std::size_t>(live_)};
+  }
+
+ private:
+  std::vector<std::vector<int>> lists_;
+  int live_ = 0;
+};
+
+// Flat fixed-stride per-vertex color lists: the low-degree path's
+// learn/shatter lists-of-lists as one reusable matrix. Row v occupies
+// [v * stride, v * stride + len(v)); rows are written by at most one
+// worker at a time (per-vertex disjoint), so parallel phases mutate them
+// without synchronization. stride is an upper bound on any list length
+// (num_colors suffices: lists hold distinct palette colors).
+class VertexLists {
+ public:
+  void rebind(int n, int stride) {
+    n_ = n;
+    stride_ = stride;
+    const auto need =
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(stride);
+    if (data_.size() < need) data_.resize(need);
+    len_.assign(static_cast<std::size_t>(n), 0);
+  }
+  int size(int v) const { return len_[static_cast<std::size_t>(v)]; }
+  std::span<const int> of(int v) const {
+    return {data_.data() + row(v),
+            static_cast<std::size_t>(len_[static_cast<std::size_t>(v)])};
+  }
+  void clear(int v) { len_[static_cast<std::size_t>(v)] = 0; }
+  void push(int v, int c) {
+    auto& len = len_[static_cast<std::size_t>(v)];
+    CCG_ASSERT(len < stride_);
+    data_[row(v) + static_cast<std::size_t>(len++)] = c;
+  }
+  int get(int v, int i) const {
+    return data_[row(v) + static_cast<std::size_t>(i)];
+  }
+  // In-place filter of row v, preserving order (pruning determinism rides
+  // on it). keep(color) decides survival.
+  template <class Keep>
+  void filter(int v, Keep&& keep) {
+    const auto base = row(v);
+    auto& len = len_[static_cast<std::size_t>(v)];
+    int out = 0;
+    for (int i = 0; i < len; ++i) {
+      const int c = data_[base + static_cast<std::size_t>(i)];
+      if (keep(c)) data_[base + static_cast<std::size_t>(out++)] = c;
+    }
+    len = out;
+  }
+
+ private:
+  std::size_t row(int v) const {
+    return static_cast<std::size_t>(v) * static_cast<std::size_t>(stride_);
+  }
+  std::vector<int> data_;
+  std::vector<int> len_;
+  int n_ = 0;
+  int stride_ = 0;
+};
+
+// Phase-orchestration buffers for the pipeline drivers (pipeline.cpp,
+// prep_mct.cpp, lowdeg.cpp): the id lists, split buckets and per-vertex
+// lists that were function-local vectors, hoisted so the high/low-degree
+// paths run allocation-free on a warm State. Buffers are claimed by one
+// phase at a time (the drivers are sequential at this level); two
+// GroupLists exist because the cabal/outlier phases hold bucketed sets
+// while building the SCT candidate sets.
+struct PhaseScratch {
+  std::vector<int> verts;     // phase input sets (sparse/easy-clique/final)
+  std::vector<int> unc;       // uncolored_of outputs
+  std::vector<int> ids;       // clique-id lists
+  std::vector<int> easy;      // split buckets
+  std::vector<int> rest;
+  std::vector<int> outliers;
+  std::vector<int> sel;       // per-iteration selections (prep_mct)
+  std::vector<int> sel2;
+  std::vector<int> all;       // final safety-net sweeps
+  std::vector<std::pair<int, int>> pairs;  // anti-matching (u, w) batches
+  GroupLists groups;          // inliers per clique / SCT candidate sets
+  GroupLists groups2;
+  VertexLists lists;          // low-degree learn/shatter color lists
+  // Matching / put-aside orchestration (matching.cpp, putaside.cpp):
+  // round worklists of the anti-matching, commit-side bucket buffers of
+  // the colorful matching, and the put-aside machinery's id lists and
+  // per-position markers. `putsets` outlives steps 3-6 of the cabal phase
+  // (the SCT and the donation scheme both read it), so it is distinct
+  // from the groups pair above.
+  std::vector<int> am_todo, am_cand, am_next;
+  std::vector<std::pair<std::int64_t, int>> keyed;  // (clique*C+color, v)
+  std::vector<int> chosen;
+  std::vector<char> flags, flags2, flags3;  // per-position markers
+  GroupLists putsets;         // put-aside sets P_K
+  GroupLists putq;            // donation candidate sets Q_K
+  std::vector<int> put_left, put_idx, put_idx2;
 };
 
 class TrialScratch {
@@ -215,6 +337,7 @@ class TrialScratch {
     std::vector<char> used_as_max;  // member already a unique max
     std::vector<char> sampled_w;    // member sampled as some w_i
     std::vector<char> w_seen;       // member already kept a trial as w
+    sketch::Fingerprint yk;         // clique maximum Y_K (maxima reused)
   } fp;
 
  private:

@@ -7,9 +7,10 @@
 
 namespace ccg::color {
 
-std::vector<SyncTrialResult> synchronized_color_trial(
-    State& st, const std::vector<int>& clique_ids,
-    const std::vector<std::vector<int>>& S_of) {
+void synchronized_color_trial(State& st,
+                              const std::vector<int>& clique_ids,
+                              std::span<const std::vector<int>> S_of,
+                              std::vector<SyncTrialResult>* results) {
   CCG_CHECK(clique_ids.size() == S_of.size());
   const auto& h = st.h();
   auto& sc = st.scratch;
@@ -24,7 +25,7 @@ std::vector<SyncTrialResult> synchronized_color_trial(
   // (vertex -> color this round).
   sc.begin_round();
   st.bump_trial_round();
-  std::vector<SyncTrialResult> results(clique_ids.size());
+  if (results != nullptr) results->assign(clique_ids.size(), {});
   // Clique id -> position in clique_ids, for the adoption tally.
   auto& idx_of = sc.tmp_ints;
   idx_of.assign(static_cast<std::size_t>(st.dc.acd.num_cliques), -1);
@@ -75,8 +76,10 @@ std::vector<SyncTrialResult> synchronized_color_trial(
         const int pos = static_cast<int>(pi(i));
         sc.propose_at(S[i], freec[static_cast<std::size_t>(pos)]);
       }
-      results[static_cast<std::size_t>(idx)].participated =
-          static_cast<int>(S.size());
+      if (results != nullptr) {
+        (*results)[static_cast<std::size_t>(idx)].participated =
+            static_cast<int>(S.size());
+      }
     }
   });
   st.retry_count += static_cast<int>(par.acc_sum());
@@ -112,9 +115,12 @@ std::vector<SyncTrialResult> synchronized_color_trial(
   for (int w = 0; w < par.workers(); ++w) {
     for (const auto& [v, c] : st.wscratch.at(w).adopted) {
       st.assign(v, c);
-      ++results[static_cast<std::size_t>(
-                    idx_of[static_cast<std::size_t>(st.dc.clique_of(v))])]
-            .colored;
+      if (results != nullptr) {
+        ++(*results)[static_cast<std::size_t>(
+                         idx_of[static_cast<std::size_t>(
+                             st.dc.clique_of(v))])]
+              .colored;
+      }
     }
   }
 
@@ -122,6 +128,13 @@ std::vector<SyncTrialResult> synchronized_color_trial(
   // palette query + conflict exchange: O(1) H-rounds of O(log n) bits.
   st.rt->charge(5, 2 * ceil_log2(static_cast<std::uint64_t>(
                         std::max(2, h.n()))));
+}
+
+std::vector<SyncTrialResult> synchronized_color_trial(
+    State& st, const std::vector<int>& clique_ids,
+    std::span<const std::vector<int>> S_of) {
+  std::vector<SyncTrialResult> results;
+  synchronized_color_trial(st, clique_ids, S_of, &results);
   return results;
 }
 

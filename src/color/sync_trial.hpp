@@ -10,6 +10,7 @@
 // members stay uncolored, even under adversarial external randomness.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "color/coloring.hpp"
@@ -25,8 +26,19 @@ struct SyncTrialResult {
 // S_of[k-index] lists the participating uncolored members of clique
 // clique_ids[k-index]; each S is trimmed to the clique palette's free
 // non-reserved count if needed (Lemma 4.12 guarantees no trim w.h.p.).
+// The span parameter accepts a std::vector<std::vector<int>> directly or a
+// GroupLists::view() (scratch.hpp), so warm phase drivers pass reused
+// storage. Per-clique tallies are written to *results when non-null
+// (assign-reuse: a caller-owned vector keeps its capacity); the pipeline
+// drivers pass nullptr and stay allocation-free.
+void synchronized_color_trial(State& st,
+                              const std::vector<int>& clique_ids,
+                              std::span<const std::vector<int>> S_of,
+                              std::vector<SyncTrialResult>* results);
+
+// Convenience wrapper returning the tallies as a fresh vector.
 std::vector<SyncTrialResult> synchronized_color_trial(
     State& st, const std::vector<int>& clique_ids,
-    const std::vector<std::vector<int>>& S_of);
+    std::span<const std::vector<int>> S_of);
 
 }  // namespace ccg::color

@@ -28,25 +28,25 @@ inline std::uint64_t addmod_m61(std::uint64_t a, std::uint64_t b) {
 
 }  // namespace
 
-KWiseHash::KWiseHash(int k, Rng& rng) {
-  CCG_CHECK(k >= 1);
-  coeffs_.resize(static_cast<std::size_t>(k));
-  for (auto& c : coeffs_) c = rng.next_below(kPrime);
+KWiseHash::KWiseHash(int k, Rng& rng) : k_(k) {
+  CCG_CHECK(k >= 1 && k <= kMaxK);
+  for (int i = 0; i < k; ++i) {
+    coeffs_[static_cast<std::size_t>(i)] = rng.next_below(kPrime);
+  }
 }
 
 std::uint64_t KWiseHash::operator()(std::uint64_t x) const {
   x %= kPrime;
   std::uint64_t acc = 0;
   // Horner evaluation.
-  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
-    acc = addmod_m61(mulmod_m61(acc, x), *it);
+  for (int i = k_ - 1; i >= 0; --i) {
+    acc = addmod_m61(mulmod_m61(acc, x),
+                     coeffs_[static_cast<std::size_t>(i)]);
   }
   return acc;
 }
 
-int KWiseHash::description_bits() const {
-  return static_cast<int>(coeffs_.size()) * 61;
-}
+int KWiseHash::description_bits() const { return k_ * 61; }
 
 MinWiseHash::MinWiseHash(std::uint64_t range, double eps, Rng& rng)
     : hash_([&] {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <array>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -24,7 +25,9 @@
 namespace ccg {
 
 // k-wise independent hash [2^61-1] -> [2^61-1], evaluated as a degree-(k-1)
-// polynomial with random coefficients.
+// polynomial with random coefficients. Coefficients live inline (k is
+// Theta(log 1/eps) everywhere this family appears), so constructing one
+// hash per trial inside a parallel shard touches no heap.
 class KWiseHash {
  public:
   KWiseHash(int k, Rng& rng);
@@ -36,9 +39,11 @@ class KWiseHash {
   int description_bits() const;
 
   static constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+  static constexpr int kMaxK = 64;
 
  private:
-  std::vector<std::uint64_t> coeffs_;
+  std::array<std::uint64_t, kMaxK> coeffs_;
+  int k_ = 0;
 };
 
 // Min-wise independent family (Definition C.1 / Lemma C.2): hash [n] -> [M]

@@ -81,4 +81,42 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+// Reusable (seed, round) -> per-entity stream factory. Caches the
+// round-dependent prefix of the stream_rng key chain so the hot path pays
+// one mix64 per entity; bits are identical to
+// stream_rng(seed, round, entity). Phases that draw in two sub-phases must
+// bump() in between (see stream_rng above); entity ids only need to be
+// unique within one round.
+class StreamCtx {
+ public:
+  explicit StreamCtx(std::uint64_t seed = 0) { reseed(seed); }
+
+  // Restart the stream space for a new job/attempt: round goes back to 0.
+  void reseed(std::uint64_t seed) {
+    seed_ = seed;
+    round_ = 0;
+    rehash();
+  }
+
+  // Advance to the next synchronized round.
+  void bump() {
+    ++round_;
+    rehash();
+  }
+
+  std::uint64_t round() const { return round_; }
+
+  // The private generator of `entity` for the current round.
+  Rng rng_for(std::uint64_t entity) const {
+    return Rng(mix64(base_ ^ entity));
+  }
+
+ private:
+  void rehash() { base_ = mix64(mix64(seed_ ^ kStreamRngTag) ^ round_); }
+
+  std::uint64_t seed_ = 0;
+  std::uint64_t round_ = 0;
+  std::uint64_t base_ = 0;
+};
+
 }  // namespace ccg

@@ -8,6 +8,13 @@ ParallelRound::ParallelRound(int threads) : pool_(threads) {
   acc_.assign(static_cast<std::size_t>(pool_.workers()), Slot{});
 }
 
+void ParallelRound::resize(int threads) {
+  pool_.resize(threads);
+  if (static_cast<int>(acc_.size()) < pool_.workers()) {
+    acc_.resize(static_cast<std::size_t>(pool_.workers()));
+  }
+}
+
 void ParallelRound::reset_acc(std::int64_t v) {
   for (auto& slot : acc_) slot.v = v;
 }

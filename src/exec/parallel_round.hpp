@@ -37,6 +37,11 @@ class ParallelRound {
 
   int workers() const { return pool_.workers(); }
 
+  // Re-target the underlying pool in place (grow/shrink the worker set,
+  // grow-only accumulator slots) instead of reconstructing it — cheap
+  // enough to call per job in heterogeneous-thread job streams.
+  void resize(int threads);
+
   // Forwarded to the pool; also checked at every shards() entry so the
   // single-worker inline path reacts to deadlines at round granularity.
   void set_cancel(const CancelToken* token) { pool_.set_cancel(token); }

@@ -16,7 +16,33 @@ ThreadPool::ThreadPool(int workers) : workers_(resolve(workers)) {
   errors_.assign(static_cast<std::size_t>(workers_), nullptr);
   threads_.reserve(static_cast<std::size_t>(workers_ - 1));
   for (int w = 1; w < workers_; ++w) {
-    threads_.emplace_back([this, w] { worker_loop(w); });
+    threads_.emplace_back([this, w] { worker_loop(w, 0); });
+  }
+}
+
+void ThreadPool::resize(int workers) {
+  const int target = resolve(workers);
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CCG_CHECK_MSG(job_ == nullptr, "resize during a dispatch");
+    if (target == workers_) return;
+    workers_ = target;
+    gen = generation_;
+  }
+  // Shrink: retired workers observe w >= workers_ and exit; join only them.
+  cv_start_.notify_all();
+  while (static_cast<int>(threads_.size()) > target - 1) {
+    threads_.back().join();
+    threads_.pop_back();
+  }
+  // Grow: spawn only the missing workers. errors_ grows but never shrinks,
+  // so steady alternation between two thread counts stays allocation-free.
+  if (static_cast<int>(errors_.size()) < target) {
+    errors_.resize(static_cast<std::size_t>(target), nullptr);
+  }
+  for (int w = static_cast<int>(threads_.size()) + 1; w < target; ++w) {
+    threads_.emplace_back([this, w, gen] { worker_loop(w, gen); });
   }
 }
 
@@ -29,27 +55,30 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::worker_loop(int w) {
-  std::uint64_t seen = 0;
+void ThreadPool::worker_loop(int w, std::uint64_t seen) {
   for (;;) {
     RawShardFn fn = nullptr;
     void* ctx = nullptr;
     std::int64_t total = 0;
+    int workers = 0;
     bool dynamic = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
+      cv_start_.wait(lock,
+                     [&] { return stop_ || w >= workers_ ||
+                                  generation_ != seen; });
+      if (stop_ || w >= workers_) return;
       seen = generation_;
       fn = job_;
       ctx = job_ctx_;
       total = total_;
+      workers = workers_;
       dynamic = dynamic_;
     }
     if (dynamic) {
       run_dynamic(w, fn, ctx, total);
     } else {
-      const auto [begin, end] = shard_bounds(total, workers_, w);
+      const auto [begin, end] = shard_bounds(total, workers, w);
       try {
         if (begin < end) fn(ctx, w, begin, end);
       } catch (...) {

@@ -45,6 +45,12 @@ class ThreadPool {
   explicit ThreadPool(int workers = 1);
   ~ThreadPool();
 
+  // Re-target the pool to `workers` (<= 0 -> hardware concurrency) without
+  // reconstructing it: grows by spawning only the missing threads, shrinks
+  // by retiring only the surplus ones. Must not be called while a dispatch
+  // is in flight. No-op when the resolved count already matches.
+  void resize(int workers);
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
@@ -95,7 +101,7 @@ class ThreadPool {
   static int resolve(int requested);
 
  private:
-  void worker_loop(int w);
+  void worker_loop(int w, std::uint64_t seen);
   void run_dynamic(int w, RawShardFn fn, void* ctx, std::int64_t total);
 
   int workers_ = 1;

@@ -16,6 +16,7 @@
 namespace ccg::lowdeg {
 
 using color::State;
+using color::VertexLists;
 
 namespace {
 
@@ -30,47 +31,44 @@ int loglog(int n) {
                                                      4, n)))))));
 }
 
+// One pass over N(v) fills `used` with the colors of v's colored
+// neighbors — a word-parallel scratch set (per-worker in parallel passes,
+// worker 0 otherwise) that callers may keep probing while phi is
+// unchanged.
+void load_used_colors(const State& st, int v, color::ColorSet& used) {
+  used.rebind(st.num_colors());
+  for (const int u : st.h().neighbors(v)) {
+    const int cu = st.phi.get(u);
+    if (cu >= 0) used.add(cu);
+  }
+}
+
 // Prune v's learned list to its live entries: colors still free among
 // colored neighbors (list freshness is maintained with O(|list|)-bit
 // bitmaps each round; |list| <= Delta+1 = poly(log n) here). In place,
 // because deadness is permanent here: within the lists' lifetime phi
 // only grows (the cabal-redo unassigns happen before any list is
-// built), so a pruned entry could never come back. One pass over N(v)
-// fills `used` — a word-parallel scratch set (per-worker in parallel
-// passes, worker 0 otherwise) that callers may keep probing while phi
-// is unchanged.
-void prune_dead(const State& st, int v, std::vector<int>* list,
+// built), so a pruned entry could never come back. Rows are per-vertex
+// disjoint, so parallel shards prune their own vertices race-free.
+void prune_dead(const State& st, int v, VertexLists* lists,
                 color::ColorSet& used) {
-  used.rebind(st.num_colors());
-  for (const int u : st.h().neighbors(v)) {
-    const int cu = st.phi.get(u);
-    if (cu >= 0) used.add(cu);
-  }
-  list->erase(std::remove_if(list->begin(), list->end(),
-                             [&used](int c) { return used.contains(c); }),
-              list->end());
+  load_used_colors(st, v, used);
+  lists->filter(v, [&used](int c) { return !used.contains(c); });
 }
 
-// Enumerate v's entire palette: a (Delta+1)-bit bitmap aggregation —
-// cheap in the low-degree regime; this is the paper's "learn the whole
-// clique palette / all used colors" step. Runs for any number of
-// vertices in parallel: call sites charge one batch per super-step via
-// charge_palette_round. Sequential call sites only (uses worker 0's
-// scratch set); free colors come out in increasing order, exactly like
-// the former per-color neighbor_uses scan.
-std::vector<int> enumerate_palette(State& st, int v) {
-  auto& used = st.wscratch.at(0).blocked;
-  used.rebind(st.num_colors());
-  for (const int u : st.h().neighbors(v)) {
-    const int cu = st.phi.get(u);
-    if (cu >= 0) used.add(cu);
-  }
-  std::vector<int> out;
-  out.reserve(static_cast<std::size_t>(st.num_colors() - used.count()));
+// Enumerate v's entire palette into row v: a (Delta+1)-bit bitmap
+// aggregation — cheap in the low-degree regime; this is the paper's
+// "learn the whole clique palette / all used colors" step. `used` must
+// already hold N(v)'s colors (the caller just built it via prune_dead /
+// load_used_colors with phi unchanged since). Free colors come out in
+// increasing order, exactly like the former per-color neighbor_uses scan.
+// Call sites charge one batch per super-step via charge_palette_round.
+void enumerate_free_into(int v, const color::ColorSet& used,
+                         VertexLists* lists) {
+  lists->clear(v);
   for (int c = used.first_free(); c >= 0; c = used.next_free(c + 1)) {
-    out.push_back(c);
+    lists->push(v, c);
   }
-  return out;
 }
 
 void charge_palette_round(State& st) {
@@ -79,99 +77,120 @@ void charge_palette_round(State& st) {
 
 // LearnColors (Algorithm 15, step 2): sample-and-test until every vertex
 // of S holds uncolored-degree+1 free colors. src draws candidates from the
-// vertex's legitimate color source.
+// vertex's legitimate color source. Batches run as parallel shards: each
+// vertex draws from its private counter-based stream (one bump per batch)
+// and mutates only its own list row, so the learned lists are
+// bit-identical for every worker count.
 void learn_colors(State& st, const std::vector<int>& S,
-                  const color::ColorSampler& src,
-                  std::vector<std::vector<int>>& lists) {
+                  const color::ColorSampler& src, VertexLists& lists) {
   const auto& h = st.h();
-  auto& used = st.wscratch.at(0).blocked;  // sequential phase
+  auto& par = *st.par;
   const int max_batches = 2 * loglog(h.n()) + 4;
   for (int batch = 0; batch < max_batches; ++batch) {
-    bool all_done = true;
-    for (const int v : S) {
-      if (st.phi.colored(v)) continue;
-      auto& list = lists[static_cast<std::size_t>(v)];
-      prune_dead(st, v, &list, used);
-      const int need =
-          st.phi.uncolored_degree(h, v) + 1 - static_cast<int>(list.size());
-      if (need <= 0) continue;
-      all_done = false;
-      const int tries = 2 * need + 2;
-      for (int i = 0; i < tries; ++i) {
-        const int c = src(v, st.rng);
-        if (c < 0) continue;
-        // `used` still holds N(v)'s colors (no assigns since the prune),
-        // so the freshness test is one word probe.
-        if (used.contains(c)) continue;
-        if (std::find(list.begin(), list.end(), c) != list.end()) continue;
-        list.push_back(c);
+    st.bump_trial_round();
+    par.reset_acc(0);  // 1 = some shard still has an unsatisfied vertex
+    par.shards(static_cast<std::int64_t>(S.size()),
+               [&](int w, std::int64_t b, std::int64_t e) {
+      auto& used = st.wscratch.at(w).blocked;
+      for (std::int64_t i = b; i < e; ++i) {
+        const int v = S[static_cast<std::size_t>(i)];
+        if (st.phi.colored(v)) continue;
+        prune_dead(st, v, &lists, used);
+        const int need =
+            st.phi.uncolored_degree(h, v) + 1 - lists.size(v);
+        if (need <= 0) continue;
+        par.acc(w) = 1;
+        const int tries = 2 * need + 2;
+        Rng rng = st.trial_rng(static_cast<std::uint64_t>(v));
+        for (int t = 0; t < tries; ++t) {
+          const int c = src(v, rng);
+          if (c < 0) continue;
+          // `used` still holds N(v)'s colors (no assigns since the
+          // prune), so the freshness test is one word probe.
+          if (used.contains(c)) continue;
+          bool dup = false;
+          for (int j = 0; j < lists.size(v); ++j) {
+            if (lists.get(v, j) == c) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) lists.push(v, c);
+        }
       }
-    }
+    });
     st.rt->charge(1, log_bits(st));
-    if (all_done) return;
+    if (par.acc_max() == 0) return;
   }
   // Stragglers learn their palette exhaustively (legitimate and cheap at
   // low degree); one parallel bitmap round for the whole batch.
-  bool any = false;
-  for (const int v : S) {
-    if (st.phi.colored(v)) continue;
-    auto& list = lists[static_cast<std::size_t>(v)];
-    prune_dead(st, v, &list, used);
-    if (static_cast<int>(list.size()) <
-        st.phi.uncolored_degree(st.h(), v) + 1) {
-      list = enumerate_palette(st, v);
-      any = true;
+  par.reset_acc(0);
+  par.shards(static_cast<std::int64_t>(S.size()),
+             [&](int w, std::int64_t b, std::int64_t e) {
+    auto& used = st.wscratch.at(w).blocked;
+    for (std::int64_t i = b; i < e; ++i) {
+      const int v = S[static_cast<std::size_t>(i)];
+      if (st.phi.colored(v)) continue;
+      prune_dead(st, v, &lists, used);
+      if (lists.size(v) < st.phi.uncolored_degree(h, v) + 1) {
+        enumerate_free_into(v, used, &lists);
+        par.acc(w) = 1;
+      }
     }
-  }
-  if (any) charge_palette_round(st);
+  });
+  if (par.acc_max() == 1) charge_palette_round(st);
 }
 
 // Random trials from the learned lists: used both for Shattering
 // (O(loglog n) rounds) and for finishing the shattered components
 // (randomized (deg+1)-list coloring; DESIGN.md substitution #4).
-// Returns the vertices still uncolored after `rounds`.
-std::vector<int> list_trial_rounds(State& st, std::vector<int> S,
-                                   std::vector<std::vector<int>>& lists,
-                                   int rounds, double activation) {
+// Prunes *S in place down to the vertices still uncolored after `rounds`.
+void list_trial_rounds(State& st, std::vector<int>* S_ptr,
+                       VertexLists& lists, int rounds, double activation) {
+  auto& S = *S_ptr;
+  auto& par = *st.par;
   // Entry prune (parallel shards, per-worker scratch sets): bring every
   // list to exactly its live set. phi is frozen during a round's
   // sampling phase and each round re-prunes after its commit, so the
   // sampler below draws straight from the list — same live set, same
   // draw as the former filter-per-call, with no per-call allocation.
-  st.par->shards(static_cast<std::int64_t>(S.size()),
-                 [&](int w, std::int64_t b, std::int64_t e) {
+  par.shards(static_cast<std::int64_t>(S.size()),
+             [&](int w, std::int64_t b, std::int64_t e) {
     auto& used = st.wscratch.at(w).blocked;
     for (std::int64_t i = b; i < e; ++i) {
-      const int v = S[static_cast<std::size_t>(i)];
-      prune_dead(st, v, &lists[static_cast<std::size_t>(v)], used);
+      prune_dead(st, S[static_cast<std::size_t>(i)], &lists, used);
     }
   });
   const auto sampler = [&lists](int v, Rng& rng) -> int {
-    const auto& list = lists[static_cast<std::size_t>(v)];
-    if (list.empty()) return -1;
-    return list[static_cast<std::size_t>(
-        rng.next_below(static_cast<std::uint64_t>(list.size())))];
+    const int len = lists.size(v);
+    if (len == 0) return -1;
+    return lists.get(v, static_cast<int>(rng.next_below(
+                            static_cast<std::uint64_t>(len))));
   };
   for (int r = 0; r < rounds && !S.empty(); ++r) {
     color::try_color_round(st, S, sampler, activation);
     color::prune_colored(st, &S);
     // Re-prune against the post-commit coloring and replenish dead lists
     // (can only happen when neighbors ate every learned color; bounded
-    // by the low-degree palette enumeration). One parallel bitmap round
-    // per trial round when needed.
-    bool any = false;
-    auto& used = st.wscratch.at(0).blocked;
-    for (const int v : S) {
-      auto& list = lists[static_cast<std::size_t>(v)];
-      prune_dead(st, v, &list, used);
-      if (list.empty()) {
-        list = enumerate_palette(st, v);
-        any = true;
+    // by the low-degree palette enumeration). Parallel: rows are
+    // per-vertex disjoint, the replenish flag reduces over the per-worker
+    // accumulator slots. One bitmap round charged per trial round when
+    // any list replenished.
+    par.reset_acc(0);
+    par.shards(static_cast<std::int64_t>(S.size()),
+               [&](int w, std::int64_t b, std::int64_t e) {
+      auto& used = st.wscratch.at(w).blocked;
+      for (std::int64_t i = b; i < e; ++i) {
+        const int v = S[static_cast<std::size_t>(i)];
+        prune_dead(st, v, &lists, used);
+        if (lists.size(v) == 0) {
+          enumerate_free_into(v, used, &lists);
+          par.acc(w) = 1;
+        }
       }
-    }
-    if (any) charge_palette_round(st);
+    });
+    if (par.acc_max() == 1) charge_palette_round(st);
   }
-  return S;
 }
 
 int next_prime(int x) {
@@ -203,7 +222,7 @@ int next_prime(int x) {
 // Deterministic O(log* N + Delta_F^2) rounds — slower than the paper's
 // Lemma 9.1 charge but with its w.h.p.-free guarantee shape.
 void deterministic_finish(State& st, const std::vector<int>& S,
-                          std::vector<std::vector<int>>& lists) {
+                          VertexLists& lists) {
   const auto& h = st.h();
   if (S.empty()) return;
   std::vector<char> in_s(static_cast<std::size_t>(h.n()), 0);
@@ -283,39 +302,56 @@ void deterministic_finish(State& st, const std::vector<int>& S,
     for (const int v : S) {
       if (st.phi.colored(v) || lin[v] != c) continue;
       any = true;
-      auto& list = lists[static_cast<std::size_t>(v)];
-      prune_dead(st, v, &list, used);
-      if (!list.empty()) {
-        st.assign(v, list.front());
-      } else {
-        const auto palette = enumerate_palette(st, v);
-        CCG_CHECK_MSG(!palette.empty(), "no free color in class sweep");
-        st.assign(v, palette.front());
+      prune_dead(st, v, &lists, used);
+      if (lists.size(v) == 0) {
+        enumerate_free_into(v, used, &lists);
+        CCG_CHECK_MSG(lists.size(v) > 0, "no free color in class sweep");
       }
+      st.assign(v, lists.get(v, 0));
     }
     if (any) st.rt->charge(1, log_bits(st));
   }
 }
 
+// Boundary shim for the (non-default) Ghaffari-Kuhn finisher: gk's public
+// API takes the lists as a vector-of-vectors it may mutate, so the rows of
+// the shattered set are materialized here. The copy is discarded after the
+// call — the components are fully colored on return — and the default
+// randomized finisher never leaves the flat reusable matrix.
+std::vector<std::vector<int>> materialize_rows(const State& st,
+                                               const std::vector<int>& S,
+                                               const VertexLists& lists) {
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(st.h().n()));
+  for (const int v : S) {
+    const auto row = lists.of(v);
+    out[static_cast<std::size_t>(v)].assign(row.begin(), row.end());
+  }
+  return out;
+}
+
 // Algorithm 15: DegreeReduction -> LearnColors -> Shattering ->
 // SmallInstanceColoring for one vertex class with its color source.
-void reduce_learn_shatter_finish(State& st, std::vector<int> S,
+// Consumes *S in place (a PhaseScratch buffer at every call site) and
+// claims the State-owned learn/shatter list matrix for its whole run.
+void reduce_learn_shatter_finish(State& st, std::vector<int>* S_ptr,
                                  const color::ColorSampler& reduce_src,
                                  const color::ColorSampler& learn_src) {
+  auto& S = *S_ptr;
   if (S.empty()) return;
   const int n = st.h().n();
   const int ll = loglog(n);
 
   // Degree reduction: O(loglog n) plain TryColor rounds.
-  color::try_color_rounds(st, S, reduce_src,
+  color::try_color_rounds(st, &S, reduce_src,
                           st.params.trycolor_activation, 2 * ll + 2);
-  color::prune_colored(st, &S);
   if (S.empty()) return;
 
-  // Learn deg+1 colors, shatter, finish.
-  std::vector<std::vector<int>> lists(static_cast<std::size_t>(n));
+  // Learn deg+1 colors, shatter, finish. The list matrix is grow-only
+  // State scratch: rebind zeroes the row lengths and keeps the storage.
+  auto& lists = st.ph.lists;
+  lists.rebind(n, st.num_colors());
   learn_colors(st, S, learn_src, lists);
-  S = list_trial_rounds(st, std::move(S), lists, 2 * ll + 2, 0.8);
+  list_trial_rounds(st, &S, lists, 2 * ll + 2, 0.8);
   switch (st.params.finisher) {
     case color::Params::Finisher::kLinial:
       deterministic_finish(st, S, lists);
@@ -326,7 +362,8 @@ void reduce_learn_shatter_finish(State& st, std::vector<int> S,
         // Top lists back up to deg+1 (shattering may have consumed the
         // surplus) before handing over to Lemma 9.1.
         learn_colors(st, S, learn_src, lists);
-        gk::list_color_components(st, S, lists);
+        auto rows = materialize_rows(st, S, lists);
+        gk::list_color_components(st, S, rows);
         S.clear();
       }
       break;
@@ -336,7 +373,7 @@ void reduce_learn_shatter_finish(State& st, std::vector<int> S,
       const int finish_cap = 8 * ceil_log2(static_cast<std::uint64_t>(
                                      std::max(4, n))) +
                              16;
-      S = list_trial_rounds(st, std::move(S), lists, finish_cap, 0.9);
+      list_trial_rounds(st, &S, lists, finish_cap, 0.9);
       break;
     }
   }
@@ -356,15 +393,23 @@ void run_low_degree(State& st) {
     st.check_cancel();
     CCG_FAILPOINT_ARG("lowdeg.phase.logarithmic", st.params.seed);
     net::PhaseScope p(rt.ledger(), "lowdeg-logarithmic");
-    std::vector<int> all(static_cast<std::size_t>(n));
+    auto& all = st.ph.verts;
+    all.resize(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
-    std::vector<std::vector<int>> lists(static_cast<std::size_t>(n));
-    for (int v = 0; v < n; ++v) {
-      lists[static_cast<std::size_t>(v)] = enumerate_palette(st, v);
-    }
+    auto& lists = st.ph.lists;
+    lists.rebind(n, st.num_colors());
+    // Initial palette enumeration, sharded: rows are per-vertex disjoint.
+    st.par->shards(static_cast<std::int64_t>(n),
+                   [&](int w, std::int64_t b, std::int64_t e) {
+      auto& used = st.wscratch.at(w).blocked;
+      for (std::int64_t v = b; v < e; ++v) {
+        load_used_colors(st, static_cast<int>(v), used);
+        enumerate_free_into(static_cast<int>(v), used, &lists);
+      }
+    });
     charge_palette_round(st);  // all vertices aggregate in parallel
-    auto left = list_trial_rounds(st, std::move(all), lists,
-                                  2 * loglog(n) + 2, 0.8);
+    list_trial_rounds(st, &all, lists, 2 * loglog(n) + 2, 0.8);
+    auto& left = all;
     switch (st.params.finisher) {
       case color::Params::Finisher::kLinial:
         deterministic_finish(st, left, lists);
@@ -372,18 +417,20 @@ void run_low_degree(State& st) {
         break;
       case color::Params::Finisher::kGhaffariKuhn:
         if (!left.empty()) {
+          auto& used = st.wscratch.at(0).blocked;
           for (const int v : left) {
-            lists[static_cast<std::size_t>(v)] = enumerate_palette(st, v);
+            load_used_colors(st, v, used);
+            enumerate_free_into(v, used, &lists);
           }
           charge_palette_round(st);
-          gk::list_color_components(st, left, lists);
+          auto rows = materialize_rows(st, left, lists);
+          gk::list_color_components(st, left, rows);
           left.clear();
         }
         break;
       case color::Params::Finisher::kRandomizedList: {
         const int finish_cap = 8 * logn + 16;
-        left =
-            list_trial_rounds(st, std::move(left), lists, finish_cap, 0.9);
+        list_trial_rounds(st, &left, lists, finish_cap, 0.9);
         break;
       }
     }
@@ -421,17 +468,19 @@ void run_low_degree(State& st) {
       st.check_cancel();
       CCG_FAILPOINT_ARG("lowdeg.phase.sparse", st.params.seed);
       net::PhaseScope p(rt.ledger(), "lowdeg-sparse");
-      std::vector<int> sparse;
+      auto& sparse = st.ph.verts;
+      sparse.clear();
       for (int v = 0; v < n; ++v) {
         if (!st.dc.is_dense(v)) sparse.push_back(v);
       }
-      reduce_learn_shatter_finish(st, std::move(sparse), uniform, uniform);
+      reduce_learn_shatter_finish(st, &sparse, uniform, uniform);
     }
     {
       st.check_cancel();
       CCG_FAILPOINT_ARG("lowdeg.phase.noncabals", st.params.seed);
       net::PhaseScope p(rt.ledger(), "lowdeg-noncabals");
-      std::vector<int> ids;
+      auto& ids = st.ph.ids;
+      ids.clear();
       for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
         if (!st.dc.info.is_cabal[static_cast<std::size_t>(k)]) {
           ids.push_back(k);
@@ -440,12 +489,19 @@ void run_low_degree(State& st) {
       if (!ids.empty()) {
         const int target = std::max(
             1, static_cast<int>(2.2 * st.params.eps * delta));
-        color::colorful_matching(st, ids, [target](int) { return target; });
-        std::vector<int> outliers, inliers;
+        color::colorful_matching_run(st, ids,
+                                     [target](int) { return target; });
+        auto& outliers = st.ph.outliers;
+        auto& inliers = st.ph.sel;
+        outliers.clear();
+        inliers.clear();
         for (const int k : ids) {
           const double e_k = std::max(
               1.0, st.dc.info.avg_ext_est[static_cast<std::size_t>(k)]);
-          for (const int v : st.uncolored_members(k)) {
+          auto& unc = st.ph.unc;
+          unc.clear();
+          st.append_uncolored_members(k, &unc);
+          for (const int v : unc) {
             if (st.dc.ext_est(v) > st.params.inlier_ext_factor * e_k) {
               outliers.push_back(v);
             } else {
@@ -453,17 +509,16 @@ void run_low_degree(State& st) {
             }
           }
         }
-        reduce_learn_shatter_finish(st, std::move(outliers), uniform,
-                                    uniform);
-        reduce_learn_shatter_finish(st, std::move(inliers), palette,
-                                    palette);
+        reduce_learn_shatter_finish(st, &outliers, uniform, uniform);
+        reduce_learn_shatter_finish(st, &inliers, palette, palette);
       }
     }
     {
       st.check_cancel();
       CCG_FAILPOINT_ARG("lowdeg.phase.cabals", st.params.seed);
       net::PhaseScope p(rt.ledger(), "lowdeg-cabals");
-      std::vector<int> ids;
+      auto& ids = st.ph.ids;
+      ids.clear();
       for (int k = 0; k < st.dc.acd.num_cliques; ++k) {
         if (st.dc.info.is_cabal[static_cast<std::size_t>(k)]) {
           ids.push_back(k);
@@ -472,9 +527,11 @@ void run_low_degree(State& st) {
       if (!ids.empty()) {
         const int target = std::max(
             1, static_cast<int>(2.2 * st.params.eps * delta));
-        color::colorful_matching(st, ids, [target](int) { return target; });
+        color::colorful_matching_run(st, ids,
+                                     [target](int) { return target; });
         const int small_threshold = std::max(2, logn / 2);
-        std::vector<std::pair<int, int>> all_pairs;
+        auto& all_pairs = st.ph.pairs;
+        all_pairs.clear();
         bool any_redo = false;
         int relay_rounds = 0;
         for (const int k : ids) {
@@ -503,17 +560,16 @@ void run_low_degree(State& st) {
           color::find_relays_charge(st, relay_rounds);
         }
         if (!all_pairs.empty()) color::color_anti_matching(st, all_pairs);
-        std::vector<int> rest;
-        for (const int k : ids) {
-          const auto unc = st.uncolored_members(k);
-          rest.insert(rest.end(), unc.begin(), unc.end());
-        }
-        reduce_learn_shatter_finish(st, std::move(rest), palette, palette);
+        auto& rest = st.ph.rest;
+        rest.clear();
+        for (const int k : ids) st.append_uncolored_members(k, &rest);
+        reduce_learn_shatter_finish(st, &rest, palette, palette);
       }
     }
   }
 
-  std::vector<int> all(static_cast<std::size_t>(n));
+  auto& all = st.ph.all;
+  all.resize(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
   color::fallback_finish(st, all);
   cluster::check_proper_total(st.h(), st.phi.vec(), st.num_colors());

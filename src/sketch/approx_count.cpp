@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "exec/parallel_round.hpp"
+
 namespace ccg::sketch {
 
 std::vector<Fingerprint> sample_raw_fingerprints(int n, int t, Rng& rng) {
@@ -10,6 +12,18 @@ std::vector<Fingerprint> sample_raw_fingerprints(int n, int t, Rng& rng) {
   raw.reserve(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) raw.push_back(sample_fingerprint(t, rng));
   return raw;
+}
+
+void sample_raw_fingerprints_stream(int n, int t, const StreamCtx& streams,
+                                    exec::ParallelRound* par,
+                                    std::vector<Fingerprint>* out) {
+  out->resize(static_cast<std::size_t>(n));
+  exec::shards_or_inline(par, n, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      Rng rng = streams.rng_for(static_cast<std::uint64_t>(i));
+      sample_fingerprint_into(t, rng, &(*out)[static_cast<std::size_t>(i)]);
+    }
+  });
 }
 
 namespace {
@@ -58,17 +72,18 @@ int designated_machine(const cluster::ClusterGraph& cg, int v, int u) {
 
 }  // namespace
 
-CountResult neighborhood_counts(cluster::Runtime& rt,
-                                const std::vector<Fingerprint>& raw,
-                                const NeighborPredicate& pred,
-                                const CountOptions& opt) {
+void neighborhood_counts_into(cluster::Runtime& rt,
+                              const std::vector<Fingerprint>& raw,
+                              const NeighborPredicate& pred,
+                              const CountOptions& opt, CountResult* out) {
   const auto& h = rt.h();
   const auto& cg = rt.cg();
   CCG_CHECK(static_cast<int>(raw.size()) == h.n());
   const int t = opt.t;
-  CountResult res;
+  CountResult& res = *out;
+  res.max_message_bits = 0;
   res.estimate.resize(static_cast<std::size_t>(h.n()));
-  res.maxima.reserve(static_cast<std::size_t>(h.n()));
+  res.maxima.resize(static_cast<std::size_t>(h.n()));
 
   // Each raw fingerprint crosses at least one inter-cluster link when its
   // owner participates anywhere; measure the largest such link message.
@@ -82,7 +97,7 @@ CountResult neighborhood_counts(cluster::Runtime& rt,
 
   std::vector<std::pair<int, Fingerprint const*>> contribs;
   for (int v = 0; v < h.n(); ++v) {
-    Fingerprint y = empty_fingerprint(t);
+    Fingerprint& y = res.maxima[static_cast<std::size_t>(v)];
     if (opt.measure_bits) {
       contribs.clear();
       for (const int u : h.neighbors(v)) {
@@ -93,13 +108,13 @@ CountResult neighborhood_counts(cluster::Runtime& rt,
       y = measured_tree_aggregate(cg, v, contribs, t,
                                   &res.max_message_bits);
     } else {
+      reset_empty(t, &y);
       for (const int u : h.neighbors(v)) {
         if (!pred(v, u)) continue;
         combine_into(y, raw[static_cast<std::size_t>(u)]);
       }
     }
     res.estimate[static_cast<std::size_t>(v)] = estimate_count(y);
-    res.maxima.push_back(std::move(y));
   }
 
   if (opt.charge) {
@@ -109,6 +124,14 @@ CountResult neighborhood_counts(cluster::Runtime& rt,
         opt.measure_bits ? std::max(1, res.max_message_bits) : 2 * t + 16;
     rt.charge(1, bits);
   }
+}
+
+CountResult neighborhood_counts(cluster::Runtime& rt,
+                                const std::vector<Fingerprint>& raw,
+                                const NeighborPredicate& pred,
+                                const CountOptions& opt) {
+  CountResult res;
+  neighborhood_counts_into(rt, raw, pred, opt, &res);
   return res;
 }
 
@@ -120,22 +143,25 @@ CountResult approximate_neighborhood_counts(cluster::Runtime& rt,
   return neighborhood_counts(rt, raw, pred, opt);
 }
 
-std::vector<double> edge_union_estimates(cluster::Runtime& rt,
-                                         const CountResult& neighborhood,
-                                         const CountOptions& opt) {
+void edge_union_estimates_into(cluster::Runtime& rt,
+                               const CountResult& neighborhood,
+                               const CountOptions& opt,
+                               std::vector<double>* out) {
   const auto& h = rt.h();
-  std::vector<double> out;
   const auto edges = h.edges();
-  out.reserve(edges.size());
+  out->resize(edges.size());
   int max_bits = 0;
-  for (const auto& [u, v] : edges) {
-    const auto joint = combine(neighborhood.maxima[static_cast<std::size_t>(u)],
-                               neighborhood.maxima[static_cast<std::size_t>(v)]);
+  Fingerprint joint;  // one buffer reused across every edge
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto& [u, v] = edges[e];
+    const auto& mu = neighborhood.maxima[static_cast<std::size_t>(u)].maxima;
+    joint.maxima.assign(mu.begin(), mu.end());
+    combine_into(joint, neighborhood.maxima[static_cast<std::size_t>(v)]);
     if (opt.measure_bits) {
       max_bits = std::max(max_bits,
                           joint.empty_set() ? 1 : encoded_bits(joint));
     }
-    out.push_back(estimate_count(joint));
+    (*out)[e] = estimate_count(joint);
   }
   if (opt.charge) {
     // Endpoint machines of each link exchange their cluster's fingerprint
@@ -144,6 +170,13 @@ std::vector<double> edge_union_estimates(cluster::Runtime& rt,
                                       : 2 * opt.t + 16;
     rt.charge(2, bits);
   }
+}
+
+std::vector<double> edge_union_estimates(cluster::Runtime& rt,
+                                         const CountResult& neighborhood,
+                                         const CountOptions& opt) {
+  std::vector<double> out;
+  edge_union_estimates_into(rt, neighborhood, opt, &out);
   return out;
 }
 

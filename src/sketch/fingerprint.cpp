@@ -14,18 +14,26 @@ bool Fingerprint::empty_set() const {
 }
 
 Fingerprint sample_fingerprint(int t, Rng& rng) {
-  CCG_CHECK(t >= 1);
   Fingerprint fp;
-  fp.maxima.resize(static_cast<std::size_t>(t));
-  for (auto& y : fp.maxima) y = rng.next_geometric_half();
+  sample_fingerprint_into(t, rng, &fp);
   return fp;
 }
 
-Fingerprint empty_fingerprint(int t) {
+void sample_fingerprint_into(int t, Rng& rng, Fingerprint* out) {
   CCG_CHECK(t >= 1);
+  out->maxima.resize(static_cast<std::size_t>(t));
+  for (auto& y : out->maxima) y = rng.next_geometric_half();
+}
+
+Fingerprint empty_fingerprint(int t) {
   Fingerprint fp;
-  fp.maxima.assign(static_cast<std::size_t>(t), kEmpty);
+  reset_empty(t, &fp);
   return fp;
+}
+
+void reset_empty(int t, Fingerprint* out) {
+  CCG_CHECK(t >= 1);
+  out->maxima.assign(static_cast<std::size_t>(t), kEmpty);
 }
 
 Fingerprint combine(const Fingerprint& a, const Fingerprint& b) {

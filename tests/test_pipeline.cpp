@@ -202,6 +202,49 @@ TEST(PipelineDeterminism, FullPipelineBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(PipelineDeterminism, LowDegreeBitIdenticalAcrossThreadCounts) {
+  // Same acceptance bar for the Theorem 1.1 path: learn/shatter, the
+  // polylog cabal machinery and the finisher all run on the round engine,
+  // so the low-degree coloring must not depend on the worker count.
+  Rng rng(88);
+  struct Shape {
+    const char* name;
+    graph::Graph g;
+  };
+  std::vector<Shape> shapes;
+  shapes.push_back({"gnm", graph::gnm(500, 2000, rng)});
+  {
+    graph::PlantedSpec spec;  // polylog regime with dense structure
+    spec.delta = 60;
+    spec.num_cliques = 3;
+    spec.anti_deg = 2;
+    spec.external_deg = 10;
+    spec.num_sparse = 200;
+    spec.sparse_avg_deg = 20.0;
+    shapes.push_back({"planted", graph::make_planted_acd(spec, rng).g});
+  }
+  for (const auto& shape : shapes) {
+    auto run = [&](int threads) {
+      const auto cg = cluster::ClusterGraph::singleton(shape.g);
+      net::Ledger ledger(cg.default_bandwidth());
+      cluster::Runtime rt(cg, ledger);
+      auto params = pipeline_params(shape.g.n(), 139);
+      params.threads = threads;
+      auto res = lowdeg::color_low_degree(rt, params);
+      cluster::check_proper_total(shape.g, res.colors, res.num_colors);
+      return res;
+    };
+    const auto base = run(1);
+    for (const int threads : {2, 8}) {
+      const auto res = run(threads);
+      ASSERT_EQ(res.colors, base.colors)
+          << shape.name << " threads " << threads;
+      EXPECT_EQ(res.h_rounds, base.h_rounds) << shape.name;
+      EXPECT_EQ(res.fallback_count, base.fallback_count) << shape.name;
+    }
+  }
+}
+
 TEST(Dispatcher, PicksPathByDelta) {
   Rng rng(7);
   auto params = pipeline_params(400, 31);

@@ -145,6 +145,82 @@ TEST(SvcReuse, LowDegreeJobsReuseTheArena) {
       << " jobs)";
 }
 
+// Recurring dense workload: `count` Algo::kAuto jobs over one shared
+// planted instance — the full high-degree pipeline, ACD included.
+Manifest auto_manifest(int count) {
+  Manifest m;
+  m.seed = 13;
+  JobSpec base;
+  base.gen = "planted";
+  base.gargs.delta = 150;
+  base.gargs.cliques = 4;
+  base.gargs.ext = 4;
+  base.gargs.anti = 2;
+  base.algo = Algo::kAuto;
+  base.threads = 1;
+  base.oracle = true;
+  base.eps = 0.2;
+  for (int i = 0; i < count; ++i) {
+    JobSpec j = base;
+    j.index = i;
+    j.key = instance_key(j);
+    m.jobs.push_back(std::move(j));
+  }
+  finalize_job_seeds(m);
+  return m;
+}
+
+TEST(SvcReuse, AutoJobsReuseTheAcdAndDenseScratch) {
+  // The high-degree pipeline's working set — AcdResult members, the ACD
+  // CSR/BFS scratch, DenseInfo, palettes, and every phase-orchestration
+  // buffer — lives in grow-only State storage. Once warm, a full auto job
+  // must stay within the same small allocation budget the throughput
+  // bench gates on (bench_throughput / check_regression.py), and reuse
+  // must not change a single output bit versus cold slots.
+  constexpr int kJobs = 4;
+  constexpr long long kBudgetPerJob = 64;
+  const auto m = auto_manifest(kJobs);
+  std::vector<int> instance_of;
+  const auto instances = prepare_instances(m, &instance_of);
+  ASSERT_EQ(instances.size(), 1u);
+
+  JobSlot warm;
+  JobResult out;
+  std::vector<std::int64_t> warm_h(kJobs);
+  for (int pass = 0; pass < 2; ++pass) {  // warm every high-water buffer
+    for (int i = 0; i < kJobs; ++i) {
+      warm.run(instances[0], m.jobs[static_cast<std::size_t>(i)], &out);
+      ASSERT_TRUE(out.ok) << out.error;
+    }
+  }
+  const long long warm_before = alloc_count();
+  for (int i = 0; i < kJobs; ++i) {
+    warm.run(instances[0], m.jobs[static_cast<std::size_t>(i)], &out);
+    ASSERT_TRUE(out.ok) << out.error;
+    ASSERT_EQ(out.uncolored, 0);
+    warm_h[static_cast<std::size_t>(i)] = out.h_rounds;
+  }
+  const long long warm_allocs = alloc_count() - warm_before;
+
+  const long long cold_before = alloc_count();
+  std::vector<std::int64_t> cold_h(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    JobSlot cold;  // fresh arena per job
+    cold.run(instances[0], m.jobs[static_cast<std::size_t>(i)], &out);
+    ASSERT_TRUE(out.ok) << out.error;
+    cold_h[static_cast<std::size_t>(i)] = out.h_rounds;
+  }
+  const long long cold_allocs = alloc_count() - cold_before;
+
+  EXPECT_EQ(warm_h, cold_h);
+  EXPECT_LE(warm_allocs, kBudgetPerJob * kJobs)
+      << "warm auto jobs exceeded the steady-state allocation budget ("
+      << warm_allocs << " allocs over " << kJobs << " jobs)";
+  EXPECT_LT(warm_allocs, cold_allocs / 10)
+      << "warm auto pass should skip the arena/ACD build (" << warm_allocs
+      << " vs " << cold_allocs << " allocs over " << kJobs << " jobs)";
+}
+
 TEST(SvcReuse, ResetStateIsBitIdenticalToFreshState) {
   // The reuse contract behind the zero-alloc loop: a reset State is
   // indistinguishable from a fresh one. Color the same instance with the
