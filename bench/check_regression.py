@@ -24,6 +24,12 @@ Locally, point it at a previous BENCH_pipeline.json for a tight
 same-machine gate:
 
     python3 bench/check_regression.py fresh.json BENCH_pipeline.json
+
+Non-pipeline fresh files dispatch on their "bench" tag instead:
+"throughput" gates the warm-slot allocation counters, "serving" gates
+server-path allocations, report determinism across worker counts, and
+(loosely, --serving-factor) jobs/sec and per-class p95 latency against a
+committed BENCH_serving.json reference.
 """
 
 import argparse
@@ -95,6 +101,74 @@ def check_colorset_speedup(fresh: dict, min_speedup: float) -> bool:
     return ok
 
 
+def check_serving(fresh: dict, reference: dict, factor: float,
+                  max_allocs: float) -> bool:
+    """Gate a BENCH_serving.json against the committed reference.
+
+    Three independent checks: the warm fast path must stay exactly
+    allocation-free under the server scheduler, the drained no-timing
+    report must have been byte-identical across the worker sweep (the
+    bench aborts on a mismatch, but the flag is re-checked here so a
+    hand-edited JSON can't pass), and the machine-confounded throughput
+    and latency figures must stay within a generous ``factor`` of the
+    reference: jobs/sec no worse than reference/factor, per-class p95 no
+    worse than factor * reference. ``factor`` is deliberately loose —
+    CI runners vary widely — and set <= 0 disables the cross-machine
+    comparison while keeping the alloc and determinism gates.
+    """
+    ok = check_steady_allocs(fresh, max_allocs)
+    det = fresh.get("deterministic_across_workers")
+    verdict = "OK" if det is True else "REGRESSION"
+    print(f"serving determinism gate: deterministic_across_workers = "
+          f"{det} {verdict}")
+    if det is not True:
+        ok = False
+    if factor <= 0:
+        print("serving throughput/latency gate disabled "
+              "(--serving-factor <= 0)")
+        return ok
+
+    def w1_jobs_per_sec(doc: dict) -> float | None:
+        for row in doc.get("by_workers", []):
+            if row.get("workers") == 1:
+                value = row.get("jobs_per_sec")
+                if isinstance(value, (int, float)) and value > 0:
+                    return float(value)
+        return None
+
+    fresh_jps = w1_jobs_per_sec(fresh)
+    ref_jps = w1_jobs_per_sec(reference)
+    if fresh_jps is not None and ref_jps is not None:
+        floor = ref_jps / factor
+        verdict = "OK" if fresh_jps >= floor else "REGRESSION"
+        print(f"serving throughput gate: {fresh_jps:.1f} jobs/sec vs "
+              f"reference {ref_jps:.1f} (floor {floor:.1f}) {verdict}")
+        if fresh_jps < floor:
+            ok = False
+    else:
+        print("serving throughput gate: missing w=1 jobs_per_sec; skipped")
+    ref_p95 = {
+        row.get("algo"): float(row["p95_ns"])
+        for row in reference.get("slo_classes", [])
+        if row.get("count", 0) > 0
+        and isinstance(row.get("p95_ns"), (int, float))
+        and row["p95_ns"] > 0
+    }
+    for row in fresh.get("slo_classes", []):
+        algo = row.get("algo")
+        if row.get("count", 0) <= 0 or algo not in ref_p95:
+            continue
+        p95 = float(row["p95_ns"])
+        ceiling = factor * ref_p95[algo]
+        verdict = "OK" if p95 <= ceiling else "REGRESSION"
+        print(f"serving p95 gate [{algo}]: {p95 / 1e6:.2f} ms vs "
+              f"reference {ref_p95[algo] / 1e6:.2f} ms "
+              f"(ceiling {ceiling / 1e6:.2f}) {verdict}")
+        if p95 > ceiling:
+            ok = False
+    return ok
+
+
 def check_steady_allocs(fresh: dict, max_allocs: float) -> bool:
     """Gate warm-slot allocations in a BENCH_throughput.json.
 
@@ -160,6 +234,15 @@ def main() -> int:
         "default 64; set negative to disable)",
     )
     ap.add_argument(
+        "--serving-factor",
+        type=float,
+        default=3.0,
+        help="for BENCH_serving.json fresh files: allowed machine-speed "
+        "slack vs the serving reference — jobs/sec may drop to "
+        "reference/factor, per-class p95 may grow to factor * reference "
+        "(default 3.0; <= 0 keeps only the alloc and determinism gates)",
+    )
+    ap.add_argument(
         "--allow-unnormalized",
         action="store_true",
         help="with --normalize-micro: fall back to comparing raw totals "
@@ -189,6 +272,20 @@ def main() -> int:
             print("steady-alloc gate disabled (--max-steady-allocs < 0)")
             return 0
         return 0 if check_steady_allocs(fresh, args.max_steady_allocs) else 1
+    if fresh_kind == "serving":
+        # Serving JSONs gate against a committed serving reference; a
+        # non-serving reference is a misconfigured baseline, and gating
+        # against it silently would disable the latency/throughput
+        # checks — fail loudly.
+        if reference.get("bench") != "serving":
+            print(
+                f"ERROR: reference JSON is bench "
+                f"'{reference.get('bench')}', not a serving baseline — "
+                "check the baseline path"
+            )
+            return 2
+        return 0 if check_serving(fresh, reference, args.serving_factor,
+                                  args.max_steady_allocs) else 1
     if fresh_kind is not None and fresh_kind != "pipeline":
         print(
             f"ignoring fresh JSON: bench '{fresh_kind}' is not gated by "

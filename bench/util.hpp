@@ -14,6 +14,7 @@
 
 #include "ccg/ccg.hpp"
 #include "common/json.hpp"
+#include "common/latency.hpp"
 
 namespace ccg::bench {
 
@@ -108,42 +109,12 @@ inline color::Params bench_params(int n, std::uint64_t seed,
 
 // ---- timed measurement harness ----
 //
-// Wall-clock measurement with explicit warmup and repetition control. The
-// reported figure is the *minimum* over repetitions (least-noise estimator
-// for a deterministic workload); mean and max ride along for dispersion.
-struct TimedStats {
-  double min_ns = 0;
-  double mean_ns = 0;
-  double max_ns = 0;
-  int reps = 0;
-  std::int64_t ops = 1;  // work items per repetition, for ns/op
-
-  double ns_per_op() const {
-    return ops > 0 ? min_ns / static_cast<double>(ops) : min_ns;
-  }
-};
-
-template <class F>
-inline TimedStats timed(F&& fn, int warmup, int reps, std::int64_t ops = 1) {
-  using clock = std::chrono::steady_clock;
-  for (int i = 0; i < warmup; ++i) fn();
-  TimedStats st;
-  st.reps = reps;
-  st.ops = ops;
-  for (int i = 0; i < reps; ++i) {
-    const auto t0 = clock::now();
-    fn();
-    const auto t1 = clock::now();
-    const double ns = static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-            .count());
-    st.min_ns = (i == 0) ? ns : std::min(st.min_ns, ns);
-    st.max_ns = std::max(st.max_ns, ns);
-    st.mean_ns += ns;
-  }
-  if (reps > 0) st.mean_ns /= reps;
-  return st;
-}
+// TimedStats/timed moved to common/latency.hpp so the serving SLO layer
+// (src/server/) shares the same measurement harness and histogram; the
+// bench:: aliases keep every bench binary compiling unchanged.
+using ccg::LatencyHistogram;
+using ccg::timed;
+using ccg::TimedStats;
 
 // ---- JSON emission / extraction ----
 //

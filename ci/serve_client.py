@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Convert a ccg_batch manifest into a ccg_serve request stream.
+
+Reads a manifest (bench/smoke.manifest format: ``seed``/``threads``
+directives plus ``job <flags>`` lines) and prints the equivalent server
+protocol stream: one ``job <id> <flags>`` request per manifest job, with
+deterministic ids derived from the manifest line number, followed by
+``drain``, ``report notiming`` and ``quit``. CI pipes the result into
+ccg_serve at several --workers values and diffs the outputs byte for
+byte.
+
+Manifest-to-protocol translation:
+
+  * ``--repeat N`` is expanded into N requests (the server protocol
+    rejects --repeat; each repetition gets its own id ``j<line>.<rep>``
+    and therefore its own derived seed — fine for a determinism smoke,
+    which only compares server runs against each other).
+  * a ``threads T`` directive is applied as an explicit ``--threads T``
+    on every job that doesn't carry its own.
+  * the ``seed S`` directive maps to the server-level --seed flag, not a
+    request flag; pass --print-seed to extract it for the ccg_serve
+    command line.
+
+Usage:
+  python3 ci/serve_client.py bench/smoke.manifest          # job stream
+  python3 ci/serve_client.py --print-seed bench/smoke.manifest
+"""
+
+import argparse
+import sys
+
+
+def parse_manifest(path: str):
+    seed = 0
+    threads = None
+    jobs = []  # (manifest line number, [flag tokens], repeat)
+    with open(path) as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = line.split()
+            if tokens[0] == "seed" and len(tokens) == 2:
+                seed = int(tokens[1])
+            elif tokens[0] == "threads" and len(tokens) == 2:
+                threads = int(tokens[1])
+            elif tokens[0] == "job":
+                flags = tokens[1:]
+                repeat = 1
+                if "--repeat" in flags:
+                    i = flags.index("--repeat")
+                    repeat = int(flags[i + 1])
+                    del flags[i:i + 2]
+                if threads is not None and "--threads" not in flags:
+                    flags += ["--threads", str(threads)]
+                jobs.append((lineno, flags, repeat))
+            else:
+                sys.exit(f"{path}:{lineno}: unsupported manifest line: "
+                         f"{line!r}")
+    return seed, jobs
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("manifest", help="ccg_batch manifest to translate")
+    ap.add_argument(
+        "--print-seed",
+        action="store_true",
+        help="print the manifest seed directive (for ccg_serve --seed) "
+        "instead of the request stream",
+    )
+    args = ap.parse_args()
+
+    seed, jobs = parse_manifest(args.manifest)
+    if args.print_seed:
+        print(seed)
+        return 0
+    for lineno, flags, repeat in jobs:
+        for rep in range(repeat):
+            print(f"job j{lineno}.{rep} {' '.join(flags)}")
+    print("drain")
+    print("report notiming")
+    print("quit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

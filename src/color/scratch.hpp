@@ -181,6 +181,7 @@ struct PhaseScratch {
   std::vector<int> sel2;
   std::vector<int> all;       // final safety-net sweeps
   std::vector<std::pair<int, int>> pairs;  // anti-matching (u, w) batches
+  std::vector<std::pair<int, int>> pairs2; // per-cabal relay pair batches
   GroupLists groups;          // inliers per clique / SCT candidate sets
   GroupLists groups2;
   VertexLists lists;          // low-degree learn/shatter color lists

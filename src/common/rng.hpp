@@ -106,6 +106,15 @@ class StreamCtx {
 
   std::uint64_t round() const { return round_; }
 
+  // Jump straight to `round` (same seed). This is the restore half of the
+  // dense-context snapshot (color::DenseSnapshot): replaying a cached
+  // phase must leave the stream space exactly where the original build
+  // left it, or every later draw would diverge from the uncached run.
+  void set_round(std::uint64_t round) {
+    round_ = round;
+    rehash();
+  }
+
   // The private generator of `entity` for the current round.
   Rng rng_for(std::uint64_t entity) const {
     return Rng(mix64(base_ ^ entity));

@@ -545,8 +545,12 @@ void run_low_degree(State& st) {
           // Lemma 9.2 relays substitute for the random groups (Delta may
           // be well below log^2 n here); the fingerprint matching itself
           // is unchanged. Parallel across cabals, charged once per batch.
-          const auto pairs = color::fingerprint_matching(
-              st, k, nullptr, /*charge=*/false);
+          // Pairs land in the reused per-cabal scratch (ph.pairs2) so a
+          // warm run allocates nothing here.
+          auto& pairs = st.ph.pairs2;
+          pairs.clear();
+          color::fingerprint_matching_into(st, k, nullptr, /*charge=*/false,
+                                           &pairs);
           if (!pairs.empty()) {
             const auto relays =
                 color::find_relays(st, k, pairs, /*charge=*/false);

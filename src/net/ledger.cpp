@@ -52,6 +52,26 @@ void Ledger::charge_g_only(std::int64_t g_rounds) {
   for (auto& pc : open_phases_) accrue(pc, 0, g_rounds, 0, 0, 0);
 }
 
+void Ledger::replay(const PhaseCost& cost) {
+  accrue(totals_, cost.h_rounds, cost.g_rounds, cost.total_bits,
+         cost.max_message_bits, cost.max_bits_per_link_round);
+  for (auto& pc : open_phases_) {
+    accrue(pc, cost.h_rounds, cost.g_rounds, cost.total_bits,
+           cost.max_message_bits, cost.max_bits_per_link_round);
+  }
+}
+
+PhaseCost cost_delta(const PhaseCost& before, const PhaseCost& after) {
+  PhaseCost d;
+  d.name = after.name;
+  d.h_rounds = after.h_rounds - before.h_rounds;
+  d.g_rounds = after.g_rounds - before.g_rounds;
+  d.total_bits = after.total_bits - before.total_bits;
+  d.max_message_bits = after.max_message_bits;
+  d.max_bits_per_link_round = after.max_bits_per_link_round;
+  return d;
+}
+
 void Ledger::begin_phase(const std::string& name) {
   open_phases_.push_back(PhaseCost{name});
 }

@@ -65,6 +65,18 @@ class Ledger {
   // Charge raw G-rounds without an H-round (machine-local steps).
   void charge_g_only(std::int64_t g_rounds);
 
+  // Re-charge a previously metered cost block verbatim: sums add, maxima
+  // max-merge, and the block accrues to every open phase like live
+  // charges do. This is how a cached phase (the cross-job dense-context
+  // cache, src/server/cache.hpp) replays the communication cost of the
+  // build it skipped, keeping cached and uncached runs ledger-identical.
+  void replay(const PhaseCost& cost);
+
+  // Snapshot of the running totals (name = "total"). Pairing two
+  // snapshots around a phase yields the exact PhaseCost delta replay()
+  // needs (see cost_delta below).
+  PhaseCost totals_snapshot() const { return totals_; }
+
   // Phase bookkeeping. Phases may nest; costs accrue to every open phase.
   void begin_phase(const std::string& name);
   void end_phase();
@@ -91,6 +103,12 @@ class Ledger {
   std::vector<PhaseCost> open_phases_;
   std::vector<PhaseCost> closed_phases_;
 };
+
+// Exact cost of the span between two totals snapshots: sums subtract;
+// maxima keep the `after` value (maxima are monotone under accrual, so
+// when the span is the only activity — a snapshot pair taken around one
+// phase on an otherwise idle ledger — `after`'s maxima ARE the span's).
+PhaseCost cost_delta(const PhaseCost& before, const PhaseCost& after);
 
 // RAII phase scope.
 class PhaseScope {

@@ -1,0 +1,107 @@
+#include "server/protocol.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace ccg::server {
+
+namespace {
+
+// Round tag of the serve-seed stream (disjoint from the manifest job- and
+// retry-seed rounds in svc/manifest.cpp).
+constexpr std::uint64_t kServeSeedRound = 0x73727665ULL;  // "srve"
+
+constexpr std::size_t kMaxIdLen = 64;
+
+bool valid_id_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == ':' ||
+         c == '-';
+}
+
+void check_id(int lineno, const std::string& id) {
+  if (id.empty() || id.size() > kMaxIdLen) {
+    svc::parse_fail(lineno, "job id must be 1-" + std::to_string(kMaxIdLen) +
+                                " characters");
+  }
+  for (const char c : id) {
+    if (!valid_id_char(c)) {
+      svc::parse_fail(lineno,
+                      "job id may only contain [A-Za-z0-9_.:-]: '" + id + "'");
+    }
+  }
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, int lineno,
+                   const svc::JobLineDefaults& def, Request* out) {
+  std::string body = line;
+  const auto hash = body.find('#');
+  if (hash != std::string::npos) body.resize(hash);
+  std::vector<std::string> toks;
+  {
+    std::istringstream ls(body);
+    std::string tok;
+    while (ls >> tok) toks.push_back(tok);
+  }
+  if (toks.empty()) return false;
+  const std::string& head = toks.front();
+  *out = Request{};
+  if (head == "job") {
+    out->kind = RequestKind::kJob;
+    if (toks.size() < 2) {
+      svc::parse_fail(lineno, "usage: job <id> <flags...>");
+    }
+    out->id = toks[1];
+    check_id(lineno, out->id);
+    svc::JobLineDefaults jdef = def;
+    jdef.allow_repeat = false;  // one request, one job
+    std::vector<svc::JobSpec> specs;
+    svc::parse_job_tokens({toks.begin() + 2, toks.end()}, lineno, jdef,
+                          &specs);
+    out->job = std::move(specs.front());
+    return true;
+  }
+  if (head == "drain") {
+    if (toks.size() != 1) svc::parse_fail(lineno, "usage: drain");
+    out->kind = RequestKind::kDrain;
+    return true;
+  }
+  if (head == "report") {
+    if (toks.size() > 2 || (toks.size() == 2 && toks[1] != "notiming")) {
+      svc::parse_fail(lineno, "usage: report [notiming]");
+    }
+    out->kind = RequestKind::kReport;
+    out->timing = toks.size() == 1;
+    return true;
+  }
+  if (head == "stats") {
+    if (toks.size() != 1) svc::parse_fail(lineno, "usage: stats");
+    out->kind = RequestKind::kStats;
+    return true;
+  }
+  if (head == "quit") {
+    if (toks.size() != 1) svc::parse_fail(lineno, "usage: quit");
+    out->kind = RequestKind::kQuit;
+    return true;
+  }
+  svc::parse_fail(lineno, "unknown request '" + head +
+                              "' (job|drain|report|stats|quit)");
+}
+
+std::uint64_t id_hash(const std::string& id) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : id) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t derive_serve_seed(std::uint64_t server_seed,
+                                const std::string& id) {
+  return stream_rng(server_seed, kServeSeedRound, id_hash(id)).next_u64();
+}
+
+}  // namespace ccg::server

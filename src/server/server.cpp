@@ -1,0 +1,219 @@
+#include "server/server.hpp"
+
+namespace ccg::server {
+
+namespace {
+
+SchedulerOptions scheduler_options(const ServerOptions& o) {
+  SchedulerOptions s;
+  s.workers = o.workers;
+  s.queue_depth = o.queue_depth;
+  s.policy.manifest_seed = o.seed;
+  s.policy.max_retries = o.max_retries;
+  s.policy.degrade = o.degrade;
+  s.policy.deadline_ms = o.deadline_ms;
+  return s;
+}
+
+void slo_class_json(JsonWriter& j, const char* name,
+                    const LatencyHistogram& h) {
+  j.begin_object();
+  j.key("algo").value(name);
+  j.key("count").value(h.count());
+  j.key("p50_ns").value(h.quantile_ns(0.50));
+  j.key("p95_ns").value(h.quantile_ns(0.95));
+  j.key("p99_ns").value(h.quantile_ns(0.99));
+  j.key("mean_ns").value(h.mean_ns());
+  j.key("max_ns").value(h.max_observed_ns());
+  j.end_object();
+}
+
+template <class V>
+void cache_stats_json(JsonWriter& j, const char* name,
+                      const LruCache<V>& cache) {
+  const auto s = cache.stats();
+  j.key(name).begin_object();
+  j.key("hits").value(s.hits);
+  j.key("misses").value(s.misses);
+  j.key("evictions").value(s.evictions);
+  j.key("entries").value(s.entries);
+  j.key("bytes").value(s.bytes);
+  j.end_object();
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& opt)
+    : opt_(opt), cache_(opt.cache), sched_(scheduler_options(opt), &cache_) {
+  sched_.start();
+}
+
+Server::~Server() { sched_.stop(); }
+
+bool Server::handle_line(const std::string& line, int lineno,
+                         std::string* out) {
+  Request req;
+  if (!parse_request(line, lineno, svc::JobLineDefaults{opt_.default_threads,
+                                                        /*repeat=*/1,
+                                                        /*graph_seed=*/
+                                                        opt_.seed,
+                                                        /*allow_repeat=*/
+                                                        false},
+                     &req)) {
+    return true;  // blank / comment line
+  }
+  switch (req.kind) {
+    case RequestKind::kJob: {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (tasks_.count(req.id) != 0) {
+        svc::parse_fail(lineno, "duplicate job id '" + req.id + "'");
+      }
+      auto task = std::make_unique<Task>();
+      task->id = req.id;
+      task->job = std::move(req.job);
+      // The id takes over both roles the manifest index plays: the seed
+      // stream entity (derive_serve_seed) and the retry-stream index
+      // (low 31 bits of the hash — retries stay deterministic per id).
+      task->job.index =
+          static_cast<int>(id_hash(req.id) & 0x7FFFFFFFULL);
+      if (!task->job.explicit_seed) {
+        task->job.params_seed = derive_serve_seed(opt_.seed, req.id);
+      }
+      task->dense_key = dense_key(task->job);
+      task->result_key = result_key(task->job);
+      if (!sched_.submit(task.get())) {
+        // Shed: explicit backpressure instead of unbounded queueing. The
+        // task is dropped entirely — the client may resubmit the same id
+        // once the queue drains.
+        *out += "shed " + req.id + " queue_full\n";
+        return true;
+      }
+      *out += "accepted " + req.id + "\n";
+      tasks_.emplace(std::move(req.id), std::move(task));
+      return true;
+    }
+    case RequestKind::kDrain:
+      drain();
+      *out += "ok drain\n";
+      return true;
+    case RequestKind::kReport:
+      append_report(req.timing, out);
+      return true;
+    case RequestKind::kStats:
+      *out += "stats-begin\n";
+      *out += stats_json();
+      *out += "stats-end\n";
+      return true;
+    case RequestKind::kQuit:
+      *out += "bye\n";
+      return false;
+  }
+  return true;
+}
+
+void Server::drain() {
+  // Block new submissions while draining so "ok drain" means what it
+  // says at the moment it is written. Workers never take mu_, so queued
+  // jobs keep completing.
+  std::lock_guard<std::mutex> lock(mu_);
+  sched_.drain();
+}
+
+void Server::append_report(bool include_timing, std::string* out) {
+  *out += "report-begin\n";
+  *out += report_json(include_timing);
+  *out += "report-end\n";
+}
+
+std::string Server::report_json(bool include_timing) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sched_.drain();  // a report is always a drained report
+  JsonWriter j;
+  j.begin_object();
+  j.key("report").value("ccg_serve");
+  j.key("schema_version").value(1);
+  j.key("server_seed").value(opt_.seed);
+  j.key("num_jobs").value(static_cast<int>(tasks_.size()));
+  if (include_timing) j.key("workers").value(sched_.workers());
+
+  int ok_jobs = 0, jobs_failed = 0, jobs_retried = 0, jobs_degraded = 0;
+  std::int64_t total_h = 0, total_g = 0, total_fallbacks = 0;
+  j.key("jobs").begin_array();
+  for (const auto& [id, task] : tasks_) {
+    j.begin_object();
+    j.key("id").value(id);
+    svc::job_result_json(j, task->job, task->result, include_timing);
+    j.end_object();
+    ok_jobs += task->result.ok ? 1 : 0;
+    jobs_failed += task->result.ok ? 0 : 1;
+    jobs_retried += task->result.attempts > 1 ? 1 : 0;
+    jobs_degraded += task->result.degraded ? 1 : 0;
+    total_h += task->result.h_rounds;
+    total_g += task->result.g_rounds;
+    total_fallbacks += task->result.fallback_count;
+  }
+  j.end_array();
+
+  j.key("aggregate").begin_object();
+  j.key("ok_jobs").value(ok_jobs);
+  j.key("jobs_failed").value(jobs_failed);
+  j.key("jobs_retried").value(jobs_retried);
+  j.key("jobs_degraded").value(jobs_degraded);
+  j.key("total_h_rounds").value(total_h);
+  j.key("total_g_rounds").value(total_g);
+  j.key("total_fallbacks").value(total_fallbacks);
+  j.end_object();
+
+  if (include_timing) {
+    // SLO section: per-class latency over everything served since
+    // startup, plus the scheduler/cache counters. All timing-class.
+    LatencyHistogram by_class[Scheduler::kNumClasses];
+    sched_.merge_latency(by_class);
+    j.key("slo").begin_object();
+    j.key("classes").begin_array();
+    for (int c = 0; c < Scheduler::kNumClasses; ++c) {
+      slo_class_json(j, ccg::algo_name(static_cast<Algo>(c)), by_class[c]);
+    }
+    j.end_array();
+    const auto ctr = sched_.counters();
+    j.key("submitted").value(ctr.submitted);
+    j.key("completed").value(ctr.completed);
+    j.key("shed").value(ctr.shed);
+    j.key("steals").value(ctr.steals);
+    j.key("result_hits").value(ctr.result_hits);
+    j.key("dense_hits").value(ctr.dense_hits);
+    j.key("dense_captures").value(ctr.dense_captures);
+    j.end_object();
+  }
+  j.end_object();
+  return j.str();
+}
+
+std::string Server::stats_json() {
+  JsonWriter j;
+  j.begin_object();
+  j.key("workers").value(sched_.workers());
+  j.key("queue_depth").value(opt_.queue_depth);
+  const auto ctr = sched_.counters();
+  j.key("submitted").value(ctr.submitted);
+  j.key("completed").value(ctr.completed);
+  j.key("shed").value(ctr.shed);
+  j.key("steals").value(ctr.steals);
+  j.key("result_hits").value(ctr.result_hits);
+  j.key("dense_hits").value(ctr.dense_hits);
+  j.key("dense_captures").value(ctr.dense_captures);
+  cache_stats_json(j, "instance_cache", cache_.instances);
+  cache_stats_json(j, "dense_cache", cache_.dense);
+  cache_stats_json(j, "result_cache", cache_.results);
+  LatencyHistogram by_class[Scheduler::kNumClasses];
+  sched_.merge_latency(by_class);
+  j.key("classes").begin_array();
+  for (int c = 0; c < Scheduler::kNumClasses; ++c) {
+    slo_class_json(j, ccg::algo_name(static_cast<Algo>(c)), by_class[c]);
+  }
+  j.end_array();
+  j.end_object();
+  return j.str();
+}
+
+}  // namespace ccg::server

@@ -1,0 +1,89 @@
+// Persistent serving mode: one Server owns the request state machine
+// behind `ccg_serve` (examples/ccg_serve.cpp).
+//
+// A Server ties the pieces together: protocol parsing (protocol.hpp),
+// admission + work-stealing execution (scheduler.hpp) and the cross-job
+// caches (cache.hpp). Transports are deliberately outside: net.hpp
+// drives handle_line() from stdin or from socket connections; tests
+// drive it directly.
+//
+// Determinism contract (the serving extension of the batch contract in
+// svc/service.hpp): each job's coloring seed is a pure function of
+// (server seed, client id) — derive_serve_seed — and the report is
+// ordered by id, so the drained no-timing report is byte-identical for
+// every worker count, client interleaving, steal schedule and cache
+// state. Shed jobs are excluded from the report (whether a job sheds is
+// timing); accepted jobs are in, whatever order they arrived.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "server/cache.hpp"
+#include "server/protocol.hpp"
+#include "server/scheduler.hpp"
+
+namespace ccg::server {
+
+struct ServerOptions {
+  std::uint64_t seed = 1;   // server seed: the manifest-seed analogue
+  int workers = 1;          // scheduler workers (<= 0: hardware)
+  int queue_depth = 256;    // admission bound (queued + running jobs)
+  int default_threads = 1;  // intra-job threads for jobs without --threads
+  // Failure policy (svc::RunPolicy semantics).
+  int max_retries = 0;
+  bool degrade = false;
+  std::int64_t deadline_ms = 0;  // default for jobs without --deadline-ms
+  CacheBudgets cache;
+};
+
+class Server {
+ public:
+  // Construction starts the scheduler workers; destruction stops them.
+  explicit Server(const ServerOptions& opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Handle one request line (1-based lineno feeds the shared error
+  // model). Appends the response line(s) to *out; returns false when the
+  // connection should close (quit). Malformed requests throw
+  // svc::ManifestError — the transport chooses between an `error`
+  // response (sockets) and exit 2 (strict stdio), exactly the batch
+  // CLI's split. Thread-safe: connection handlers call this
+  // concurrently.
+  bool handle_line(const std::string& line, int lineno, std::string* out);
+
+  // Block until every accepted job completed.
+  void drain();
+
+  // Drained report over every accepted job, ordered by id.
+  // include_timing=false drops wall clocks, the SLO section and every
+  // other timing-dependent field; what remains is byte-identical across
+  // serving configurations.
+  std::string report_json(bool include_timing);
+
+  // One JSON object of timing-class counters (queue, sheds, steals,
+  // cache hit rates, per-class latency quantiles). Never part of the
+  // deterministic report.
+  std::string stats_json();
+
+  const ServerOptions& options() const { return opt_; }
+  Scheduler& scheduler() { return sched_; }
+
+ private:
+  void append_report(bool include_timing, std::string* out);
+
+  const ServerOptions opt_;
+  ServeCache cache_;
+  Scheduler sched_;
+  std::mutex mu_;  // guards tasks_ (and serializes report/drain vs submit)
+  // id -> task, sorted: report iteration order == id order.
+  std::map<std::string, std::unique_ptr<Task>> tasks_;
+};
+
+}  // namespace ccg::server

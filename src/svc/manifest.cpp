@@ -3,10 +3,6 @@
 #include <fstream>
 #include <sstream>
 
-#include "common/parse.hpp"
-#include "graph/generators.hpp"
-#include "graph/io.hpp"
-
 namespace ccg::svc {
 
 namespace {
@@ -19,232 +15,7 @@ constexpr std::uint64_t kJobSeedRound = 0x6A6F6273ULL;  // "jobs"
 // disjoint from the attempt-0 job-seed stream.
 constexpr std::uint64_t kRetrySeedRound = 0x72747279ULL;  // "rtry"
 
-[[noreturn]] void fail(int lineno, const std::string& what) {
-  std::ostringstream os;
-  os << "line " << lineno << ": " << what;
-  throw ManifestError(os.str());
-}
-
-std::int64_t parse_i64(int lineno, const std::string& flag,
-                       const std::string& val) {
-  const auto x = parse_i64_strict(val);
-  if (!x) fail(lineno, "invalid number '" + val + "' for --" + flag);
-  return *x;
-}
-
-int parse_int(int lineno, const std::string& flag, const std::string& val) {
-  const auto x = parse_int_strict(val);
-  if (!x) fail(lineno, "invalid number '" + val + "' for --" + flag);
-  return *x;
-}
-
-std::uint64_t parse_u64(int lineno, const std::string& flag,
-                        const std::string& val) {
-  const auto x = parse_u64_strict(val);
-  if (!x) fail(lineno, "invalid seed '" + val + "' for --" + flag);
-  return *x;
-}
-
-double parse_real(int lineno, const std::string& flag,
-                  const std::string& val) {
-  const auto x = parse_double_strict(val);
-  if (!x) fail(lineno, "invalid number '" + val + "' for --" + flag);
-  return *x;
-}
-
-bool known_gen(const std::string& g) {
-  return g == "gnm" || g == "gnp" || g == "chunglu" || g == "caveman" ||
-         g == "planted" || g == "grid" || g == "cycle";
-}
-
-std::int64_t gnm_m(const GenArgs& a) {
-  return a.m >= 0 ? a.m : static_cast<std::int64_t>(a.n) * 8;
-}
-
-std::string fmt_real(double v) {
-  // Shortest round-trip-exact form: distinct real-valued recipe args must
-  // never alias to one cache key ("%g" would quantize to 6 digits).
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-// Parses one `job` line (tokens after the `job` head) into `repeat`
-// expanded specs appended to m.jobs.
-void parse_job_line(const std::vector<std::string>& toks, int lineno,
-                    int default_threads, int default_repeat, Manifest* m) {
-  JobSpec job;
-  job.threads = default_threads;
-  job.graph_seed = m->seed;
-  int repeat = default_repeat;
-  auto& a = job.gargs;
-
-  for (std::size_t i = 0; i < toks.size();) {
-    const std::string& t = toks[i];
-    if (t.size() < 3 || t.rfind("--", 0) != 0) {
-      fail(lineno, "expected --flag, got '" + t + "'");
-    }
-    const std::string key = t.substr(2);
-    if (key == "oracle") {
-      job.oracle = true;
-      ++i;
-      continue;
-    }
-    if (i + 1 >= toks.size()) fail(lineno, "--" + key + " needs a value");
-    const std::string& val = toks[i + 1];
-    i += 2;
-
-    if (key == "gen") {
-      if (!known_gen(val)) fail(lineno, "unknown generator '" + val + "'");
-      job.gen = val;
-      job.dimacs.clear();
-    } else if (key == "dimacs") {
-      job.dimacs = val;
-    } else if (key == "layout") {
-      if (!known_layout_name(val)) {
-        fail(lineno, "unknown layout '" + val + "'");
-      }
-      job.layout = val;
-    } else if (key == "mode") {
-      if (val == "cluster") {
-        job.mode = JobMode::kCluster;
-      } else if (val == "edge") {
-        job.mode = JobMode::kEdge;
-      } else if (val == "dist2") {
-        job.mode = JobMode::kDist2;
-      } else {
-        fail(lineno, "unknown mode '" + val + "' (cluster|edge|dist2)");
-      }
-    } else if (key == "algo") {
-      const auto algo = ccg::algo_from_name(val);
-      if (!algo) {
-        fail(lineno, "unknown algo '" + val + "' (auto|high|low|fast)");
-      }
-      job.algo = *algo;
-    } else if (key == "n") {
-      a.n = parse_int(lineno, key, val);
-      if (a.n < 1) fail(lineno, "--n must be >= 1");
-    } else if (key == "m") {
-      a.m = parse_i64(lineno, key, val);
-      if (a.m < 0) fail(lineno, "--m must be >= 0");
-    } else if (key == "p") {
-      a.p = parse_real(lineno, key, val);
-      if (!(a.p >= 0.0 && a.p <= 1.0)) {
-        fail(lineno, "--p must lie in [0, 1]");
-      }
-    } else if (key == "avg-deg") {
-      a.avg_deg = parse_real(lineno, key, val);
-      if (!(a.avg_deg > 0)) fail(lineno, "--avg-deg must be > 0");
-    } else if (key == "gamma") {
-      a.gamma = parse_real(lineno, key, val);
-      if (!(a.gamma > 0)) fail(lineno, "--gamma must be > 0");
-    } else if (key == "cliques") {
-      a.cliques = parse_int(lineno, key, val);
-      if (a.cliques < 1) fail(lineno, "--cliques must be >= 1");
-    } else if (key == "size") {
-      a.size = parse_int(lineno, key, val);
-      if (a.size < 1) fail(lineno, "--size must be >= 1");
-    } else if (key == "bridges") {
-      a.bridges = parse_int(lineno, key, val);
-      if (a.bridges < 0) fail(lineno, "--bridges must be >= 0");
-    } else if (key == "delta") {
-      a.delta = parse_int(lineno, key, val);
-      if (a.delta < 1) fail(lineno, "--delta must be >= 1");
-    } else if (key == "ext") {
-      a.ext = parse_int(lineno, key, val);
-      if (a.ext < 0) fail(lineno, "--ext must be >= 0");
-    } else if (key == "anti") {
-      a.anti = parse_int(lineno, key, val);
-      if (a.anti < 0) fail(lineno, "--anti must be >= 0");
-    } else if (key == "sparse") {
-      a.sparse = parse_int(lineno, key, val);
-      if (a.sparse < 0) fail(lineno, "--sparse must be >= 0");
-    } else if (key == "w") {
-      a.w = parse_int(lineno, key, val);
-      if (a.w < 1) fail(lineno, "--w must be >= 1");
-    } else if (key == "h") {
-      a.h = parse_int(lineno, key, val);
-      if (a.h < 1) fail(lineno, "--h must be >= 1");
-    } else if (key == "cluster-size") {
-      job.cluster_size = parse_int(lineno, key, val);
-      if (job.cluster_size < 1) fail(lineno, "--cluster-size must be >= 1");
-    } else if (key == "links-per-edge") {
-      job.links_per_edge = parse_int(lineno, key, val);
-      if (job.links_per_edge < 1) {
-        fail(lineno, "--links-per-edge must be >= 1");
-      }
-    } else if (key == "graph-seed") {
-      job.graph_seed = parse_u64(lineno, key, val);
-    } else if (key == "threads") {
-      job.threads = parse_int(lineno, key, val);
-      if (job.threads < 0 || job.threads > ccg::Options::kMaxThreads) {
-        fail(lineno, "--threads must be in [0, " +
-                         std::to_string(ccg::Options::kMaxThreads) + "]");
-      }
-    } else if (key == "seed") {
-      job.params_seed = parse_u64(lineno, key, val);
-      job.explicit_seed = true;
-    } else if (key == "repeat") {
-      repeat = parse_int(lineno, key, val);
-      if (repeat < 1) fail(lineno, "--repeat must be >= 1");
-    } else if (key == "eps") {
-      job.eps = parse_real(lineno, key, val);
-      if (!(job.eps > 0 && job.eps < 1)) {
-        fail(lineno, "--eps must lie in (0, 1)");
-      }
-    } else if (key == "deadline-ms") {
-      job.deadline_ms = parse_i64(lineno, key, val);
-      if (job.deadline_ms < 0) {
-        fail(lineno, "--deadline-ms must be >= 0 (0 = no deadline)");
-      }
-    } else {
-      fail(lineno, "unknown flag --" + key);
-    }
-  }
-  if (job.mode != JobMode::kCluster && job.layout != "singleton") {
-    fail(lineno, std::string("--mode ") + mode_name(job.mode) +
-                     " defines its own network: --layout must stay "
-                     "singleton");
-  }
-
-  for (int r = 0; r < repeat; ++r) {
-    JobSpec j = job;
-    j.index = static_cast<int>(m->jobs.size());
-    // Explicit seeds step by repeat ordinal so repeats still differ;
-    // derived seeds are filled in finalize_job_seeds.
-    if (j.explicit_seed) {
-      j.params_seed = job.params_seed + static_cast<std::uint64_t>(r);
-    }
-    j.key = instance_key(j);
-    m->jobs.push_back(std::move(j));
-  }
-}
-
 }  // namespace
-
-bool known_layout_name(const std::string& layout) {
-  return layout == "singleton" || layout_shape(layout).has_value();
-}
-
-std::optional<cluster::ClusterShape> layout_shape(const std::string& layout) {
-  if (layout == "star") return cluster::ClusterShape::kStar;
-  if (layout == "path") return cluster::ClusterShape::kPath;
-  if (layout == "tree") return cluster::ClusterShape::kRandomTree;
-  if (layout == "bridge") return cluster::ClusterShape::kBridgePath;
-  return std::nullopt;
-}
-
-const char* mode_name(JobMode m) {
-  switch (m) {
-    case JobMode::kCluster:
-      return "cluster";
-    case JobMode::kEdge:
-      return "edge";
-    case JobMode::kDist2:
-      return "dist2";
-  }
-  return "?";
-}
 
 std::uint64_t derive_job_seed(std::uint64_t manifest_seed, int job_index) {
   return stream_rng(manifest_seed, kJobSeedRound,
@@ -271,76 +42,9 @@ void finalize_job_seeds(Manifest& m) {
   }
 }
 
-std::string instance_key(const JobSpec& j) {
-  std::ostringstream os;
-  const auto& a = j.gargs;
-  // `random` tracks whether the recipe consumes graph_seed bits at all;
-  // deterministic recipes share a cache entry across seeds.
-  bool random = true;
-  if (!j.dimacs.empty()) {
-    os << "dimacs=" << j.dimacs;
-    random = false;
-  } else if (j.gen == "gnm") {
-    os << "gnm n=" << a.n << " m=" << gnm_m(a);
-  } else if (j.gen == "gnp") {
-    os << "gnp n=" << a.n << " p=" << fmt_real(a.p);
-  } else if (j.gen == "chunglu") {
-    os << "chunglu n=" << a.n << " avg-deg=" << fmt_real(a.avg_deg)
-       << " gamma=" << fmt_real(a.gamma);
-  } else if (j.gen == "caveman") {
-    os << "caveman cliques=" << a.cliques << " size=" << a.size
-       << " bridges=" << a.bridges;
-  } else if (j.gen == "planted") {
-    os << "planted delta=" << a.delta << " cliques=" << a.cliques
-       << " ext=" << a.ext << " anti=" << a.anti << " sparse=" << a.sparse;
-  } else if (j.gen == "grid") {
-    os << "grid w=" << a.w << " h=" << a.h;
-    random = false;
-  } else {  // cycle
-    os << "cycle n=" << a.n;
-    random = false;
-  }
-  os << " layout=" << j.layout;
-  if (j.layout != "singleton") {
-    os << " cs=" << j.cluster_size << " lpe=" << j.links_per_edge;
-    random = true;  // cluster expansion draws from the graph seed too
-  }
-  // The virtual encodings are deterministic functions of the base graph,
-  // but they build a different instance: the mode is part of identity.
-  if (j.mode != JobMode::kCluster) os << " mode=" << mode_name(j.mode);
-  if (random) os << " gseed=" << j.graph_seed;
-  return os.str();
-}
-
-graph::Graph build_job_graph(const JobSpec& j, Rng& rng) {
-  const auto& a = j.gargs;
-  if (!j.dimacs.empty()) return graph::read_dimacs_file(j.dimacs);
-  if (j.gen == "gnm") return graph::gnm(a.n, gnm_m(a), rng);
-  if (j.gen == "gnp") return graph::gnp(a.n, a.p, rng);
-  if (j.gen == "chunglu") {
-    return graph::chung_lu(a.n, a.avg_deg, a.gamma, rng);
-  }
-  if (j.gen == "caveman") {
-    return graph::caveman(a.cliques, a.size, a.bridges, rng);
-  }
-  if (j.gen == "planted") {
-    graph::PlantedSpec spec;
-    spec.delta = a.delta;
-    spec.num_cliques = a.cliques;
-    spec.anti_deg = a.anti;
-    spec.external_deg = a.ext;
-    spec.num_sparse = a.sparse;
-    spec.sparse_avg_deg = a.delta * 0.25;
-    return graph::make_planted_acd(spec, rng).g;
-  }
-  if (j.gen == "grid") return graph::grid(a.w, a.h);
-  return graph::cycle(a.n);  // parse validated the generator set
-}
-
 Manifest parse_manifest(std::istream& in) {
   Manifest m;
-  int default_threads = 1;
-  int default_repeat = 1;
+  JobLineDefaults def;
   std::string line;
   int lineno = 0;
   std::vector<std::string> toks;
@@ -355,33 +59,34 @@ Manifest parse_manifest(std::istream& in) {
     if (toks.empty()) continue;
     const std::string& head = toks.front();
     if (head == "seed") {
-      if (toks.size() != 2) fail(lineno, "usage: seed <u64>");
+      if (toks.size() != 2) parse_fail(lineno, "usage: seed <u64>");
       // Graph seeds snapshot the manifest seed per job line, while the
       // derived params seeds (finalize_job_seeds) use the final value; a
       // late `seed` would make the two silently disagree, so require it
       // before any job.
       if (!m.jobs.empty()) {
-        fail(lineno, "seed must precede every job line");
+        parse_fail(lineno, "seed must precede every job line");
       }
-      m.seed = parse_u64(lineno, "seed", toks[1]);
+      m.seed = parse_line_u64(lineno, "seed", toks[1]);
     } else if (head == "threads") {
-      if (toks.size() != 2) fail(lineno, "usage: threads <int>");
-      default_threads = parse_int(lineno, "threads", toks[1]);
-      if (default_threads < 0 ||
-          default_threads > ccg::Options::kMaxThreads) {
-        fail(lineno, "threads must be in [0, " +
-                         std::to_string(ccg::Options::kMaxThreads) + "]");
+      if (toks.size() != 2) parse_fail(lineno, "usage: threads <int>");
+      def.threads = parse_line_int(lineno, "threads", toks[1]);
+      if (def.threads < 0 || def.threads > ccg::Options::kMaxThreads) {
+        parse_fail(lineno,
+                   "threads must be in [0, " +
+                       std::to_string(ccg::Options::kMaxThreads) + "]");
       }
     } else if (head == "repeat") {
-      if (toks.size() != 2) fail(lineno, "usage: repeat <int>");
-      default_repeat = parse_int(lineno, "repeat", toks[1]);
-      if (default_repeat < 1) fail(lineno, "repeat must be >= 1");
+      if (toks.size() != 2) parse_fail(lineno, "usage: repeat <int>");
+      def.repeat = parse_line_int(lineno, "repeat", toks[1]);
+      if (def.repeat < 1) parse_fail(lineno, "repeat must be >= 1");
     } else if (head == "job") {
-      parse_job_line({toks.begin() + 1, toks.end()}, lineno,
-                     default_threads, default_repeat, &m);
+      def.graph_seed = m.seed;
+      parse_job_tokens({toks.begin() + 1, toks.end()}, lineno, def,
+                       &m.jobs);
     } else {
-      fail(lineno, "unknown directive '" + head +
-                       "' (seed|threads|repeat|job)");
+      parse_fail(lineno, "unknown directive '" + head +
+                             "' (seed|threads|repeat|job)");
     }
   }
   finalize_job_seeds(m);
@@ -391,26 +96,6 @@ Manifest parse_manifest(std::istream& in) {
 Manifest parse_manifest_string(const std::string& text) {
   std::istringstream in(text);
   return parse_manifest(in);
-}
-
-JobSpec parse_job_flags(const std::string& flags) {
-  std::vector<std::string> toks;
-  std::istringstream ls(flags);
-  std::string tok;
-  while (ls >> tok) toks.push_back(tok);
-  // An all-defaults job from an empty string is far likelier to be a
-  // caller formatting bug than an intentional request — reject it.
-  if (toks.empty()) throw ManifestError("empty job recipe");
-  // A recipe names one instance; expanding --repeat here would allocate
-  // arbitrarily many JobSpecs only to discard all but the first.
-  for (const auto& t : toks) {
-    if (t == "--repeat") {
-      throw ManifestError("--repeat is not valid in a single-job recipe");
-    }
-  }
-  Manifest m;
-  parse_job_line(toks, 1, /*default_threads=*/1, /*default_repeat=*/1, &m);
-  return std::move(m.jobs.front());
 }
 
 Manifest parse_manifest_file(const std::string& path) {

@@ -23,8 +23,10 @@
 // --algo {auto|high|low|fast}; --threads; --repeat; --seed (explicit
 // params seed); --eps; --oracle (exact-oracle ACD + unmeasured bits, the
 // bench calibration for large batches). Numeric ranges are validated
-// here, at parse time (bad eps/threads/counts fail with "line N: ..."),
-// not mid-run.
+// at parse time (bad eps/threads/counts fail with "line N: ..."),
+// not mid-run. The job-line grammar itself (JobSpec, parse_job_tokens)
+// lives in svc/jobspec.hpp, shared verbatim with the serving protocol
+// (src/server/protocol.hpp) — one parser, one error model, for both.
 //
 // Each `job` line expands into `repeat` jobs. Every expanded job gets a
 // manifest-order index, and — unless --seed pins it — its coloring seed is
@@ -36,104 +38,21 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <optional>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "ccg/solver.hpp"
-#include "cluster/cluster_graph.hpp"
-#include "common/rng.hpp"
-#include "graph/graph.hpp"
+#include "svc/jobspec.hpp"
 
 namespace ccg::svc {
-
-// Which algorithm serves the job: the facade's selector, verbatim
-// (auto | high | low | fast — see ccg::Algo in ccg/solver.hpp). Every
-// value runs on reused slot state through ccg::Solver; kFast jobs are
-// zero heap allocations per job after warmup.
-using Algo = ccg::Algo;
-
-// Which graph mode the job's instance uses. Virtual modes build the
-// instance once in the batch instance cache (shared by repeats) and run
-// through lowdeg::run_virtual with the congestion overhead reported.
-enum class JobMode {
-  kCluster,  // the recipe graph itself (plus an optional cluster layout)
-  kEdge,     // edge coloring: the line graph as a virtual graph (c = 1)
-  kDist2,    // distance-2 coloring: H = G^2 via 1-hop supports (c = 2)
-};
-
-const char* mode_name(JobMode m);
-
-// Generator arguments (subset of examples/ccg_cli.cpp's surface).
-struct GenArgs {
-  int n = 2000;            // gnm / gnp / chunglu / cycle
-  std::int64_t m = -1;     // gnm; -1 -> 8n
-  double p = 0.01;         // gnp
-  double avg_deg = 16.0;   // chunglu
-  double gamma = 2.5;      // chunglu
-  int cliques = 4;         // caveman / planted
-  int size = 24;           // caveman
-  int bridges = 2;         // caveman
-  int delta = 128;         // planted
-  int ext = 12;            // planted
-  int anti = 2;            // planted
-  int sparse = 0;          // planted
-  int w = 30;              // grid
-  int h = 30;              // grid
-};
-
-// One expanded job.
-struct JobSpec {
-  int index = 0;     // manifest order; keys the per-job seed stream
-  std::string key;   // canonical instance identity (cache key)
-
-  // Instance recipe. `dimacs` non-empty selects DIMACS input; otherwise
-  // `gen` names a generator.
-  std::string gen = "gnm";
-  std::string dimacs;
-  GenArgs gargs;
-  // Virtual-graph modes require the singleton layout (the virtual
-  // encoding defines its own network); parse_manifest enforces this.
-  JobMode mode = JobMode::kCluster;
-  std::string layout = "singleton";
-  int cluster_size = 4;
-  int links_per_edge = 1;
-  std::uint64_t graph_seed = 1;
-
-  // Execution.
-  Algo algo = Algo::kAuto;
-  int threads = 1;                 // intra-job Params::threads
-  std::uint64_t params_seed = 0;   // filled by finalize_job_seeds
-  bool explicit_seed = false;      // --seed pinned params_seed
-  double eps = -1.0;               // <0: keep Params default
-  bool oracle = false;             // exact-oracle ACD + unmeasured bits
-  // Per-job wall-clock budget (Options::deadline_ms). 0 = none; a
-  // negative value means "unset" so the batch runner's default (ccg_batch
-  // --deadline-ms) can fill it without clobbering an explicit 0.
-  std::int64_t deadline_ms = -1;
-};
 
 struct Manifest {
   std::uint64_t seed = 1;
   std::vector<JobSpec> jobs;
 };
 
-// Parse errors carry "line N: ..." messages.
-class ManifestError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
 Manifest parse_manifest(std::istream& in);
 Manifest parse_manifest_string(const std::string& text);
 Manifest parse_manifest_file(const std::string& path);  // throws on I/O too
-
-// Parse one job-line flag string ("--gen gnm --n 2000 --layout star")
-// into a single JobSpec (no repeat expansion; index and params_seed are
-// left at their defaults). Backs ccg::Problem::recipe. Throws
-// ManifestError on malformed or out-of-range input.
-JobSpec parse_job_flags(const std::string& flags);
 
 // Per-job coloring seed: a pure function of (manifest seed, job index)
 // through the counter-based stream RNG, so any scheduler assignment
@@ -151,21 +70,5 @@ std::uint64_t derive_retry_seed(std::uint64_t manifest_seed, int job_index,
 // calls this; programmatic manifest builders (benches, tests) must call it
 // after assembling `jobs`.
 void finalize_job_seeds(Manifest& m);
-
-// Canonical instance key of a job's recipe (jobs sharing a key share one
-// prepared instance). parse_manifest fills JobSpec::key with this.
-std::string instance_key(const JobSpec& job);
-
-// Layout-name helpers, the single source of truth for the manifest
-// parser, the instance builder, and the CLIs. layout_shape returns the
-// cluster-expansion shape, or nullopt for "singleton" (no expansion) and
-// for unknown names — use known_layout_name to tell those apart.
-bool known_layout_name(const std::string& layout);
-std::optional<cluster::ClusterShape> layout_shape(const std::string& layout);
-
-// Build the job's conflict graph from its recipe. `rng` must be seeded
-// with the job's graph_seed; the service reuses it afterwards for cluster
-// expansion so the full instance is a function of (recipe, graph_seed).
-graph::Graph build_job_graph(const JobSpec& job, Rng& rng);
 
 }  // namespace ccg::svc

@@ -34,6 +34,8 @@ bool is_midrun_failure(ErrorCode c) {
 
 void JobSlot::run_attempt(const Instance& inst, const JobSpec& job,
                           std::uint64_t seed, std::int64_t deadline_ms,
+                          const color::DenseSnapshot* dense_preload,
+                          color::DenseSnapshot* dense_capture,
                           JobResult* out) {
   // The manifest surface maps 1:1 onto the facade: the JobSpec's
   // execution knobs become ccg::Options, the prepared instance becomes a
@@ -48,6 +50,8 @@ void JobSlot::run_attempt(const Instance& inst, const JobSpec& job,
   opt.oracle = job.oracle;
   opt.deadline_ms = deadline_ms;
   opt.copy_colors = false;
+  opt.dense_preload = dense_preload;
+  opt.dense_capture = dense_capture;
 
   // Scheduler-level injection site: a fault here models the job dying
   // outside the Solver (whose facade never throws). Contained to this
@@ -153,12 +157,77 @@ void JobSlot::run(const Instance& inst, const JobSpec& job,
         attempt == 0 ? job.params_seed
                      : derive_retry_seed(policy.manifest_seed, job.index,
                                          attempt);
-    run_attempt(inst, job, seed, deadline_ms, out);
+    // Cache hooks apply to attempt 0 only: retries run a different seed,
+    // so a snapshot captured (or preloaded) for the original seed would
+    // be wrong for them.
+    run_attempt(inst, job, seed, deadline_ms,
+                attempt == 0 ? policy.dense_preload : nullptr,
+                attempt == 0 ? policy.dense_capture : nullptr, out);
     if (out->ok) return;
     // Input errors are permanent: retrying the same bytes cannot help.
     if (!is_midrun_failure(out->code)) return;
   }
   if (policy.degrade) degrade(inst, out);
+}
+
+Instance build_instance(const JobSpec& job) {
+  Instance inst;
+  inst.key = job.key;
+  try {
+    CCG_FAILPOINT("svc.prepare");
+    Rng rng(job.graph_seed);
+    auto g = build_job_graph(job, rng);
+    // parse_manifest rejects virtual modes with a layout, but
+    // programmatic Manifest builders bypass the parser — fail loudly
+    // instead of silently ignoring the requested expansion.
+    if (job.mode != JobMode::kCluster && job.layout != "singleton") {
+      throw ManifestError(std::string("mode=") + mode_name(job.mode) +
+                          " requires the singleton layout");
+    }
+    if (job.mode == JobMode::kEdge) {
+      if (g.m() < 1) {
+        throw ManifestError("mode=edge needs at least one edge");
+      }
+      inst.vg.emplace(cluster::make_line_graph(g).vg);
+      inst.bandwidth = inst.vg->default_bandwidth();
+    } else if (job.mode == JobMode::kDist2) {
+      inst.vg.emplace(cluster::VirtualGraph::distance2(g));
+      inst.bandwidth = inst.vg->default_bandwidth();
+    } else {
+      const auto shape = layout_shape(job.layout);
+      if (job.layout == "singleton") {
+        inst.cg = cluster::ClusterGraph::singleton(std::move(g));
+      } else if (shape) {
+        cluster::ExpandSpec spec;
+        spec.size = job.cluster_size;
+        spec.links_per_edge = job.links_per_edge;
+        spec.shape = *shape;
+        inst.cg = cluster::ClusterGraph::expand(g, spec, rng);
+      } else {
+        // parse_manifest validates this, but programmatic Manifest
+        // builders (tests, benches) bypass the parser — fail their jobs
+        // loudly instead of silently picking some shape.
+        throw ManifestError("unknown layout '" + job.layout + "'");
+      }
+      inst.bandwidth = inst.cg.default_bandwidth();
+    }
+  } catch (const ManifestError& e) {
+    // Recipe semantics violated (bad mode/layout combination, ...).
+    inst.error = e.what();
+    inst.error_code = ErrorCode::kInvalidProblem;
+  } catch (const graph::IoError& e) {
+    // Unreadable or malformed external input (DIMACS).
+    inst.error = e.what();
+    inst.error_code = ErrorCode::kBuildFailed;
+  } catch (const ContractViolation& e) {
+    // A generator (or injected fault) tripped a library contract.
+    inst.error = e.what();
+    inst.error_code = ErrorCode::kInternal;
+  } catch (const std::exception& e) {
+    inst.error = e.what();
+    inst.error_code = ErrorCode::kBuildFailed;
+  }
+  return inst;
 }
 
 std::vector<Instance> prepare_instances(const Manifest& m,
@@ -173,65 +242,9 @@ std::vector<Instance> prepare_instances(const Manifest& m,
       (*instance_of)[i] = it->second;
       continue;
     }
-    Instance inst;
-    inst.key = job.key;
-    try {
-      CCG_FAILPOINT("svc.prepare");
-      Rng rng(job.graph_seed);
-      auto g = build_job_graph(job, rng);
-      // parse_manifest rejects virtual modes with a layout, but
-      // programmatic Manifest builders bypass the parser — fail loudly
-      // instead of silently ignoring the requested expansion.
-      if (job.mode != JobMode::kCluster && job.layout != "singleton") {
-        throw ManifestError(std::string("mode=") + mode_name(job.mode) +
-                            " requires the singleton layout");
-      }
-      if (job.mode == JobMode::kEdge) {
-        if (g.m() < 1) {
-          throw ManifestError("mode=edge needs at least one edge");
-        }
-        inst.vg.emplace(cluster::make_line_graph(g).vg);
-        inst.bandwidth = inst.vg->default_bandwidth();
-      } else if (job.mode == JobMode::kDist2) {
-        inst.vg.emplace(cluster::VirtualGraph::distance2(g));
-        inst.bandwidth = inst.vg->default_bandwidth();
-      } else {
-        const auto shape = layout_shape(job.layout);
-        if (job.layout == "singleton") {
-          inst.cg = cluster::ClusterGraph::singleton(std::move(g));
-        } else if (shape) {
-          cluster::ExpandSpec spec;
-          spec.size = job.cluster_size;
-          spec.links_per_edge = job.links_per_edge;
-          spec.shape = *shape;
-          inst.cg = cluster::ClusterGraph::expand(g, spec, rng);
-        } else {
-          // parse_manifest validates this, but programmatic Manifest
-          // builders (tests, benches) bypass the parser — fail their jobs
-          // loudly instead of silently picking some shape.
-          throw ManifestError("unknown layout '" + job.layout + "'");
-        }
-        inst.bandwidth = inst.cg.default_bandwidth();
-      }
-    } catch (const ManifestError& e) {
-      // Recipe semantics violated (bad mode/layout combination, ...).
-      inst.error = e.what();
-      inst.error_code = ErrorCode::kInvalidProblem;
-    } catch (const graph::IoError& e) {
-      // Unreadable or malformed external input (DIMACS).
-      inst.error = e.what();
-      inst.error_code = ErrorCode::kBuildFailed;
-    } catch (const ContractViolation& e) {
-      // A generator (or injected fault) tripped a library contract.
-      inst.error = e.what();
-      inst.error_code = ErrorCode::kInternal;
-    } catch (const std::exception& e) {
-      inst.error = e.what();
-      inst.error_code = ErrorCode::kBuildFailed;
-    }
     const int id = static_cast<int>(instances.size());
     by_key.emplace(job.key, id);
-    instances.push_back(std::move(inst));
+    instances.push_back(build_instance(job));
     (*instance_of)[i] = id;
   }
   return instances;
@@ -315,6 +328,35 @@ BatchReport run_batch(const Manifest& m, const BatchOptions& opt) {
   return rep;
 }
 
+void job_result_json(JsonWriter& j, const JobSpec& js, const JobResult& jr,
+                     bool include_timing) {
+  j.key("key").value(js.key);
+  j.key("algo").value(ccg::algo_name(js.algo));
+  j.key("mode").value(mode_name(js.mode));
+  j.key("threads").value(js.threads);
+  j.key("seed").value(js.params_seed);
+  j.key("instance").value(jr.instance);
+  j.key("ok").value(jr.ok);
+  j.key("degraded").value(jr.degraded);
+  j.key("attempts").value(jr.attempts);
+  j.key("error_code").value(ccg::error_code_name(jr.code));
+  if (!jr.error.empty()) j.key("error").value(jr.error);
+  j.key("n").value(jr.n);
+  j.key("delta").value(jr.delta);
+  j.key("num_colors").value(jr.num_colors);
+  j.key("uncolored").value(jr.uncolored);
+  j.key("h_rounds").value(jr.h_rounds);
+  j.key("g_rounds").value(jr.g_rounds);
+  j.key("total_bits").value(jr.total_bits);
+  j.key("max_bits_per_link_round").value(jr.max_bits_per_link_round);
+  j.key("congestion").value(jr.congestion);
+  j.key("fallback_count").value(jr.fallback_count);
+  j.key("retry_count").value(jr.retry_count);
+  j.key("num_cliques").value(jr.num_cliques);
+  j.key("num_cabals").value(jr.num_cabals);
+  if (include_timing) j.key("wall_ns").value(jr.wall_ns);
+}
+
 std::string report_json(const Manifest& m, const BatchReport& r,
                         bool include_timing) {
   CCG_CHECK(m.jobs.size() == r.jobs.size());
@@ -334,31 +376,7 @@ std::string report_json(const Manifest& m, const BatchReport& r,
     const auto& js = m.jobs[static_cast<std::size_t>(jr.index)];
     j.begin_object();
     j.key("index").value(jr.index);
-    j.key("key").value(js.key);
-    j.key("algo").value(ccg::algo_name(js.algo));
-    j.key("mode").value(mode_name(js.mode));
-    j.key("threads").value(js.threads);
-    j.key("seed").value(js.params_seed);
-    j.key("instance").value(jr.instance);
-    j.key("ok").value(jr.ok);
-    j.key("degraded").value(jr.degraded);
-    j.key("attempts").value(jr.attempts);
-    j.key("error_code").value(ccg::error_code_name(jr.code));
-    if (!jr.error.empty()) j.key("error").value(jr.error);
-    j.key("n").value(jr.n);
-    j.key("delta").value(jr.delta);
-    j.key("num_colors").value(jr.num_colors);
-    j.key("uncolored").value(jr.uncolored);
-    j.key("h_rounds").value(jr.h_rounds);
-    j.key("g_rounds").value(jr.g_rounds);
-    j.key("total_bits").value(jr.total_bits);
-    j.key("max_bits_per_link_round").value(jr.max_bits_per_link_round);
-    j.key("congestion").value(jr.congestion);
-    j.key("fallback_count").value(jr.fallback_count);
-    j.key("retry_count").value(jr.retry_count);
-    j.key("num_cliques").value(jr.num_cliques);
-    j.key("num_cabals").value(jr.num_cabals);
-    if (include_timing) j.key("wall_ns").value(jr.wall_ns);
+    job_result_json(j, js, jr, include_timing);
     j.end_object();
     ok_jobs += jr.ok ? 1 : 0;
     total_h += jr.h_rounds;

@@ -38,6 +38,7 @@
 #include "ccg/solver.hpp"
 #include "cluster/cluster_graph.hpp"
 #include "cluster/virtual_graph.hpp"
+#include "common/json.hpp"
 #include "svc/manifest.hpp"
 
 namespace ccg::svc {
@@ -115,6 +116,13 @@ struct RunPolicy {
   // Default per-attempt deadline for jobs that do not set their own
   // JobSpec::deadline_ms (0 = none).
   std::int64_t deadline_ms = 0;
+  // Dense-context cache hooks (Options::dense_preload / dense_capture),
+  // forwarded to the Solver on attempt 0 only: retry attempts run a
+  // different seed, which invalidates any snapshot keyed on the original
+  // one. The caller (the server's cross-job cache) owns both objects and
+  // their validity contract.
+  const color::DenseSnapshot* dense_preload = nullptr;
+  color::DenseSnapshot* dense_capture = nullptr;
 };
 
 // The arena one scheduler worker owns: a ccg::Solver session plus a
@@ -151,7 +159,8 @@ class JobSlot {
  private:
   void run_attempt(const Instance& inst, const JobSpec& job,
                    std::uint64_t seed, std::int64_t deadline_ms,
-                   JobResult* out);
+                   const color::DenseSnapshot* dense_preload,
+                   color::DenseSnapshot* dense_capture, JobResult* out);
   void degrade(const Instance& inst, JobResult* out);
 
   // unique_ptr rather than a member: Solver sessions are pinned
@@ -193,10 +202,23 @@ struct BatchReport {
 
 BatchReport run_batch(const Manifest& m, const BatchOptions& opt = {});
 
+// Build one instance from a job recipe. Failures land in
+// Instance::error / error_code rather than throwing (prepare_instances
+// semantics). This is the single build path shared by the batch cache
+// below and the server's cross-job instance cache (src/server/cache.hpp).
+Instance build_instance(const JobSpec& job);
+
 // Builds the instance cache run_batch uses, exposed for direct JobSlot
 // drivers. instance_of[i] indexes instances for manifest job i.
 std::vector<Instance> prepare_instances(const Manifest& m,
                                         std::vector<int>* instance_of);
+
+// Shared JSON row body of one job: every per-job field after the
+// caller's leading identity fields (the batch report leads each row with
+// `index`, the serving report with the client's `id`). Must stay inside
+// an open object.
+void job_result_json(JsonWriter& j, const JobSpec& js, const JobResult& jr,
+                     bool include_timing);
 
 // JSON report. include_timing=false omits every timing- and
 // configuration-dependent field (wall clocks, jobs/sec, sched_workers);

@@ -1,0 +1,674 @@
+// Serving subsystem (src/server/): protocol parsing against the shared
+// manifest error model (fuzz corpus included), LRU cache semantics and
+// single-flight builds, admission-control shedding, dense-snapshot
+// capture/preload bit-identity, and the serving determinism contract —
+// the drained no-timing report is byte-identical for every worker count,
+// client interleaving, steal schedule and cache state, with faults,
+// retries and degradation armed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.hpp"
+#include "server/net.hpp"
+
+namespace ccg::server {
+namespace {
+
+int env_threads() {
+  if (const char* env = std::getenv("CCG_TEST_THREADS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return 1;
+}
+
+svc::JobLineDefaults test_defaults() {
+  return svc::JobLineDefaults{env_threads(), /*repeat=*/1,
+                              /*graph_seed=*/404,
+                              /*allow_repeat=*/false};
+}
+
+Request parse_ok(const std::string& line, int lineno = 1) {
+  Request req;
+  EXPECT_TRUE(parse_request(line, lineno, test_defaults(), &req)) << line;
+  return req;
+}
+
+// ---------------------------------------------------------------------
+// Protocol parsing
+// ---------------------------------------------------------------------
+
+TEST(ServerProtocol, ParsesEveryRequestKind) {
+  const auto job = parse_ok("job a1 --gen gnm --n 100 --m 300 --algo fast");
+  EXPECT_EQ(job.kind, RequestKind::kJob);
+  EXPECT_EQ(job.id, "a1");
+  EXPECT_EQ(job.job.algo, Algo::kFast);
+  EXPECT_EQ(job.job.gargs.n, 100);
+  EXPECT_EQ(job.job.threads, env_threads());
+  EXPECT_EQ(job.job.graph_seed, 404u);
+
+  EXPECT_EQ(parse_ok("drain").kind, RequestKind::kDrain);
+  EXPECT_EQ(parse_ok("stats").kind, RequestKind::kStats);
+  EXPECT_EQ(parse_ok("quit").kind, RequestKind::kQuit);
+
+  const auto rep = parse_ok("report");
+  EXPECT_EQ(rep.kind, RequestKind::kReport);
+  EXPECT_TRUE(rep.timing);
+  const auto repnt = parse_ok("report notiming");
+  EXPECT_EQ(repnt.kind, RequestKind::kReport);
+  EXPECT_FALSE(repnt.timing);
+}
+
+TEST(ServerProtocol, BlankAndCommentLinesAreSkipped) {
+  Request req;
+  EXPECT_FALSE(parse_request("", 1, test_defaults(), &req));
+  EXPECT_FALSE(parse_request("   ", 2, test_defaults(), &req));
+  EXPECT_FALSE(parse_request("# a comment", 3, test_defaults(), &req));
+  // Trailing comments are stripped like in manifests.
+  EXPECT_EQ(parse_ok("drain  # flush now").kind, RequestKind::kDrain);
+}
+
+TEST(ServerProtocol, IdRules) {
+  // The full charset and the length boundary are accepted...
+  EXPECT_EQ(parse_ok("job A-z_0.9:x --gen gnm --n 50").id, "A-z_0.9:x");
+  const std::string id64(64, 'a');
+  EXPECT_EQ(parse_ok("job " + id64 + " --gen gnm --n 50").id, id64);
+  // ...one past it and anything outside the charset are not.
+  Request req;
+  EXPECT_THROW(parse_request("job " + std::string(65, 'a') + " --gen gnm",
+                             1, test_defaults(), &req),
+               svc::ManifestError);
+  EXPECT_THROW(
+      parse_request("job sp ace --gen gnm", 1, test_defaults(), &req),
+      svc::ManifestError);
+}
+
+TEST(ServerProtocol, BadLinesRaiseSharedErrorModel) {
+  Request req;
+  try {
+    parse_request("job a --gen gnm --repeat 2", 7, test_defaults(), &req);
+    FAIL() << "expected ManifestError";
+  } catch (const svc::ManifestError& e) {
+    // Same "line N: ..." error model as the batch manifest parser.
+    EXPECT_EQ(std::string(e.what()).rfind("line 7:", 0), 0u) << e.what();
+  }
+  EXPECT_THROW(parse_request("flush", 1, test_defaults(), &req),
+               svc::ManifestError);
+  EXPECT_THROW(parse_request("drain now", 1, test_defaults(), &req),
+               svc::ManifestError);
+  EXPECT_THROW(parse_request("report full", 1, test_defaults(), &req),
+               svc::ManifestError);
+}
+
+TEST(ServerProtocol, CorpusBadLinesAllThrow) {
+  std::ifstream f;
+  for (const char* path :
+       {"tests/corpus/bad_server_lines.txt",
+        "../tests/corpus/bad_server_lines.txt",
+        "../../tests/corpus/bad_server_lines.txt"}) {
+    f.open(path);
+    if (f.is_open()) break;
+    f.clear();
+  }
+  ASSERT_TRUE(f.is_open()) << "bad_server_lines.txt corpus not found";
+  std::string line;
+  int lineno = 0, checked = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Request req;
+    EXPECT_THROW(parse_request(line, lineno, test_defaults(), &req),
+                 svc::ManifestError)
+        << "corpus line " << lineno << ": " << line;
+    ++checked;
+  }
+  EXPECT_GE(checked, 20);
+}
+
+TEST(ServerProtocol, TruncationFuzzNeverCrashes) {
+  // Every prefix of a valid request must parse, skip, or raise the
+  // shared error — never crash or loop.
+  const std::string full =
+      "job a1 --gen planted --delta 90 --cliques 3 --ext 8 --anti 2 "
+      "--oracle --eps 0.2 --algo high --seed 42 --deadline-ms 100";
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    Request req;
+    try {
+      parse_request(full.substr(0, len), 1, test_defaults(), &req);
+    } catch (const svc::ManifestError&) {
+      // acceptable outcome for a truncated line
+    }
+  }
+}
+
+TEST(ServerProtocol, SeedDerivation) {
+  // FNV-1a 64 pinned vectors: the id hash is a stable wire-level
+  // contract (it keys both the seed stream and the retry stream).
+  EXPECT_EQ(id_hash(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(id_hash("a"), 0xAF63DC4C8601EC8CULL);
+  // Serve seeds are pure functions of (server seed, id), distinct across
+  // both coordinates.
+  EXPECT_EQ(derive_serve_seed(1, "a1"), derive_serve_seed(1, "a1"));
+  EXPECT_NE(derive_serve_seed(1, "a1"), derive_serve_seed(1, "a2"));
+  EXPECT_NE(derive_serve_seed(1, "a1"), derive_serve_seed(2, "a1"));
+}
+
+// ---------------------------------------------------------------------
+// LRU cache
+// ---------------------------------------------------------------------
+
+std::size_t string_bytes(const std::string& s) { return s.size(); }
+
+TEST(ServerCache, LruEvictsByByteBudget) {
+  LruCache<std::string> c(10, &string_bytes);
+  c.put("a", std::make_shared<const std::string>("xxxxx"));  // 5 bytes
+  c.put("b", std::make_shared<const std::string>("yyyyy"));  // 5 bytes
+  ASSERT_NE(c.get("a"), nullptr);  // bump "a" to MRU
+  c.put("c", std::make_shared<const std::string>("zzzzz"));  // evicts "b"
+  EXPECT_NE(c.get("a"), nullptr);
+  EXPECT_EQ(c.get("b"), nullptr);
+  EXPECT_NE(c.get("c"), nullptr);
+  const auto s = c.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.bytes, 10u);
+}
+
+TEST(ServerCache, OversizedValueIsNotCached) {
+  LruCache<std::string> c(4, &string_bytes);
+  c.put("big", std::make_shared<const std::string>("xxxxx"));
+  EXPECT_EQ(c.get("big"), nullptr);
+  EXPECT_EQ(c.stats().entries, 0u);
+}
+
+TEST(ServerCache, ZeroBudgetDisables) {
+  LruCache<std::string> c(0, &string_bytes);
+  EXPECT_FALSE(c.enabled());
+  c.put("a", std::make_shared<const std::string>("v"));
+  EXPECT_EQ(c.get("a"), nullptr);
+  int builds = 0;
+  const auto v = c.get_or_build("a", [&] {
+    ++builds;
+    return std::make_shared<const std::string>("built");
+  });
+  EXPECT_EQ(*v, "built");
+  EXPECT_EQ(builds, 1);  // built fresh, not shared
+}
+
+TEST(ServerCache, SingleFlightBuildsOnce) {
+  LruCache<std::string> c(1 << 20, &string_bytes);
+  std::atomic<int> builds{0};
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const std::string>> got(4);
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      got[static_cast<std::size_t>(i)] = c.get_or_build("k", [&] {
+        builds.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return std::make_shared<const std::string>("value");
+      });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(builds.load(), 1);
+  for (const auto& v : got) {
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, "value");
+    EXPECT_EQ(v.get(), got[0].get());  // everyone shares one build
+  }
+  const auto s = c.stats();
+  EXPECT_EQ(s.hits + s.misses, 4u);
+  EXPECT_GE(s.misses, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler: admission, stealing, caches
+// ---------------------------------------------------------------------
+
+Task make_task(const std::string& id, const std::string& flags,
+               std::uint64_t server_seed = 404) {
+  Request req;
+  const bool parsed = parse_request(
+      "job " + id + " " + flags, 1,
+      svc::JobLineDefaults{env_threads(), 1, server_seed,
+                           /*allow_repeat=*/false},
+      &req);
+  EXPECT_TRUE(parsed);
+  Task t;
+  t.id = req.id;
+  t.job = std::move(req.job);
+  t.job.index = static_cast<int>(id_hash(t.id) & 0x7FFFFFFFULL);
+  if (!t.job.explicit_seed) {
+    t.job.params_seed = derive_serve_seed(server_seed, t.id);
+  }
+  t.dense_key = dense_key(t.job);
+  t.result_key = result_key(t.job);
+  return t;
+}
+
+void expect_same_deterministic_result(const svc::JobResult& a,
+                                      const svc::JobResult& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.num_colors, b.num_colors);
+  EXPECT_EQ(a.h_rounds, b.h_rounds);
+  EXPECT_EQ(a.g_rounds, b.g_rounds);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  EXPECT_EQ(a.fallback_count, b.fallback_count);
+  EXPECT_EQ(a.num_cliques, b.num_cliques);
+  EXPECT_EQ(a.attempts, b.attempts);
+}
+
+TEST(ServerScheduler, ShedsAtQueueDepthDeterministically) {
+  ServeCache cache{CacheBudgets{}};
+  SchedulerOptions opt;
+  opt.workers = 2;
+  opt.queue_depth = 4;
+  opt.policy.manifest_seed = 404;
+  Scheduler sched(opt, &cache);
+  // Submit before start(): occupancy is exact, so the shed boundary is
+  // deterministic — the first queue_depth submissions are accepted, the
+  // rest shed.
+  std::vector<Task> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back(make_task("t" + std::to_string(i),
+                              "--gen gnm --n 120 --m 400 --algo fast"));
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(sched.submit(&tasks[static_cast<std::size_t>(i)]), i < 4)
+        << "submission " << i;
+  }
+  EXPECT_EQ(sched.counters().shed, 2u);
+  sched.start();
+  sched.drain();
+  EXPECT_EQ(sched.counters().completed, 4u);
+  // The queue drained: a shed task resubmits cleanly.
+  EXPECT_TRUE(sched.submit(&tasks[4]));
+  sched.drain();
+  EXPECT_EQ(sched.counters().completed, 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(tasks[static_cast<std::size_t>(i)].result.ok) << i;
+  }
+  sched.stop();
+}
+
+TEST(ServerScheduler, ResultCacheReplaysIdenticalRequests) {
+  ServeCache cache{CacheBudgets{}};
+  SchedulerOptions opt;
+  opt.workers = 1;
+  opt.policy.manifest_seed = 404;
+  Scheduler sched(opt, &cache);
+  sched.start();
+  // Same (recipe, seed, algo) under two ids: the second is answered from
+  // the result cache, bit-identical except for the submission identity.
+  auto t1 = make_task("first", "--gen gnm --n 200 --m 800 --algo fast --seed 7");
+  auto t2 = make_task("second", "--gen gnm --n 200 --m 800 --algo fast --seed 7");
+  ASSERT_TRUE(sched.submit(&t1));
+  sched.drain();
+  ASSERT_TRUE(sched.submit(&t2));
+  sched.drain();
+  sched.stop();
+  EXPECT_EQ(sched.counters().result_hits, 1u);
+  ASSERT_TRUE(t1.result.ok);
+  ASSERT_TRUE(t2.result.ok);
+  expect_same_deterministic_result(t1.result, t2.result);
+  EXPECT_EQ(t2.result.wall_ns, 0.0);  // replay, nothing ran
+}
+
+TEST(ServerScheduler, DensePreloadIsBitIdenticalToRebuild) {
+  const char* flags =
+      "--gen planted --delta 110 --cliques 3 --ext 8 --anti 2 --oracle "
+      "--eps 0.2 --algo high --seed 7";
+  // Reference: no cache at all.
+  SchedulerOptions opt;
+  opt.workers = 1;
+  opt.policy.manifest_seed = 404;
+  Scheduler bare(opt, nullptr);
+  bare.start();
+  auto ref = make_task("ref", flags);
+  ASSERT_TRUE(bare.submit(&ref));
+  bare.drain();
+  bare.stop();
+  // Cached: first run captures the dense snapshot, second preloads it.
+  ServeCache cache{CacheBudgets{}};
+  opt.use_result_cache = false;  // force both runs through the solver
+  Scheduler sched(opt, &cache);
+  sched.start();
+  auto warm = make_task("warm", flags);
+  auto hit = make_task("hit", flags);
+  ASSERT_TRUE(sched.submit(&warm));
+  sched.drain();
+  ASSERT_TRUE(sched.submit(&hit));
+  sched.drain();
+  sched.stop();
+  EXPECT_EQ(sched.counters().dense_captures, 1u);
+  EXPECT_EQ(sched.counters().dense_hits, 1u);
+  ASSERT_TRUE(ref.result.ok);
+  expect_same_deterministic_result(ref.result, warm.result);
+  expect_same_deterministic_result(ref.result, hit.result);
+}
+
+// ---------------------------------------------------------------------
+// Dense snapshot at the Solver level
+// ---------------------------------------------------------------------
+
+TEST(DenseSnapshot, CaptureThenPreloadReproducesTheRunBitForBit) {
+  const auto inst = svc::build_instance(svc::parse_job_flags(
+      "--gen planted --delta 100 --cliques 3 --ext 8 --anti 2"));
+  ASSERT_TRUE(inst.error.empty()) << inst.error;
+  Options opt;
+  opt.algo = Algo::kHighDegree;
+  opt.seed = 77;
+  opt.eps = 0.2;
+  opt.threads = env_threads();
+
+  Outcome ref;
+  {
+    Solver s;
+    s.solve(Problem::cluster(inst.cg), opt, &ref);
+    ASSERT_TRUE(ref.ok()) << ref.error.message;
+  }
+  color::DenseSnapshot snap;
+  Outcome captured;
+  {
+    Solver s;
+    Options o = opt;
+    o.dense_capture = &snap;
+    s.solve(Problem::cluster(inst.cg), o, &captured);
+    ASSERT_TRUE(captured.ok());
+  }
+  EXPECT_TRUE(snap.captured);
+  Outcome preloaded;
+  {
+    Solver s;
+    Options o = opt;
+    o.dense_preload = &snap;
+    s.solve(Problem::cluster(inst.cg), o, &preloaded);
+    ASSERT_TRUE(preloaded.ok());
+  }
+  // The capture run and the preload run are both bit-identical to the
+  // hook-free reference: same coloring, same reported rounds and bits.
+  for (const Outcome* o : {&captured, &preloaded}) {
+    EXPECT_EQ(o->result.colors, ref.result.colors);
+    EXPECT_EQ(o->result.num_colors, ref.result.num_colors);
+    EXPECT_EQ(o->result.h_rounds, ref.result.h_rounds);
+    EXPECT_EQ(o->result.g_rounds, ref.result.g_rounds);
+    EXPECT_EQ(o->result.num_cliques, ref.result.num_cliques);
+  }
+}
+
+TEST(DenseSnapshot, LowDegreeRouteLeavesCaptureUntouched) {
+  const auto inst = svc::build_instance(
+      svc::parse_job_flags("--gen gnm --n 300 --m 900"));
+  ASSERT_TRUE(inst.error.empty());
+  color::DenseSnapshot snap;
+  Options opt;
+  opt.algo = Algo::kAuto;  // small delta: routes low-degree
+  opt.seed = 5;
+  opt.dense_capture = &snap;
+  Solver s;
+  Outcome out;
+  s.solve(Problem::cluster(inst.cg), opt, &out);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(snap.captured);
+}
+
+// ---------------------------------------------------------------------
+// Server: the end-to-end determinism contract
+// ---------------------------------------------------------------------
+
+// The job mix of the determinism tests: both serving algorithms, an
+// explicit-seed job, and a deterministically failing build (missing
+// DIMACS file) — failures are part of the report contract too.
+const std::vector<std::pair<std::string, std::string>>& test_jobs() {
+  static const std::vector<std::pair<std::string, std::string>> jobs = {
+      {"a1", "--gen gnm --n 300 --m 2400 --algo fast"},
+      {"a2", "--gen gnm --n 300 --m 2400 --algo fast"},
+      {"b1",
+       "--gen planted --delta 100 --cliques 3 --ext 8 --anti 2 --oracle "
+       "--eps 0.2 --algo high"},
+      {"c1", "--gen gnm --n 250 --m 700 --algo low"},
+      {"d1", "--gen caveman --cliques 5 --size 18 --bridges 2 --algo fast"},
+      {"e1", "--gen grid --w 10 --h 8 --algo fast"},
+      {"f1", "--dimacs no_such_file_for_test.col"},
+      {"g1", "--gen gnm --n 300 --m 2400 --algo fast --seed 42"},
+  };
+  return jobs;
+}
+
+std::string run_server_report(int workers, const std::vector<int>& order,
+                              int max_retries = 0, bool degrade = false) {
+  ServerOptions so;
+  so.seed = 404;
+  so.workers = workers;
+  so.default_threads = env_threads();
+  so.max_retries = max_retries;
+  so.degrade = degrade;
+  Server srv(so);
+  int lineno = 0;
+  std::string resp;
+  for (const int i : order) {
+    const auto& [id, flags] = test_jobs()[static_cast<std::size_t>(i)];
+    resp.clear();
+    srv.handle_line("job " + id + " " + flags, ++lineno, &resp);
+    EXPECT_EQ(resp, "accepted " + id + "\n");
+  }
+  return srv.report_json(/*include_timing=*/false);
+}
+
+std::vector<std::vector<int>> submission_orders() {
+  const int n = static_cast<int>(test_jobs().size());
+  std::vector<int> fwd, rev, interleaved;
+  for (int i = 0; i < n; ++i) fwd.push_back(i);
+  for (int i = n - 1; i >= 0; --i) rev.push_back(i);
+  for (int i = 0; i < n; i += 2) interleaved.push_back(i);
+  for (int i = 1; i < n; i += 2) interleaved.push_back(i);
+  return {fwd, rev, interleaved};
+}
+
+TEST(ServerDeterminism, ReportByteIdenticalAcrossWorkersAndOrders) {
+  const std::string reference = run_server_report(1, submission_orders()[0]);
+  EXPECT_NE(reference.find("\"num_jobs\": 8"), std::string::npos);
+  EXPECT_NE(reference.find("\"jobs_failed\": 1"), std::string::npos);
+  for (const int workers : {1, 2, 8}) {
+    for (const auto& order : submission_orders()) {
+      EXPECT_EQ(run_server_report(workers, order), reference)
+          << "workers=" << workers;
+    }
+  }
+}
+
+TEST(ServerDeterminism, ConcurrentClientsMatchSequentialReport) {
+  const std::string reference = run_server_report(1, submission_orders()[0]);
+  ServerOptions so;
+  so.seed = 404;
+  so.workers = 4;
+  so.default_threads = env_threads();
+  Server srv(so);
+  // Two clients race their submissions (even ids vs odd ids); the
+  // drained report must not care.
+  const auto client = [&](int parity) {
+    std::string resp;
+    for (std::size_t i = static_cast<std::size_t>(parity);
+         i < test_jobs().size(); i += 2) {
+      const auto& [id, flags] = test_jobs()[i];
+      resp.clear();
+      srv.handle_line("job " + id + " " + flags,
+                      static_cast<int>(i) + 1, &resp);
+    }
+  };
+  std::thread even(client, 0), odd(client, 1);
+  even.join();
+  odd.join();
+  EXPECT_EQ(srv.report_json(false), reference);
+}
+
+TEST(ServerDeterminism, DuplicateIdRejected) {
+  ServerOptions so;
+  so.seed = 1;
+  Server srv(so);
+  std::string resp;
+  srv.handle_line("job x --gen gnm --n 100 --m 300 --algo fast", 1, &resp);
+  EXPECT_EQ(resp, "accepted x\n");
+  resp.clear();
+  EXPECT_THROW(
+      srv.handle_line("job x --gen gnm --n 100 --m 300 --algo fast", 2,
+                      &resp),
+      svc::ManifestError);
+}
+
+// ---------------------------------------------------------------------
+// Faults, retries, degradation, steal perturbation
+// ---------------------------------------------------------------------
+
+class ServerFailpoints : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fail::kCompiledIn) {
+      GTEST_SKIP() << "built with CCG_FAILPOINTS=0";
+    }
+    fail::disarm_all();
+  }
+  void TearDown() override { fail::disarm_all(); }
+};
+
+TEST_F(ServerFailpoints, RetriedFaultKeepsReportByteIdentical) {
+  // Fail job b1's first attempt on every server (the match_arg selector
+  // pins the injection to that attempt's seed, worker-count independent);
+  // one retry recovers it.
+  fail::ArmSpec spec;
+  spec.action = fail::Action::kThrow;
+  spec.match_arg = derive_serve_seed(404, "b1");
+  fail::arm("svc.job.run", spec);
+  const std::string reference =
+      run_server_report(1, submission_orders()[0], /*max_retries=*/1);
+  EXPECT_NE(reference.find("\"attempts\": 2"), std::string::npos);
+  EXPECT_NE(reference.find("\"jobs_retried\": 1"), std::string::npos);
+  for (const int workers : {2, 8}) {
+    for (const auto& order : submission_orders()) {
+      EXPECT_EQ(run_server_report(workers, order, 1), reference)
+          << "workers=" << workers;
+    }
+  }
+  EXPECT_GE(fail::fire_count("svc.job.run"), 7);  // once per server run
+}
+
+TEST_F(ServerFailpoints, DegradedServingKeepsReportByteIdentical) {
+  // No retries, every attempt of b1 dies: the degradation fallback
+  // serves the job (greedy (Delta+1)-coloring), flagged in the report —
+  // still byte-identical across the sweep.
+  fail::ArmSpec spec;
+  spec.action = fail::Action::kThrow;
+  spec.match_arg = derive_serve_seed(404, "b1");
+  fail::arm("svc.job.run", spec);
+  const std::string reference = run_server_report(
+      1, submission_orders()[0], /*max_retries=*/0, /*degrade=*/true);
+  EXPECT_NE(reference.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(reference.find("\"jobs_degraded\": 1"), std::string::npos);
+  for (const int workers : {2, 8}) {
+    EXPECT_EQ(run_server_report(workers, submission_orders()[1], 0, true),
+              reference)
+        << "workers=" << workers;
+  }
+}
+
+TEST_F(ServerFailpoints, StealDelaysDoNotPerturbTheReport) {
+  const std::string reference = run_server_report(1, submission_orders()[0]);
+  // Injected delays at every steal decision reshuffle who steals what;
+  // the drained report must not move.
+  fail::ArmSpec spec;
+  spec.action = fail::Action::kDelayMs;
+  spec.delay_ms = 1;
+  fail::arm("server.steal", spec);
+  for (const int workers : {2, 8}) {
+    EXPECT_EQ(run_server_report(workers, submission_orders()[2]), reference)
+        << "workers=" << workers;
+  }
+  EXPECT_GT(fail::fire_count("server.steal"), 0);
+}
+
+TEST_F(ServerFailpoints, ShedRespondsExplicitlyAndExcludesFromReport) {
+  // Delay execution so occupancy is controlled: with queue_depth=1 the
+  // second submission meets a full queue and sheds.
+  fail::ArmSpec spec;
+  spec.action = fail::Action::kDelayMs;
+  spec.delay_ms = 200;
+  fail::arm("svc.job.run", spec);
+  ServerOptions so;
+  so.seed = 9;
+  so.workers = 1;
+  so.queue_depth = 1;
+  Server srv(so);
+  std::string resp;
+  srv.handle_line("job a --gen gnm --n 100 --m 300 --algo fast", 1, &resp);
+  EXPECT_EQ(resp, "accepted a\n");
+  resp.clear();
+  srv.handle_line("job b --gen gnm --n 100 --m 300 --algo fast", 2, &resp);
+  EXPECT_EQ(resp, "shed b queue_full\n");
+  fail::disarm_all();
+  srv.drain();
+  // Shed jobs are not part of the report; the id is free to resubmit.
+  EXPECT_NE(srv.report_json(false).find("\"num_jobs\": 1"),
+            std::string::npos);
+  resp.clear();
+  srv.handle_line("job b --gen gnm --n 100 --m 300 --algo fast", 3, &resp);
+  EXPECT_EQ(resp, "accepted b\n");
+  srv.drain();
+  EXPECT_NE(srv.report_json(false).find("\"num_jobs\": 2"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Stream transport
+// ---------------------------------------------------------------------
+
+TEST(ServerStream, ServesScriptAndExitsZero) {
+  ServerOptions so;
+  so.seed = 11;
+  Server srv(so);
+  std::istringstream in(
+      "# smoke script\n"
+      "job a --gen gnm --n 100 --m 300 --algo fast\n"
+      "drain\n"
+      "stats\n"
+      "report notiming\n"
+      "quit\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve_stream(srv, in, out, /*strict=*/true), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("accepted a\n"), std::string::npos);
+  EXPECT_NE(text.find("ok drain\n"), std::string::npos);
+  EXPECT_NE(text.find("stats-begin\n"), std::string::npos);
+  EXPECT_NE(text.find("report-begin\n"), std::string::npos);
+  EXPECT_NE(text.find("report-end\n"), std::string::npos);
+  EXPECT_NE(text.find("bye\n"), std::string::npos);
+}
+
+TEST(ServerStream, StrictModeExitsTwoOnBadRequest) {
+  ServerOptions so;
+  Server srv(so);
+  std::istringstream in("job a --gen gnm --n 100\nflush\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve_stream(srv, in, out, /*strict=*/true), 2);
+}
+
+TEST(ServerStream, LenientModeReportsErrorAndKeepsServing) {
+  ServerOptions so;
+  Server srv(so);
+  std::istringstream in("flush\njob a --gen gnm --n 100 --m 300 --algo fast\nquit\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve_stream(srv, in, out, /*strict=*/false), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("error line 1:"), std::string::npos);
+  EXPECT_NE(text.find("accepted a\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccg::server
