@@ -153,12 +153,14 @@ const std::vector<std::pair<int, int>>& Solver::edge_map() const {
 // makes no progress (uncolored degrees shrink geometrically), then the
 // deterministic fallback finishes the stragglers. Proper unconditionally;
 // every step runs on reused scratch, so warm calls are allocation-free.
+// ccg-lint: zero-alloc
 void Solver::run_fast(color::State& st) {
   st.check_cancel();
   CCG_FAILPOINT_ARG("solver.fast", st.params.seed);
   const auto& h = st.h();
   auto& s = verts_;
   s.clear();
+  // ccg-lint: allow(zero-alloc): reused scratch, capacity persists warm
   for (int v = 0; v < h.n(); ++v) s.push_back(v);
   const auto sampler = color::uniform_sampler(st.num_colors(), 0);
   while (!s.empty()) {
@@ -349,11 +351,13 @@ void Solver::solve_impl(const Problem& p, const Options& o, Outcome* out) {
   // session is indistinguishable from the one-shot free functions.
   ledger_.reset(b.bandwidth);
   if (!rt_) {
+    // ccg-lint: allow(zero-alloc): session arena built once, then reused
     rt_.emplace(*b.cg, ledger_);
   } else {
     rt_->rebind(*b.cg, ledger_);
   }
   if (!st_) {
+    // ccg-lint: allow(zero-alloc): session arena built once, then reused
     st_ = std::make_unique<color::State>(*rt_, params);
   } else {
     st_->reset(*rt_, params);
@@ -422,6 +426,7 @@ void Solver::solve_impl(const Problem& p, const Options& o, Outcome* out) {
   }
 }
 
+// ccg-lint: catch-boundary
 void Solver::solve(const Problem& problem, const Options& options,
                    Outcome* out) {
   clear_outcome(out);

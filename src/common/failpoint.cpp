@@ -3,13 +3,13 @@
 #include <chrono>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <new>
 #include <stdexcept>
 #include <thread>
 
 #include "common/assert.hpp"
 #include "common/cancel.hpp"
+#include "common/thread_safety.hpp"
 
 namespace ccg::fail {
 
@@ -30,8 +30,8 @@ struct Site {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, Site> sites;
+  Mutex mu;
+  std::map<std::string, Site> sites CCG_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -62,7 +62,7 @@ void hit(const char* name, std::uint64_t arg) {
   int delay_ms = 0;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     auto it = r.sites.find(name);
     if (it == r.sites.end()) return;
     Site& s = it->second;
@@ -91,7 +91,7 @@ void hit(const char* name, std::uint64_t arg) {
 
 void arm(const std::string& name, const ArmSpec& spec) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto [it, inserted] = r.sites.insert_or_assign(name, Site{spec, 0, 0});
   (void)it;
   if (inserted) {
@@ -101,7 +101,7 @@ void arm(const std::string& name, const ArmSpec& spec) {
 
 void disarm(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   if (r.sites.erase(name) > 0) {
     detail::g_num_armed.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -109,7 +109,7 @@ void disarm(const std::string& name) {
 
 void disarm_all() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   detail::g_num_armed.fetch_sub(static_cast<int>(r.sites.size()),
                                 std::memory_order_relaxed);
   r.sites.clear();
@@ -117,7 +117,7 @@ void disarm_all() {
 
 std::int64_t fire_count(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.sites.find(name);
   return it == r.sites.end() ? 0 : it->second.fired;
 }

@@ -112,6 +112,11 @@ namespace detail {
 
 #if CCG_FAILPOINTS
 // Count of currently armed sites; the one load every disarmed hit pays.
+// Intentionally lock-free: the disarmed fast path must not take the
+// registry mutex (src/common/failpoint.cpp annotates the registry itself
+// with CCG_GUARDED_BY). A stale read here only delays when a
+// concurrently armed site starts firing — arming synchronizes with the
+// *next* hit, which is all the deterministic match_arg selector needs.
 extern std::atomic<int> g_num_armed;
 // Out-of-line slow path: lookup + counters + action.
 void hit(const char* name, std::uint64_t arg);

@@ -25,6 +25,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "common/thread_safety.hpp"
+
 namespace ccg {
 
 // ---- timed measurement harness ----
@@ -85,10 +87,14 @@ class LatencyHistogram {
 
   // Record one sample. Relaxed atomics only: safe from any thread, no
   // lock, no allocation. Negative samples clamp to 0.
+  // Intentionally lock-free (CCG_NO_THREAD_SAFETY_ANALYSIS): this sits on
+  // the scheduler's per-job hot path, where a mutex would serialize the
+  // workers; every member is a relaxed atomic and no cross-field
+  // invariant exists, so torn multi-field snapshots cannot occur.
   void record_ns(double ns) {
     record_ns(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
   }
-  void record_ns(std::uint64_t ns) {
+  void record_ns(std::uint64_t ns) CCG_NO_THREAD_SAFETY_ANALYSIS {
     buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_ns_.fetch_add(ns, std::memory_order_relaxed);
@@ -102,7 +108,9 @@ class LatencyHistogram {
   // per-worker histograms). Relaxed reads: samples recorded concurrently
   // with the merge may or may not be included, which is the usual
   // monitoring contract; drained reports merge quiescent reservoirs.
-  void add(const LatencyHistogram& other) {
+  // Intentionally lock-free (CCG_NO_THREAD_SAFETY_ANALYSIS): see
+  // record_ns — same relaxed-atomic, no-cross-field-invariant argument.
+  void add(const LatencyHistogram& other) CCG_NO_THREAD_SAFETY_ANALYSIS {
     for (int b = 0; b < kBuckets; ++b) {
       const auto c = other.buckets_[static_cast<std::size_t>(b)].load(
           std::memory_order_relaxed);

@@ -1,0 +1,153 @@
+// Clang thread-safety annotations + annotated lock primitives.
+//
+// The serving stack's concurrency contracts (which fields a mutex guards,
+// which functions require it, which paths are deliberately lock-free) were
+// previously enforced only dynamically — TSan runs and code review. These
+// macros make them *compile-time* contracts: under clang, -Wthread-safety
+// (turned on with -Werror by the clang CI builds, see CMakeLists.txt)
+// rejects any access to a CCG_GUARDED_BY field outside its mutex and any
+// call to a CCG_REQUIRES function without it. Under gcc (which has no
+// thread-safety analysis) every macro expands to nothing, so annotations
+// are zero runtime and zero ABI cost everywhere.
+//
+// Clang's analysis only tracks *annotated capability types*, so std::mutex
+// members cannot be named in CCG_GUARDED_BY directly. ccg::Mutex wraps
+// std::mutex with the capability attribute, ccg::MutexLock /
+// ccg::UniqueLock are the annotated scoped guards, and ccg::CondVar wraps
+// std::condition_variable against UniqueLock — all zero-overhead
+// passthroughs (same underlying primitives, annotations only).
+//
+// Conventions in this repo:
+//  * every mutex member documents what it guards via CCG_GUARDED_BY on
+//    the guarded fields (not just a comment);
+//  * private "_locked" helpers take CCG_REQUIRES(mu_);
+//  * deliberately lock-free or externally-synchronized paths carry
+//    CCG_NO_THREAD_SAFETY_ANALYSIS *plus a why-comment* naming the
+//    synchronization that replaces the lock (fork/join barrier, single
+//    owner, relaxed atomics) — an unexplained opt-out fails review;
+//  * condition-variable predicates are written as explicit while-loops
+//    around CondVar::wait, so the guarded reads stay inside the
+//    analysis-visible locked scope (lambda predicates are analyzed as
+//    separate unannotated functions and would warn).
+//
+// See API.md "Static guarantees" for the annotation etiquette and
+// tools/ccg_lint.py for the repo-specific rules layered on top.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define CCG_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CCG_THREAD_ANNOTATION(x)  // no-op: gcc / others have no analysis
+#endif
+
+// Type attribute: this class is a lockable capability ("mutex").
+#define CCG_CAPABILITY(x) CCG_THREAD_ANNOTATION(capability(x))
+// Type attribute: RAII object that acquires on construction and releases
+// on destruction (MutexLock, UniqueLock).
+#define CCG_SCOPED_CAPABILITY CCG_THREAD_ANNOTATION(scoped_lockable)
+
+// Field attribute: reads and writes require holding `x`.
+#define CCG_GUARDED_BY(x) CCG_THREAD_ANNOTATION(guarded_by(x))
+// Field attribute: the pointed-to data (not the pointer) requires `x`.
+#define CCG_PT_GUARDED_BY(x) CCG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function attributes.
+#define CCG_REQUIRES(...) \
+  CCG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CCG_ACQUIRE(...) \
+  CCG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CCG_RELEASE(...) \
+  CCG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CCG_TRY_ACQUIRE(...) \
+  CCG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define CCG_EXCLUDES(...) CCG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CCG_ASSERT_CAPABILITY(x) \
+  CCG_THREAD_ANNOTATION(assert_capability(x))
+#define CCG_RETURN_CAPABILITY(x) CCG_THREAD_ANNOTATION(lock_returned(x))
+
+// Ordering hints (deadlock detection).
+#define CCG_ACQUIRED_BEFORE(...) \
+  CCG_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CCG_ACQUIRED_AFTER(...) \
+  CCG_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Opt-out for one function. Every use MUST carry a why-comment naming the
+// synchronization that replaces the lock.
+#define CCG_NO_THREAD_SAFETY_ANALYSIS \
+  CCG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ccg {
+
+// std::mutex with the capability attribute. Zero overhead: the analysis
+// attributes are compile-time only and the calls inline to the std ones.
+class CCG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CCG_ACQUIRE() { mu_.lock(); }
+  void unlock() CCG_RELEASE() { mu_.unlock(); }
+  bool try_lock() CCG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+// std::lock_guard analogue over ccg::Mutex.
+class CCG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CCG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CCG_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// std::unique_lock analogue over ccg::Mutex — the form CondVar waits on.
+// Deliberately minimal: always constructed locked, released at scope exit
+// (no deferred/adopt modes — nothing in the repo needs them, and fewer
+// states keep the analysis exact).
+class CCG_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) CCG_ACQUIRE(mu) : lock_(mu.mu_) {}
+  // Explicit body (not `= default`): GNU-style attributes and defaulted
+  // definitions don't combine portably. The member's destructor unlocks.
+  ~UniqueLock() CCG_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// std::condition_variable against UniqueLock. wait() atomically releases
+// and reacquires the lock's mutex; the analysis (which has no primitive
+// for that) treats the capability as held across the call — the standard,
+// accepted modelling (the caller *does* hold it before and after). Write
+// predicates as explicit while-loops around wait() so the guarded reads
+// stay in the annotated scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ccg

@@ -24,7 +24,7 @@ void ThreadPool::resize(int workers) {
   const int target = resolve(workers);
   std::uint64_t gen;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CCG_CHECK_MSG(job_ == nullptr, "resize during a dispatch");
     if (target == workers_) return;
     workers_ = target;
@@ -48,7 +48,7 @@ void ThreadPool::resize(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_start_.notify_all();
@@ -63,10 +63,13 @@ void ThreadPool::worker_loop(int w, std::uint64_t seen) {
     int workers = 0;
     bool dynamic = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_start_.wait(lock,
-                     [&] { return stop_ || w >= workers_ ||
-                                  generation_ != seen; });
+      UniqueLock lock(mu_);
+      // Explicit while-loop (not the predicate overload): the guarded
+      // reads stay inside the annotated locked scope this way — a lambda
+      // predicate is analyzed as a separate, unannotated function.
+      while (!(stop_ || w >= workers_ || generation_ != seen)) {
+        cv_start_.wait(lock);
+      }
       if (stop_ || w >= workers_) return;
       seen = generation_;
       fn = job_;
@@ -86,7 +89,7 @@ void ThreadPool::worker_loop(int w, std::uint64_t seen) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --pending_;
     }
     cv_done_.notify_one();
@@ -119,7 +122,7 @@ void ThreadPool::for_shards(std::int64_t total, RawShardFn fn, void* ctx) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CCG_CHECK_MSG(job_ == nullptr, "nested for_shards on one pool");
     std::fill(errors_.begin(), errors_.end(), nullptr);
     job_ = fn;
@@ -137,8 +140,8 @@ void ThreadPool::for_shards(std::int64_t total, RawShardFn fn, void* ctx) {
     errors_[0] = std::current_exception();
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    UniqueLock lock(mu_);
+    while (pending_ != 0) cv_done_.wait(lock);
     job_ = nullptr;
     job_ctx_ = nullptr;
   }
@@ -158,7 +161,7 @@ void ThreadPool::for_dynamic(std::int64_t total, RawShardFn fn, void* ctx) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CCG_CHECK_MSG(job_ == nullptr, "nested dispatch on one pool");
     std::fill(errors_.begin(), errors_.end(), nullptr);
     job_ = fn;
@@ -172,8 +175,8 @@ void ThreadPool::for_dynamic(std::int64_t total, RawShardFn fn, void* ctx) {
   cv_start_.notify_all();
   run_dynamic(0, fn, ctx, total);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    UniqueLock lock(mu_);
+    while (pending_ != 0) cv_done_.wait(lock);
     job_ = nullptr;
     job_ctx_ = nullptr;
     dynamic_ = false;

@@ -17,15 +17,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "common/thread_safety.hpp"
 
 namespace ccg::exec {
 
@@ -104,21 +103,32 @@ class ThreadPool {
   void worker_loop(int w, std::uint64_t seen);
   void run_dynamic(int w, RawShardFn fn, void* ctx, std::int64_t total);
 
+  // Externally synchronized: written only by resize(), whose contract
+  // forbids calling it while a dispatch is in flight, from the single
+  // controlling thread that also calls for_shards/for_dynamic. Worker
+  // threads read it under mu_ (dispatch handoff); the controlling
+  // thread's unlocked reads race nothing.
   int workers_ = 1;
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_;  // controlling thread only
 
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  RawShardFn job_ = nullptr;
-  void* job_ctx_ = nullptr;
-  std::int64_t total_ = 0;
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool stop_ = false;
-  bool dynamic_ = false;
-  std::atomic<std::int64_t> cursor_{0};
+  Mutex mu_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  RawShardFn job_ CCG_GUARDED_BY(mu_) = nullptr;
+  void* job_ctx_ CCG_GUARDED_BY(mu_) = nullptr;
+  std::int64_t total_ CCG_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ CCG_GUARDED_BY(mu_) = 0;
+  int pending_ CCG_GUARDED_BY(mu_) = 0;
+  bool stop_ CCG_GUARDED_BY(mu_) = false;
+  bool dynamic_ CCG_GUARDED_BY(mu_) = false;
+  std::atomic<std::int64_t> cursor_{0};  // lock-free: the dynamic cursor
+  // Deliberately NOT guarded by mu_: worker w writes only errors_[w]
+  // during a dispatch, and the fork/join barrier (pending_ handoff under
+  // mu_) provides the happens-before edge to the caller's post-join
+  // reads. Resized only while no dispatch is in flight.
   std::vector<std::exception_ptr> errors_;
+  // Externally synchronized (set_cancel contract: never swapped while a
+  // dispatch is in flight).
   const CancelToken* cancel_ = nullptr;
 };
 

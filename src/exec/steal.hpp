@@ -19,10 +19,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/thread_safety.hpp"
 
 namespace ccg::exec {
 
@@ -46,7 +46,7 @@ class StealDeques {
   // is full — callers enforcing admission ahead of time never see it.
   bool push(int shard, T item) {
     auto& s = shards_[static_cast<std::size_t>(shard)];
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     if (s.count == s.ring.size()) return false;
     s.ring[(s.head + s.count) % s.ring.size()] = std::move(item);
     ++s.count;
@@ -56,7 +56,7 @@ class StealDeques {
   // Owner pop: oldest item of the worker's own shard (FIFO).
   bool pop_local(int worker, T* out) {
     auto& s = shards_[static_cast<std::size_t>(worker)];
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     if (s.count == 0) return false;
     *out = std::move(s.ring[s.head]);
     s.head = (s.head + 1) % s.ring.size();
@@ -71,7 +71,7 @@ class StealDeques {
     const int w = workers();
     for (int d = 1; d < w; ++d) {
       auto& s = shards_[static_cast<std::size_t>((thief + d) % w)];
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       if (s.count == 0) continue;
       --s.count;
       *out = std::move(s.ring[(s.head + s.count) % s.ring.size()]);
@@ -85,7 +85,7 @@ class StealDeques {
   int size() const {
     int total = 0;
     for (auto& s : shards_) {
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       total += static_cast<int>(s.count);
     }
     return total;
@@ -93,10 +93,10 @@ class StealDeques {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<T> ring;
-    std::size_t head = 0;
-    std::size_t count = 0;
+    mutable Mutex mu;
+    std::vector<T> ring CCG_GUARDED_BY(mu);
+    std::size_t head CCG_GUARDED_BY(mu) = 0;
+    std::size_t count CCG_GUARDED_BY(mu) = 0;
   };
 
   std::vector<Shard> shards_;

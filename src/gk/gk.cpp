@@ -63,6 +63,15 @@ std::vector<int> apportion(const std::vector<int>& mass, int b) {
 
 }  // namespace
 
+// The whole GK list-coloring subroutine (this entry point plus
+// rounding_step / initial_proper_coloring below it) runs on the
+// sequential commit path of the low-degree finishers: by the time
+// either call site in lowdeg.cpp reaches it, the parallel trial rounds
+// have completed and pruned, and everything here iterates the leftover
+// set in a fixed order on the calling thread. Its st.rng draws are
+// therefore deterministic for every thread count — the draw *sequence*
+// only depends on the leftover set, which the preceding phases pin.
+// ccg-lint: commit-phase-sequential
 GkStats list_color_components(color::State& st, std::vector<int> S,
                               std::vector<std::vector<int>>& lists) {
   GkStats stats;

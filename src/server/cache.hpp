@@ -26,12 +26,12 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "color/coloring.hpp"
+#include "common/thread_safety.hpp"
 #include "svc/service.hpp"
 
 namespace ccg::server {
@@ -53,13 +53,13 @@ class LruCache {
 
   std::shared_ptr<const V> get(const std::string& key) {
     if (!enabled()) return nullptr;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return get_locked(key);
   }
 
   void put(const std::string& key, std::shared_ptr<const V> value) {
     if (!enabled() || !value) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     put_locked(key, std::move(value));
   }
 
@@ -74,7 +74,7 @@ class LruCache {
     std::shared_future<std::shared_ptr<const V>> fut;
     bool wait = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (auto v = lookup_locked(key)) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         return v;
@@ -95,7 +95,7 @@ class LruCache {
     std::promise<std::shared_ptr<const V>> prom;
     bool owner = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (auto v = lookup_locked(key)) return v;  // lost a fill race
       auto it = inflight_.find(key);
       if (it == inflight_.end()) {
@@ -112,14 +112,14 @@ class LruCache {
       v = build();
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         inflight_.erase(key);
       }
       prom.set_exception(std::current_exception());
       throw;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       inflight_.erase(key);
       put_locked(key, v);
     }
@@ -140,7 +140,7 @@ class LruCache {
     s.hits = hits_.load(std::memory_order_relaxed);
     s.misses = misses_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     s.entries = entries_.size();
     s.bytes = bytes_;
     return s;
@@ -156,20 +156,23 @@ class LruCache {
   // Lookup + MRU bump, no counter updates (callers charge hit/miss
   // themselves — get_or_build's double-checked slow path would otherwise
   // double-count).
-  std::shared_ptr<const V> lookup_locked(const std::string& key) {
+  std::shared_ptr<const V> lookup_locked(const std::string& key)
+      CCG_REQUIRES(mu_) {
     auto it = index_.find(key);
     if (it == index_.end()) return nullptr;
     entries_.splice(entries_.begin(), entries_, it->second);  // bump to MRU
     return it->second->value;
   }
 
-  std::shared_ptr<const V> get_locked(const std::string& key) {
+  std::shared_ptr<const V> get_locked(const std::string& key)
+      CCG_REQUIRES(mu_) {
     auto v = lookup_locked(key);
     (v ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
     return v;
   }
 
-  void put_locked(const std::string& key, std::shared_ptr<const V> value) {
+  void put_locked(const std::string& key, std::shared_ptr<const V> value)
+      CCG_REQUIRES(mu_) {
     if (index_.count(key)) return;  // racing put of the same key
     const std::size_t b = bytes_of_(*value);
     if (b > budget_) return;  // would evict everything and still not fit
@@ -187,13 +190,14 @@ class LruCache {
 
   const std::size_t budget_;
   const BytesFn bytes_of_;
-  mutable std::mutex mu_;
-  std::size_t bytes_ = 0;     // resident total, guarded by mu_
-  std::list<Entry> entries_;  // MRU first
-  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+  mutable Mutex mu_;
+  std::size_t bytes_ CCG_GUARDED_BY(mu_) = 0;  // resident total
+  std::list<Entry> entries_ CCG_GUARDED_BY(mu_);  // MRU first
+  std::unordered_map<std::string, typename std::list<Entry>::iterator>
+      index_ CCG_GUARDED_BY(mu_);
   std::unordered_map<std::string,
                      std::shared_future<std::shared_ptr<const V>>>
-      inflight_;
+      inflight_ CCG_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};

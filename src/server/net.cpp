@@ -38,6 +38,14 @@ bool send_all(int fd, const std::string& data) {
 // One connection: split the byte stream into lines, feed handle_line,
 // write back whatever it produced. `quit` flips the shared stop flag and
 // shuts the listener down so accept() unblocks.
+//
+// Concurrency note (intentionally mutex-free, nothing here to annotate
+// with capabilities): every local (buf/line/resp/fd) is owned by this
+// handler thread; cross-connection state is reached only through
+// Server::handle_line, which locks the server's annotated Mutex
+// internally; and the shutdown handshake is the single `stop` atomic
+// (release-store here, acquire-load in accept_loop) plus shutdown() on
+// the listener fd — the kernel provides the unblocking edge.
 void serve_connection(Server* server, int fd, int listen_fd,
                       std::atomic<bool>* stop) {
   std::string buf, line, resp;

@@ -27,15 +27,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/latency.hpp"
+#include "common/thread_safety.hpp"
 #include "exec/steal.hpp"
 #include "server/cache.hpp"
 #include "svc/service.hpp"
@@ -119,17 +118,22 @@ class Scheduler {
   const SchedulerOptions opt_;
   ServeCache* cache_;
   exec::StealDeques<Task*> deques_;
+  // Single-owner arenas: slots_[w] and metrics_[w] are touched only by
+  // worker w's thread between start() and stop() (merge_latency reads the
+  // lock-free histograms concurrently — relaxed-atomic counters only).
   std::vector<svc::JobSlot> slots_;                    // one per worker
   std::vector<std::unique_ptr<WorkerMetrics>> metrics_;  // one per worker
+  // Controlling thread only: mutated by start()/stop(), whose serial use
+  // is the Server's contract (construction starts, destruction stops).
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // submit -> idle workers
-  std::condition_variable idle_cv_;   // last completion -> drain()
-  std::uint64_t epoch_ = 0;           // guarded by mu_; bumped per submit
-  bool running_ = false;              // guarded by mu_
+  Mutex mu_;
+  CondVar work_cv_;   // submit -> idle workers
+  CondVar idle_cv_;   // last completion -> drain()
+  std::uint64_t epoch_ CCG_GUARDED_BY(mu_) = 0;  // bumped per submit
+  bool running_ CCG_GUARDED_BY(mu_) = false;
 
-  std::atomic<int> pending_{0};  // queued + running
+  std::atomic<int> pending_{0};  // queued + running; lock-free admission
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> shed_{0};

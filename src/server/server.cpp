@@ -64,7 +64,7 @@ bool Server::handle_line(const std::string& line, int lineno,
   }
   switch (req.kind) {
     case RequestKind::kJob: {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (tasks_.count(req.id) != 0) {
         svc::parse_fail(lineno, "duplicate job id '" + req.id + "'");
       }
@@ -115,7 +115,7 @@ void Server::drain() {
   // Block new submissions while draining so "ok drain" means what it
   // says at the moment it is written. Workers never take mu_, so queued
   // jobs keep completing.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sched_.drain();
 }
 
@@ -126,7 +126,7 @@ void Server::append_report(bool include_timing, std::string* out) {
 }
 
 std::string Server::report_json(bool include_timing) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sched_.drain();  // a report is always a drained report
   JsonWriter j;
   j.begin_object();

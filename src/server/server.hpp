@@ -19,9 +19,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/thread_safety.hpp"
 #include "server/cache.hpp"
 #include "server/protocol.hpp"
 #include "server/scheduler.hpp"
@@ -81,9 +81,16 @@ class Server {
   const ServerOptions opt_;
   ServeCache cache_;
   Scheduler sched_;
-  std::mutex mu_;  // guards tasks_ (and serializes report/drain vs submit)
-  // id -> task, sorted: report iteration order == id order.
-  std::map<std::string, std::unique_ptr<Task>> tasks_;
+  // Serializes submissions against report/drain. Lock order: mu_ before
+  // the scheduler's internal lock (report_json holds mu_ across
+  // sched_.drain()); scheduler workers never take mu_, so queued jobs
+  // keep completing while a drain holds it.
+  Mutex mu_;
+  // id -> task, sorted: report iteration order == id order. The mapped
+  // Task objects are handed to the scheduler by pointer; their result
+  // fields are written by exactly one worker and read only after drain()
+  // (the scheduler's pending_ handoff is the happens-before edge).
+  std::map<std::string, std::unique_ptr<Task>> tasks_ CCG_GUARDED_BY(mu_);
 };
 
 }  // namespace ccg::server

@@ -32,6 +32,7 @@ bool is_midrun_failure(ErrorCode c) {
 
 }  // namespace
 
+// ccg-lint: zero-alloc
 void JobSlot::run_attempt(const Instance& inst, const JobSpec& job,
                           std::uint64_t seed, std::int64_t deadline_ms,
                           const color::DenseSnapshot* dense_preload,
@@ -63,6 +64,7 @@ void JobSlot::run_attempt(const Instance& inst, const JobSpec& job,
     out->ok = false;
     out->error = e.what();
     out->code = ErrorCode::kInternal;
+    // ccg-lint: allow(zero-alloc): quarantine after an injected fault
     solver_ = std::make_unique<Solver>();
     return;
   }
@@ -87,6 +89,7 @@ void JobSlot::run_attempt(const Instance& inst, const JobSpec& job,
     // Quarantine: whatever broke mid-run may have corrupted the arena.
     // Cold-rebuild the session before it serves anything else, so the
     // next job on this slot is bit-identical to one on a fresh slot.
+    // ccg-lint: allow(zero-alloc): quarantine rebuild on the failure path
     if (is_midrun_failure(out->code)) solver_ = std::make_unique<Solver>();
     return;
   }
@@ -101,6 +104,7 @@ void JobSlot::run_attempt(const Instance& inst, const JobSpec& job,
   out->max_bits_per_link_round = outcome_.result.max_bits_per_link_round;
 }
 
+// ccg-lint: cold-path
 void JobSlot::degrade(const Instance& inst, JobResult* out) {
   // Graceful degradation: the sequential greedy baseline always yields a
   // proper (Delta+1)-coloring, deterministically (no RNG), so a degraded

@@ -137,6 +137,16 @@ struct RunPolicy {
 // is bit-identical to one served by a brand-new slot (pinned by
 // tests/test_failure_injection.cpp). Boundary failures (invalid options /
 // problem, failed builds) never enter the pipeline and do not quarantine.
+//
+// Ownership discipline (why JobSlot carries no mutex and no capability
+// annotations): a slot is single-owner by construction. Each scheduler
+// worker — batch (run_batch's for_dynamic lambda) and server
+// (Scheduler::execute) alike — indexes its own slots_[w], and no slot is
+// ever shared between workers; the scheduler's dispatch handoff provides
+// the happens-before edge when a worker thread is (re)started. Drivers
+// that call run() directly inherit the same contract: one thread per
+// slot at a time. tools/ccg_lint.py R2 additionally pins the warm
+// execute path allocation-free (see the zero-alloc markers below).
 class JobSlot {
  public:
   // Execute `job` on `inst` through the slot's Solver session: one

@@ -1,0 +1,31 @@
+// Fixture: R1 positive. round_body is a parallel dispatch site (it
+// calls .shards) and reaches a shared-RNG draw through draw_helper with
+// no commit-phase-sequential marker anywhere on the chain, so the lint
+// must flag the st.rng draw.
+#include <cstdint>
+
+namespace fix {
+
+struct Rng {
+  std::uint64_t next();
+};
+
+struct State {
+  Rng rng;
+};
+
+struct ParallelRound {
+  template <typename F>
+  void shards(int lo, int hi, F&& f);
+};
+
+int draw_helper(State& st) {
+  return static_cast<int>(st.rng.next() & 7);
+}
+
+void round_body(ParallelRound& par, State& st) {
+  par.shards(0, 8, [](int, int) {});
+  draw_helper(st);
+}
+
+}  // namespace fix

@@ -1,0 +1,32 @@
+// Fixture: R1 negative. Identical shape to r1_bad, but the draw runs
+// behind a commit-phase-sequential marker: the traversal must stop at
+// draw_helper and report nothing.
+#include <cstdint>
+
+namespace fix {
+
+struct Rng {
+  std::uint64_t next();
+};
+
+struct State {
+  Rng rng;
+};
+
+struct ParallelRound {
+  template <typename F>
+  void shards(int lo, int hi, F&& f);
+};
+
+// Runs on the sequential commit path after the parallel rounds drain.
+// ccg-lint: commit-phase-sequential
+int draw_helper(State& st) {
+  return static_cast<int>(st.rng.next() & 7);
+}
+
+void round_body(ParallelRound& par, State& st) {
+  par.shards(0, 8, [](int, int) {});
+  draw_helper(st);
+}
+
+}  // namespace fix

@@ -1,0 +1,18 @@
+// Fixture: allowlist plumbing. cache_build allocates and is reachable
+// from a zero-alloc function. With allow.txt passed via --allowlist the
+// run must come back clean; without it, the same fixture must produce a
+// finding (both directions are asserted by run_selftests.py).
+#include <vector>
+
+namespace fix {
+
+void cache_build(std::vector<int>& v) {
+  v.resize(128);
+}
+
+// ccg-lint: zero-alloc
+void warm_path(std::vector<int>& v) {
+  cache_build(v);
+}
+
+}  // namespace fix

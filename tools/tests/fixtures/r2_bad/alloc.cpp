@@ -1,0 +1,17 @@
+// Fixture: R2 positive. warm_path is marked zero-alloc and reaches a
+// push_back through grow; the lint must flag the allocation with the
+// warm_path -> grow chain.
+#include <vector>
+
+namespace fix {
+
+void grow(std::vector<int>& v) {
+  v.push_back(1);
+}
+
+// ccg-lint: zero-alloc
+void warm_path(std::vector<int>& v) {
+  grow(v);
+}
+
+}  // namespace fix

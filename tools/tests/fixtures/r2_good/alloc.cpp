@@ -1,0 +1,24 @@
+// Fixture: R2 negative. Exercises both escape hatches: a cold-path
+// callee (traversal stop) and an inline allow on a specific sink line.
+// The lint must report nothing.
+#include <vector>
+
+namespace fix {
+
+// ccg-lint: cold-path
+void build_once(std::vector<int>& v) {
+  v.reserve(64);
+}
+
+void record(std::vector<int>& v) {
+  // ccg-lint: allow(zero-alloc): capacity reserved by build_once
+  v.push_back(1);
+}
+
+// ccg-lint: zero-alloc
+void warm_path(std::vector<int>& v) {
+  build_once(v);
+  record(v);
+}
+
+}  // namespace fix

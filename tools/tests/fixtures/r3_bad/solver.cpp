@@ -1,0 +1,22 @@
+// Fixture: R3 positive. Solver::solve is a public method (per the class
+// body below) and reaches a throw through a private helper without any
+// catch-boundary marker; the lint must flag it.
+namespace fix {
+
+class Solver {
+ public:
+  void solve(int n);
+
+ private:
+  void check(int n);
+};
+
+void Solver::check(int n) {
+  if (n < 0) throw n;
+}
+
+void Solver::solve(int n) {
+  check(n);
+}
+
+}  // namespace fix

@@ -1,0 +1,27 @@
+// Fixture: R3 negative. Same shape as r3_bad, but solve is the
+// documented catch boundary: everything thrown below it is converted to
+// a status here, so the lint must report nothing.
+namespace fix {
+
+class Solver {
+ public:
+  void solve(int n);
+
+ private:
+  void check(int n);
+};
+
+void Solver::check(int n) {
+  if (n < 0) throw n;
+}
+
+// Converts internal failures to a status; nothing escapes.
+// ccg-lint: catch-boundary
+void Solver::solve(int n) {
+  try {
+    check(n);
+  } catch (...) {
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,9 @@
+// Fixture: R4 positive. One failpoint name breaks the subsystem.site
+// grammar and another is defined twice; the lint must flag both.
+namespace fix {
+
+void a() { CCG_FAILPOINT("BadName"); }
+void b() { CCG_FAILPOINT("svc.dup"); }
+void c() { CCG_FAILPOINT_ARG("svc.dup", 1); }
+
+}  // namespace fix

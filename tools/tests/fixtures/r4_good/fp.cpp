@@ -1,0 +1,9 @@
+// Fixture: R4 negative. Unique names, all matching the subsystem.site
+// grammar; the lint must report nothing.
+namespace fix {
+
+void a() { CCG_FAILPOINT("svc.build"); }
+void b() { CCG_FAILPOINT_ARG("server.steal_probe", 1); }
+void c() { CCG_FAILPOINT("net.read.header"); }
+
+}  // namespace fix
